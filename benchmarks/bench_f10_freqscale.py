@@ -1,0 +1,71 @@
+"""F10 — clock-frequency scaling under harvested power.
+
+Reconstructs the Spendthrift-class result: the forward-progress-optimal
+clock frequency grows with harvested income (leakage dominates at low
+clocks, supply collapses at high clocks), so a power-aware frequency
+policy beats any fixed clock across income levels.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.config import NVPConfig
+from repro.core.nvp import NVPPlatform
+from repro.harvest.sources import wristwatch_trace
+from repro.isa.energy import dvfs_model
+from repro.policy.freqscale import PowerAwareFrequencyPolicy, best_frequency, frequency_sweep
+from repro.system.presets import nvp_capacitor
+from repro.workloads.base import AbstractWorkload
+
+from common import BENCH_SEED, print_header, simulate
+
+FREQUENCIES_HZ = [0.25e6, 0.5e6, 1e6, 2e6, 4e6, 8e6]
+INCOMES_W = [8e-6, 25e-6, 80e-6, 250e-6]
+DURATION_S = 3.0
+
+
+def run_at(income_w, frequency_hz, seed_offset=0):
+    trace = wristwatch_trace(
+        DURATION_S, seed=BENCH_SEED + seed_offset, mean_power_w=income_w
+    )
+    # DVFS: faster clocks need higher VDD, so energy/instruction rises.
+    workload = AbstractWorkload(energy_model=dvfs_model(frequency_hz))
+    config = NVPConfig(clock_hz=frequency_hz, label=f"{frequency_hz / 1e6:g}MHz")
+    platform = NVPPlatform(workload, nvp_capacitor(), config, seed=0)
+    return simulate(trace, platform)
+
+
+def run_experiment():
+    table = {}
+    policy = PowerAwareFrequencyPolicy()
+    for income in INCOMES_W:
+        sweep = frequency_sweep(
+            FREQUENCIES_HZ, lambda f, income=income: run_at(income, f)
+        )
+        table[income] = sweep
+        winner, _ = best_frequency(sweep)
+        policy.add_training_point(income, winner)
+    return table, policy
+
+
+def test_f10_frequency_scaling(benchmark):
+    table, policy = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_header("F10", "forward progress vs clock frequency vs income")
+    rows = []
+    winners = {}
+    for income, sweep in table.items():
+        fps = [result.forward_progress for _, result in sweep]
+        winner, _ = best_frequency(sweep)
+        winners[income] = winner
+        rows.append([f"{income * 1e6:.0f} uW"] + fps + [f"{winner / 1e6:g} MHz"])
+    headers = (
+        ["income"] + [f"{f / 1e6:g}MHz" for f in FREQUENCIES_HZ] + ["best"]
+    )
+    print(format_table(headers, rows))
+    print("\ntrained income->frequency policy:")
+    for income, frequency in policy.table().items():
+        print(f"  {income * 1e6:.0f} uW -> {frequency / 1e6:g} MHz")
+
+    # Shape: the winning frequency is non-decreasing with income, and
+    # the extremes differ (a crossover exists).
+    ordered = [winners[income] for income in INCOMES_W]
+    assert all(a <= b for a, b in zip(ordered, ordered[1:]))
+    assert ordered[0] < ordered[-1]

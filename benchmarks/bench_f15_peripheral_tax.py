@@ -1,0 +1,71 @@
+"""F15 (extension) — the peripheral-state re-initialisation tax.
+
+The tutorial's open-challenge list: NVFF backup preserves the core,
+not the peripherals.  Every wake-up must re-configure the analog
+front-end, so at wristwatch emergency rates the recurring tax grows
+with peripheral complexity and erodes the NVP's advantage.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.config import NVPConfig
+from repro.core.nvp import NVPPlatform
+from repro.system.peripherals import (
+    ADC_10BIT,
+    IMAGE_SENSOR,
+    PeripheralSet,
+    RADIO_TRX,
+)
+from repro.system.presets import nvp_capacitor
+from repro.workloads.base import AbstractWorkload
+
+from common import print_header, profiles, simulate
+
+CONFIGS = [
+    ("none", []),
+    ("adc", [ADC_10BIT]),
+    ("adc+sensor", [ADC_10BIT, IMAGE_SENSOR]),
+    ("adc+sensor+radio", [ADC_10BIT, IMAGE_SENSOR, RADIO_TRX]),
+]
+
+
+def run_experiment():
+    trace = profiles()[0]
+    rows = []
+    for name, devices in CONFIGS:
+        periphs = PeripheralSet(devices)
+        platform = NVPPlatform(
+            AbstractWorkload(),
+            # 2.2 uF: sized so even the full peripheral stack's wake-up
+            # cost (re-init energy is part of the start threshold) fits.
+            nvp_capacitor(2.2e-6),
+            NVPConfig(label=f"nvp+{name}"),
+            seed=0,
+            peripherals=periphs,
+        )
+        rows.append((name, simulate(trace, platform), periphs))
+    return rows
+
+
+def test_f15_peripheral_reinit_tax(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_header("F15", "peripheral re-initialisation tax (profile-1)")
+    baseline = rows[0][1].forward_progress
+    table = []
+    for name, result, periphs in rows:
+        table.append(
+            [
+                name,
+                result.forward_progress,
+                f"{result.forward_progress / baseline:.2f}x",
+                periphs.reinits,
+                result.restores,
+            ]
+        )
+    print(format_table(
+        ["peripherals", "FP", "vs bare", "reinits", "restores"], table
+    ))
+    progress = [result.forward_progress for _, result, _ in rows]
+    # Shape: each added peripheral class costs forward progress, and
+    # the full stack loses a substantial share.
+    assert all(a >= b for a, b in zip(progress, progress[1:]))
+    assert progress[-1] < 0.9 * progress[0]

@@ -1,0 +1,55 @@
+"""F3 — power-outage duration and frequency statistics.
+
+Reconstructs the outage-characterisation figure: duration histogram
+and emergency counts at the 33 µW operating threshold, per profile.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, series_text
+from repro.harvest.outage import DEFAULT_THRESHOLD_W, analyze_outages
+
+from common import BENCH_DURATION_S, print_header, profiles
+
+
+def build_stats():
+    return [(trace.source, analyze_outages(trace)) for trace in profiles()]
+
+
+def test_f3_outage_statistics(benchmark):
+    stats = benchmark.pedantic(build_stats, rounds=1, iterations=1)
+    print_header("F3", f"outage statistics at {DEFAULT_THRESHOLD_W * 1e6:.0f} uW")
+    rows = []
+    for name, s in stats:
+        rows.append(
+            [
+                name,
+                s.count,
+                s.emergencies_per_second(BENCH_DURATION_S),
+                s.mean_duration_s * 1e3,
+                s.max_duration_s * 1e3,
+                s.duty_cycle,
+            ]
+        )
+    print(
+        format_table(
+            ["profile", "outages", "per s", "mean ms", "max ms", "duty"], rows
+        )
+    )
+    # Histogram for profile 1 (the published figure's subject).
+    name, s = stats[0]
+    counts, edges = s.histogram(bins=10)
+    print(
+        series_text(
+            f"outage-duration histogram ({name})",
+            [f"{edge * 1e3:.1f}ms" for edge in edges[:-1]],
+            [int(c) for c in counts],
+        )
+    )
+    for name, s in stats:
+        # Published: 1000-2000 emergencies per 10 s window.
+        per_10s = s.count * 10.0 / BENCH_DURATION_S
+        assert 600 <= per_10s <= 3000, (name, per_10s)
+        # Most outages are milliseconds; rare ones reach fractions of a second.
+        durations = np.asarray(s.durations_s)
+        assert np.median(durations) < 0.05

@@ -1,0 +1,64 @@
+"""F4 — forward progress: NVP vs wait-and-compute vs sw-checkpointing.
+
+The tutorial's headline system-level comparison.  Expected shape: the
+NVP outperforms wait-and-compute by roughly 2-5x (the published band)
+and software checkpointing sits between them; the oracle bounds all.
+"""
+
+from repro.analysis.report import format_table, ratio
+from repro.system.presets import (
+    build_checkpoint,
+    build_nvp,
+    build_oracle,
+    build_wait_compute,
+)
+from repro.workloads.base import AbstractWorkload
+
+from common import print_header, profiles, simulate
+
+BUILDERS = [
+    ("nvp", build_nvp),
+    ("wait-compute", build_wait_compute),
+    ("sw-checkpoint", build_checkpoint),
+    ("oracle", build_oracle),
+]
+
+
+def run_comparison():
+    table = {}
+    for label, builder in BUILDERS:
+        table[label] = [
+            simulate(trace, builder(AbstractWorkload())) for trace in profiles()
+        ]
+    return table
+
+
+def test_f4_platform_comparison(benchmark):
+    table = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print_header("F4", "forward progress per platform per profile")
+    rows = []
+    for label, results in table.items():
+        fps = [r.forward_progress for r in results]
+        rows.append([label] + fps + [sum(fps) / len(fps)])
+    headers = ["platform"] + [t.source for t in profiles()] + ["mean"]
+    print(format_table(headers, rows))
+
+    nvp_mean = sum(r.forward_progress for r in table["nvp"]) / len(profiles())
+    wait_mean = sum(
+        r.forward_progress for r in table["wait-compute"]
+    ) / len(profiles())
+    checkpoint_mean = sum(
+        r.forward_progress for r in table["sw-checkpoint"]
+    ) / len(profiles())
+    oracle_mean = sum(r.forward_progress for r in table["oracle"]) / len(profiles())
+
+    nvp_vs_wait = ratio(nvp_mean, wait_mean)
+    print(f"\nNVP / wait-compute  = {nvp_vs_wait:.2f}x  (published band: 2.2-5x)")
+    print(f"NVP / sw-checkpoint = {ratio(nvp_mean, checkpoint_mean):.2f}x")
+    print(f"NVP / oracle        = {ratio(nvp_mean, oracle_mean):.2%} of upper bound")
+    benchmark.extra_info["nvp_vs_wait"] = round(nvp_vs_wait, 3)
+
+    # Shape assertions.
+    assert 1.8 <= nvp_vs_wait <= 8.0
+    assert nvp_mean > checkpoint_mean > 0
+    assert oracle_mean > nvp_mean

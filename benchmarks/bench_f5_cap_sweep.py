@@ -1,0 +1,48 @@
+"""F5 — forward progress and backups vs storage-capacitor size.
+
+Reconstructs the architecture-exploration sweep: tiny capacitors
+cannot fund the backup reserve (constant thrash / no start), oversized
+capacitors waste income on conversion losses and slow first-start.
+Expect an interior plateau around the backup-sized capacitor.
+"""
+
+from repro.analysis.report import format_table
+from repro.system.presets import build_nvp
+from repro.workloads.base import AbstractWorkload
+
+from common import print_header, profiles, simulate
+
+CAPACITANCES_F = [4.7e-9, 22e-9, 68e-9, 150e-9, 470e-9, 2.2e-6, 10e-6, 47e-6]
+
+
+def run_sweep():
+    trace = profiles()[0]
+    results = []
+    for capacitance in CAPACITANCES_F:
+        platform = build_nvp(AbstractWorkload(), capacitance_f=capacitance)
+        results.append((capacitance, simulate(trace, platform)))
+    return results
+
+
+def test_f5_capacitor_sweep(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_header("F5", "NVP forward progress vs capacitor size (profile-1)")
+    rows = [
+        [
+            f"{capacitance * 1e9:.4g} nF",
+            r.forward_progress,
+            r.backups,
+            r.rollbacks,
+            f"{r.on_time_fraction:.1%}",
+        ]
+        for capacitance, r in results
+    ]
+    print(format_table(["capacitance", "FP", "backups", "rollbacks", "on-time"], rows))
+
+    progress = [r.forward_progress for _, r in results]
+    best = max(range(len(progress)), key=lambda i: progress[i])
+    print(f"\nbest capacitance: {CAPACITANCES_F[best] * 1e9:.4g} nF")
+    benchmark.extra_info["best_nF"] = CAPACITANCES_F[best] * 1e9
+    # Shape: the optimum is interior — both extremes underperform it.
+    assert progress[best] > progress[0]
+    assert progress[best] > progress[-1]

@@ -1,0 +1,80 @@
+"""F6 — backup strategy and state-size comparison.
+
+Compares full / incremental / compare-and-write backup writes and
+sweeps the architectural state size: larger state raises both backup
+energy and the reserve threshold, eroding forward progress.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.config import NVPConfig
+from repro.core.nvp import NVPPlatform
+from repro.system.presets import nvp_capacitor
+from repro.workloads.base import AbstractWorkload
+
+from common import print_header, profiles, simulate
+
+STRATEGIES = ["full", "compare_and_write", "incremental"]
+STATE_BITS = [168, 360, 1024, 4096]
+
+
+def run_experiment():
+    trace = profiles()[0]
+    strategy_results = {}
+    for strategy in STRATEGIES:
+        platform = NVPPlatform(
+            AbstractWorkload(),
+            nvp_capacitor(),
+            NVPConfig(backup_strategy=strategy, label=f"nvp-{strategy}"),
+            seed=0,
+        )
+        result = simulate(trace, platform)
+        strategy_results[strategy] = (result, platform.controller.total_bits_written)
+    size_results = []
+    for bits in STATE_BITS:
+        platform = NVPPlatform(
+            AbstractWorkload(),
+            nvp_capacitor(),
+            NVPConfig(state_bits=bits, label=f"nvp-{bits}b"),
+            seed=0,
+        )
+        size_results.append((bits, simulate(trace, platform)))
+    return strategy_results, size_results
+
+
+def test_f6_backup_strategies(benchmark):
+    strategy_results, size_results = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    print_header("F6", "backup strategies and state-size sweep (profile-1)")
+    rows = []
+    for strategy, (result, bits_written) in strategy_results.items():
+        per_backup = bits_written / max(1, result.backups)
+        rows.append(
+            [
+                strategy,
+                result.forward_progress,
+                result.backups,
+                per_backup,
+                result.backup_energy_j * 1e9,
+            ]
+        )
+    print(format_table(
+        ["strategy", "FP", "backups", "bits/backup", "backup nJ"], rows
+    ))
+
+    print()
+    size_rows = [
+        [bits, r.forward_progress, r.backups, r.backup_energy_j * 1e9]
+        for bits, r in size_results
+    ]
+    print(format_table(["state bits", "FP", "backups", "backup nJ"], size_rows))
+
+    # Shapes: differential strategies write fewer bits than full; a 4 Kb
+    # state image costs visibly more progress than a 360 b one.
+    full_bits = strategy_results["full"][1]
+    assert strategy_results["compare_and_write"][1] < full_bits
+    assert strategy_results["incremental"][1] <= full_bits
+    assert size_results[0][1].forward_progress >= size_results[-1][1].forward_progress
+    assert (
+        size_results[-1][1].backup_energy_j > size_results[0][1].backup_energy_j
+    )

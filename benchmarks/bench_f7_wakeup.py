@@ -1,0 +1,54 @@
+"""F7 — wake-up/restore time vs achievable duty cycle.
+
+Reconstructs the wake-up comparison: per-technology wake-up and backup
+times, and the duty cycle each sustains as the outage rate grows
+(analytic model) — the figure behind "3 µs wake-up" headlines.
+"""
+
+from repro.analysis.report import format_table, series_text
+from repro.core.config import DEFAULT_STATE_BITS
+from repro.core.restore import WakeupModel, wakeup_comparison
+from repro.harvest.outage import analyze_outages
+from repro.nvm.technology import FERAM, NOR_FLASH, RERAM, TECHNOLOGIES
+
+from common import BENCH_DURATION_S, print_header, profiles
+
+OUTAGE_RATES_HZ = [10, 50, 150, 500, 1500, 5000]
+
+
+def run_experiment():
+    nonvolatile = [t for t in TECHNOLOGIES if not t.volatile]
+    table = wakeup_comparison(
+        nonvolatile, DEFAULT_STATE_BITS, outage_rate_hz=150.0, supply_duty=0.2
+    )
+    curves = {}
+    for tech in (FERAM, RERAM, NOR_FLASH):
+        model = WakeupModel(tech, DEFAULT_STATE_BITS)
+        curves[tech.name] = [
+            model.effective_duty_cycle(rate, supply_duty=0.2)
+            for rate in OUTAGE_RATES_HZ
+        ]
+    measured_rate = analyze_outages(profiles()[0]).count / BENCH_DURATION_S
+    return table, curves, measured_rate
+
+
+def test_f7_wakeup_duty_cycle(benchmark):
+    table, curves, measured_rate = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    print_header("F7", "wake-up overheads and duty cycle vs outage rate")
+    rows = [
+        [name, row["wakeup_us"], row["backup_us"], f"{row['duty_cycle']:.3f}"]
+        for name, row in table.items()
+    ]
+    print(format_table(
+        ["tech", "wakeup us", "backup us", "duty@150/s (supply 0.2)"], rows
+    ))
+    print(f"\nmeasured emergency rate on profile-1: {measured_rate:.0f}/s\n")
+    for name, duties in curves.items():
+        print(series_text(f"duty({name})", OUTAGE_RATES_HZ, duties))
+
+    # Shapes: ReRAM's faster restore dominates FeRAM; flash collapses first.
+    assert table["ReRAM"]["wakeup_us"] < table["FeRAM"]["wakeup_us"]
+    assert curves["NOR-Flash"][-1] < curves["FeRAM"][-1]
+    assert curves["FeRAM"][0] > 0.19  # near the supply bound at low rates

@@ -1,0 +1,86 @@
+"""F9 — ML-based matching of NVP configuration to power profiles.
+
+Reconstructs the ICCAD'15-class result: a k-NN matcher trained on
+profile statistics picks per-trace configurations whose forward
+progress approaches the per-trace best-static oracle and beats any
+single static configuration.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.config import NVPConfig
+from repro.core.nvp import NVPPlatform
+from repro.harvest.sources import rf_trace, thermal_trace, wristwatch_trace
+from repro.isa.energy import dvfs_model
+from repro.policy.mlmatch import train_from_sweeps
+from repro.system.presets import nvp_capacitor
+from repro.workloads.base import AbstractWorkload
+
+from common import BENCH_SEED, print_header, simulate
+
+#: Configuration space: (clock Hz, backup margin).
+CONFIGS = [(0.5e6, 3.0), (1e6, 1.5), (4e6, 1.2)]
+TRAIN_DURATION_S = 2.0
+
+
+def make_platform(config_index):
+    clock, margin = CONFIGS[config_index]
+    workload = AbstractWorkload(energy_model=dvfs_model(clock))
+    config = NVPConfig(
+        clock_hz=clock, backup_margin=margin, label=f"cfg{config_index}"
+    )
+    return NVPPlatform(workload, nvp_capacitor(), config, seed=0)
+
+
+def evaluate(trace, config_index):
+    return simulate(trace, make_platform(config_index)).forward_progress
+
+
+def make_traces(seed_base, duration):
+    traces = []
+    for offset in range(3):
+        traces.append(
+            wristwatch_trace(duration, seed=seed_base + offset, mean_power_w=20e-6)
+        )
+        traces.append(thermal_trace(duration, seed=seed_base + offset))
+        traces.append(
+            rf_trace(duration, seed=seed_base + offset, mean_power_w=120e-6)
+        )
+    return traces
+
+
+def run_experiment():
+    train = make_traces(BENCH_SEED, TRAIN_DURATION_S)
+    test = make_traces(BENCH_SEED + 100, TRAIN_DURATION_S)
+    matcher = train_from_sweeps(train, len(CONFIGS), evaluate, k=3)
+    rows = []
+    matched_total = 0.0
+    best_total = 0.0
+    static_totals = [0.0] * len(CONFIGS)
+    for trace in test:
+        scores = [evaluate(trace, index) for index in range(len(CONFIGS))]
+        predicted = matcher.predict_trace(trace)
+        matched_total += scores[predicted]
+        best_total += max(scores)
+        for index, score in enumerate(scores):
+            static_totals[index] += score
+        rows.append(
+            [trace.source, predicted, int(scores[predicted]), int(max(scores))]
+        )
+    return rows, matched_total, best_total, static_totals
+
+
+def test_f9_ml_config_matching(benchmark):
+    rows, matched, best, statics = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    print_header("F9", "ML config matching vs static configurations")
+    print(format_table(["test trace", "picked cfg", "matched FP", "best FP"], rows))
+    best_static = max(statics)
+    print(f"\nmatched total FP : {matched:.0f}")
+    print(f"best-static total: {best_static:.0f} (config {statics.index(best_static)})")
+    print(f"oracle total     : {best:.0f}")
+    print(f"matched/oracle   : {matched / best:.2%}")
+    benchmark.extra_info["matched_over_oracle"] = round(matched / best, 4)
+    # Shapes: matching recovers most of the oracle and beats best-static.
+    assert matched >= 0.9 * best_static
+    assert matched >= 0.75 * best

@@ -1,0 +1,80 @@
+"""T12 — application frame rates on harvested power.
+
+Reconstructs the end-to-end application table: seconds per frame for
+real image kernels (functional NV16 execution) on the wristwatch
+harvester, NVP versus wait-and-compute.  Expected shape: the NVP
+processes frames severalfold faster and both are far from the
+continuously-powered oracle.
+"""
+
+from repro.analysis.report import format_table, ratio
+from repro.system.presets import build_nvp, build_oracle, build_wait_compute
+from repro.workloads.suite import build_kernel, make_functional_workload
+
+from common import BENCH_DURATION_S, print_header, profiles, simulate
+
+KERNELS = [
+    ("sobel", {"size": 16}),
+    ("median", {"size": 8}),
+    ("integral", {"size": 16}),
+]
+FRAMES = 40  # more than any platform completes in the window
+
+
+def seconds_per_frame(result):
+    if result.units_completed == 0:
+        return float("inf")
+    return result.duration_s / result.units_completed
+
+
+def run_experiment():
+    trace = profiles()[0]
+    rows = []
+    for name, params in KERNELS:
+        build = build_kernel(name, **params)
+        nvp = simulate(
+            trace, build_nvp(make_functional_workload(build, frames=FRAMES))
+        )
+        wait = simulate(
+            trace, build_wait_compute(make_functional_workload(build, frames=FRAMES))
+        )
+        oracle = simulate(
+            trace,
+            build_oracle(make_functional_workload(build, frames=FRAMES)),
+            stop_when_finished=True,
+        )
+        rows.append((name, nvp, wait, oracle))
+    return rows
+
+
+def test_t12_application_frame_rates(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_header(
+        "T12", f"seconds/frame on profile-1 ({BENCH_DURATION_S:.0f}s window)"
+    )
+    table = []
+    for name, nvp, wait, oracle in rows:
+        table.append(
+            [
+                name,
+                nvp.units_completed,
+                seconds_per_frame(nvp),
+                wait.units_completed,
+                seconds_per_frame(wait),
+                seconds_per_frame(oracle),
+                f"{ratio(nvp.units_completed, max(1, wait.units_completed)):.1f}x",
+            ]
+        )
+    print(format_table(
+        [
+            "kernel", "nvp frames", "nvp s/f", "wait frames", "wait s/f",
+            "oracle s/f", "nvp/wait",
+        ],
+        table,
+    ))
+    for name, nvp, wait, oracle in rows:
+        # The NVP must complete frames, and at least as many as
+        # wait-and-compute; the oracle bounds both.
+        assert nvp.units_completed > 0, name
+        assert nvp.units_completed >= wait.units_completed, name
+        assert oracle.units_completed >= nvp.units_completed, name

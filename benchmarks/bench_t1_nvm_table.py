@@ -1,0 +1,52 @@
+"""T1 — NVM technology comparison table.
+
+Reconstructs the device-layer table the tutorial builds its survey on:
+per-technology write/read energy, latency, retention, endurance,
+wake-up time, and the derived backup/restore cost of one NVP state
+image (360 bits).
+"""
+
+from repro.analysis.report import format_table
+from repro.core.config import DEFAULT_STATE_BITS
+from repro.nvm.technology import TECHNOLOGIES
+
+from common import print_header
+
+
+def build_table():
+    rows = []
+    for tech in TECHNOLOGIES:
+        rows.append(
+            [
+                tech.name,
+                tech.write_energy_j_per_bit * 1e12,
+                tech.read_energy_j_per_bit * 1e12,
+                tech.write_latency_s * 1e9,
+                f"{tech.retention_s:.3g}" if not tech.volatile else "power-gated",
+                f"{tech.endurance_cycles:.1g}",
+                tech.wakeup_time_s * 1e6,
+                tech.backup_energy_j(DEFAULT_STATE_BITS) * 1e12,
+                tech.restore_time_s(DEFAULT_STATE_BITS) * 1e6,
+            ]
+        )
+    return rows
+
+
+def test_t1_nvm_technology_table(benchmark):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print_header("T1", "NVM technology comparison (360-bit NVP state image)")
+    print(
+        format_table(
+            [
+                "tech", "Ewr pJ/b", "Erd pJ/b", "tWR ns", "retention s",
+                "endurance", "wakeup us", "backup pJ", "restore us",
+            ],
+            rows,
+        )
+    )
+    benchmark.extra_info["technologies"] = len(rows)
+    # Shape checks: flash worst writes, FeFET cheapest, ReRAM fastest wake.
+    by_name = {row[0]: row for row in rows}
+    assert by_name["NOR-Flash"][1] > by_name["FeRAM"][1]
+    assert by_name["FeFET"][1] < by_name["FeRAM"][1]
+    assert by_name["ReRAM"][6] < by_name["FeRAM"][6]

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Every ``bench_*.py`` file regenerates one table/figure of the
+reconstructed evaluation (see DESIGN.md).  Benchmarks print the same
+rows/series the figure would show; run with ``-s`` to see them, e.g.::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``NVPSIM_BENCH_DURATION`` (seconds, default 6) scales the simulated
+trace length if you want quicker smoke runs or longer, smoother stats.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import List
+
+from repro.harvest.sources import standard_profiles
+from repro.harvest.traces import PowerTrace
+from repro.system.presets import standard_rectifier
+from repro.system.simulator import SystemSimulator
+
+#: Simulated seconds per trace (the published methodology uses 10 s).
+BENCH_DURATION_S = float(os.environ.get("NVPSIM_BENCH_DURATION", "6"))
+
+#: Seed shared by every benchmark for reproducibility.
+BENCH_SEED = 2017
+
+
+@lru_cache(maxsize=1)
+def profiles() -> tuple:
+    """The five standard wristwatch power profiles (cached)."""
+    return tuple(standard_profiles(duration_s=BENCH_DURATION_S, seed=BENCH_SEED))
+
+
+def simulate(trace: PowerTrace, platform, stop_when_finished=False):
+    """Run one platform over one trace through the standard front end."""
+    return SystemSimulator(
+        trace,
+        platform,
+        rectifier=standard_rectifier(),
+        stop_when_finished=stop_when_finished,
+    ).run()
+
+
+def print_header(experiment: str, description: str) -> None:
+    """Banner so ``-s`` output reads like the paper's figure list."""
+    print()
+    print("=" * 72)
+    print(f"{experiment}: {description}")
+    print("=" * 72)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""The NVC toolchain: compile, lint, profile, and run intermittently.
+
+Writes a small sensing application in NVC (the framework's C-like
+language), compiles it to NV16, runs the intermittency linter on it,
+energy-profiles the binary, and finally executes it on an NVP across
+power outages — showing the full "annotated C to intermittent
+execution" flow real NVP toolchains provide.
+
+Run:  python examples/compile_and_profile.py
+"""
+
+import numpy as np
+
+from repro import (
+    NVPConfig,
+    NVPPlatform,
+    SystemSimulator,
+    nvp_capacitor,
+    standard_rectifier,
+    wristwatch_trace,
+)
+from repro.analysis.profiler import profile_program
+from repro.lang import compile_source, interpret, lint
+from repro.workloads.base import FunctionalWorkload
+
+SOURCE = """
+// Smooth a sensor trace and count activity peaks.
+int sig[32] = {12, 14, 60, 200, 190, 40, 13, 12, 15, 18, 90, 220,
+               210, 80, 20, 14, 11, 13, 70, 180, 205, 90, 25, 12,
+               14, 16, 95, 215, 200, 60, 18, 13};
+int peaks;                    // <-- read-modify-write accumulator!
+
+func smooth(i) {
+    return (sig[i - 1] + 2 * sig[i] + sig[i + 1]) / 4;
+}
+
+func main() {
+    int i; int v;
+    for (i = 1; i < 31; i = i + 1) {
+        v = smooth(i);
+        out(v);
+        if (v > 128) { peaks = peaks + 1; }
+    }
+    out(peaks);
+}
+"""
+
+
+def main() -> None:
+    print("=== compile ===")
+    compiled = compile_source(SOURCE)
+    print(
+        f"{len(compiled.program.instructions)} instructions, "
+        f"{len(compiled.program.data_image)} data words"
+    )
+
+    print("\n=== intermittency lint ===")
+    warnings = lint(SOURCE)
+    for warning in warnings:
+        print(
+            f"  {warning.function}:{warning.line}: global {warning.name!r} "
+            f"is {warning.kind} — replaying a rolled-back span would "
+            "double-count it"
+        )
+    if not warnings:
+        print("  clean")
+
+    print("\n=== energy profile ===")
+    profile = profile_program(compiled.program)
+    print(profile.report(top=6))
+
+    print("\n=== intermittent execution ===")
+    expected = interpret(SOURCE).outputs
+    workload = FunctionalWorkload(compiled.program, total_units=3)
+    platform = NVPPlatform(workload, nvp_capacitor(), NVPConfig(), seed=1)
+    trace = wristwatch_trace(10.0, seed=13, mean_power_w=20e-6)
+    result = SystemSimulator(
+        trace, platform, rectifier=standard_rectifier()
+    ).run()
+    outputs = np.array(workload.outputs, dtype=np.uint16)
+    frames = len(outputs) // len(expected)
+    exact = frames > 0 and np.array_equal(
+        outputs[: frames * len(expected)], np.tile(expected, frames)
+    )
+    print(result.summary())
+    print(
+        f"{frames} complete frame(s), "
+        f"{'bit-exact' if exact else 'MISMATCH'} across "
+        f"{result.backups} backup/restore cycles"
+    )
+    print(
+        "\n(The linter's warning is real: if a rollback ever replayed the "
+        "peak-counting span,\n 'peaks' would double-count — precise NVP "
+        "margins prevent rollbacks, which is why\n the outputs are exact "
+        "here.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

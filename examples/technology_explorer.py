@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Explore NVM technology choices and approximate backup for an NVP.
+
+Sweeps the state-storage technology (FeRAM / ReRAM / STT-MRAM / PCM /
+NOR-Flash / FeFET) for the same harvester and workload, then shows
+what retention-relaxed ("approximate") backup buys on STT-MRAM when
+the backup image includes a 1K-word SRAM working set.
+
+Run:  python examples/technology_explorer.py
+"""
+
+from repro import (
+    AbstractWorkload,
+    LinearPolicy,
+    LogPolicy,
+    NVPConfig,
+    NVPPlatform,
+    ParabolaPolicy,
+    STT_MRAM,
+    SystemSimulator,
+    TECHNOLOGIES,
+    nvp_capacitor,
+    standard_rectifier,
+    wristwatch_trace,
+)
+from repro.analysis.report import format_table
+
+
+def simulate(trace, config):
+    platform = NVPPlatform(AbstractWorkload(), nvp_capacitor(), config, seed=0)
+    return SystemSimulator(
+        trace, platform, rectifier=standard_rectifier(), stop_when_finished=False
+    ).run()
+
+
+def main() -> None:
+    trace = wristwatch_trace(duration_s=8.0, seed=5)
+
+    print("=== State-storage technology sweep ===\n")
+    rows = []
+    for tech in TECHNOLOGIES:
+        if tech.volatile:
+            continue
+        result = simulate(trace, NVPConfig(technology=tech, label=tech.name))
+        rows.append(
+            [
+                tech.name,
+                result.forward_progress,
+                result.backups,
+                result.backup_energy_j * 1e9,
+                tech.wakeup_time_s * 1e6,
+            ]
+        )
+    print(format_table(
+        ["technology", "FP", "backups", "backup nJ total", "wakeup us"], rows
+    ))
+
+    print("\n=== Retention-relaxed backup on STT-MRAM (1K-word SRAM image) ===\n")
+    t_max = STT_MRAM.retention_s
+    policies = [
+        ("precise", None),
+        ("linear 10ms..10y", LinearPolicy(10e-3, t_max)),
+        ("log 10ms..10y", LogPolicy(10e-3, t_max)),
+        ("parabola 10ms..10y", ParabolaPolicy(10e-3, t_max)),
+    ]
+    rows = []
+    baseline_fp = None
+    for name, policy in policies:
+        config = NVPConfig(
+            technology=STT_MRAM,
+            retention_policy=policy,
+            sram_backup_words=1024,
+            label=name,
+        )
+        result = simulate(trace, config)
+        if baseline_fp is None:
+            baseline_fp = result.forward_progress
+        rows.append(
+            [
+                name,
+                result.forward_progress,
+                f"{result.forward_progress / baseline_fp:.2f}x",
+                result.backup_energy_j / max(1, result.backups) * 1e9,
+                int(result.extras.get("flipped_bits", 0)),
+            ]
+        )
+    print(format_table(
+        ["policy", "FP", "vs precise", "nJ/backup", "bit failures"], rows
+    ))
+    print(
+        "\nRelaxing low-order-bit retention to the millisecond scale of real"
+        "\noutages frees backup energy for computation; high-order bits keep"
+        "\nnominal retention, bounding the quality impact."
+    )
+
+
+if __name__ == "__main__":
+    main()

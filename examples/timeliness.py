@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Timeliness: why forward progress alone undersells the NVP.
+
+Records per-tick execution capacity for an NVP and a wait-and-compute
+MCU on the same harvested trace, then replays both against a periodic
+sensing task set under EDF.  The wait-and-compute design delivers its
+instructions in rare post-charge bursts, so jobs with sub-second
+deadlines mostly miss even when total progress looks respectable.
+
+Run:  python examples/timeliness.py
+"""
+
+from repro import (
+    AbstractWorkload,
+    PeriodicTask,
+    SystemSimulator,
+    Telemetry,
+    build_nvp,
+    build_wait_compute,
+    schedule_replay,
+    standard_rectifier,
+    wristwatch_trace,
+)
+from repro.analysis.report import format_table
+
+TASKS = [
+    PeriodicTask("sense", period_s=0.25, instructions=3_000),
+    PeriodicTask("classify", period_s=1.0, instructions=15_000),
+]
+
+
+def capacity(builder, trace):
+    telemetry = Telemetry()
+    SystemSimulator(
+        trace,
+        builder(AbstractWorkload()),
+        rectifier=standard_rectifier(),
+        stop_when_finished=False,
+        telemetry=telemetry,
+    ).run()
+    return telemetry.instructions
+
+
+def main() -> None:
+    trace = wristwatch_trace(8.0, seed=31, mean_power_w=25e-6)
+    print(f"trace: {trace}")
+    print(f"task set: {[t.name for t in TASKS]}\n")
+
+    rows = []
+    for label, builder in (("nvp", build_nvp), ("wait-compute", build_wait_compute)):
+        series = capacity(builder, trace)
+        report = schedule_replay(series, trace.dt_s, TASKS, policy="edf")
+        rows.append(
+            [
+                label,
+                sum(series),
+                report.released,
+                report.completed,
+                f"{report.miss_rate:.1%}",
+                f"{report.p95_response_s():.3g}s",
+            ]
+        )
+    print(format_table(
+        ["platform", "total instr", "jobs", "completed", "miss rate", "p95 resp"],
+        rows,
+    ))
+    print(
+        "\nSame harvester, same tasks: the NVP's fine-grained execution"
+        "\nslices turn harvested joules into *on-time* results; the"
+        "\nwait-and-compute design's burst schedule cannot."
+    )
+
+
+if __name__ == "__main__":
+    main()

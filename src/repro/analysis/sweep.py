@@ -1,0 +1,59 @@
+"""Generic sweep helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.harvest.rectifier import Rectifier
+from repro.harvest.traces import PowerTrace
+from repro.system.result import SimulationResult
+from repro.system.simulator import Platform, SystemSimulator
+
+
+def parameter_sweep(
+    values: Sequence,
+    factory: Callable[[object], Tuple[PowerTrace, Platform]],
+    rectifier: Optional[Rectifier] = None,
+    stop_when_finished: bool = True,
+) -> List[Tuple[object, SimulationResult]]:
+    """Run a simulation per parameter value.
+
+    Args:
+        values: the parameter values to sweep.
+        factory: ``factory(value) -> (trace, platform)`` building a
+            fresh trace/platform pair per value.
+        rectifier: optional shared front end.
+        stop_when_finished: forwarded to the simulator.
+
+    Returns:
+        ``[(value, result), ...]`` in sweep order.
+    """
+    if len(values) == 0:
+        raise ValueError("need at least one sweep value")
+    results = []
+    for value in values:
+        trace, platform = factory(value)
+        simulator = SystemSimulator(
+            trace, platform, rectifier=rectifier, stop_when_finished=stop_when_finished
+        )
+        results.append((value, simulator.run()))
+    return results
+
+
+def ensemble_run(
+    traces: Sequence[PowerTrace],
+    platform_factory: Callable[[PowerTrace], Platform],
+    rectifier: Optional[Rectifier] = None,
+    stop_when_finished: bool = True,
+) -> List[SimulationResult]:
+    """Run the same platform recipe over an ensemble of traces."""
+    if len(traces) == 0:
+        raise ValueError("need at least one trace")
+    results = []
+    for trace in traces:
+        platform = platform_factory(trace)
+        simulator = SystemSimulator(
+            trace, platform, rectifier=rectifier, stop_when_finished=stop_when_finished
+        )
+        results.append(simulator.run())
+    return results

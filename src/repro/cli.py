@@ -1,0 +1,314 @@
+"""Command-line interface: quick experiments without writing a script.
+
+Examples::
+
+    python -m repro simulate --platform nvp --source wristwatch --duration 5
+    python -m repro simulate --platform nvp --kernel sobel --frames 10
+    python -m repro compare --duration 5 --seed 3
+    python -m repro outages --source wristwatch --duration 10
+    python -m repro kernels --verify
+    python -m repro techs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.config import DEFAULT_STATE_BITS
+from repro.harvest.outage import DEFAULT_THRESHOLD_W, analyze_outages
+from repro.harvest.sources import SOURCE_GENERATORS, hybrid_trace
+from repro.nvm.technology import TECHNOLOGIES
+from repro.system.presets import (
+    build_checkpoint,
+    build_nvp,
+    build_oracle,
+    build_wait_compute,
+    standard_rectifier,
+)
+from repro.system.simulator import SystemSimulator
+from repro.workloads.base import AbstractWorkload
+from repro.workloads.suite import KERNELS, build_kernel, make_functional_workload
+
+PLATFORM_BUILDERS = {
+    "nvp": build_nvp,
+    "wait": build_wait_compute,
+    "checkpoint": build_checkpoint,
+    "oracle": build_oracle,
+}
+
+
+def _make_trace(args):
+    if args.source == "hybrid":
+        trace = hybrid_trace(args.duration, seed=args.seed)
+    else:
+        trace = SOURCE_GENERATORS[args.source](args.duration, seed=args.seed)
+    if args.mean_uw is not None:
+        trace = trace.scaled_to_mean(args.mean_uw * 1e-6)
+    return trace
+
+
+def _make_workload(args):
+    if args.kernel:
+        build = build_kernel(args.kernel)
+        return make_functional_workload(build, frames=args.frames), build
+    return AbstractWorkload(), None
+
+
+def cmd_simulate(args) -> int:
+    trace = _make_trace(args)
+    workload, build = _make_workload(args)
+    platform = PLATFORM_BUILDERS[args.platform](workload)
+    result = SystemSimulator(
+        trace,
+        platform,
+        rectifier=standard_rectifier(),
+        stop_when_finished=args.kernel is not None,
+    ).run()
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(f"trace   : {trace}")
+    print(f"result  : {result.summary()}")
+    if build is not None:
+        outputs = np.array(workload.outputs, dtype=np.uint16)
+        per_frame = len(build.expected_output)
+        complete = len(outputs) // max(1, per_frame)
+        if complete:
+            reference = np.tile(build.expected_output, complete)
+            exact = np.array_equal(outputs[: len(reference)], reference)
+            print(f"outputs : {complete} complete frame(s), "
+                  f"{'bit-exact' if exact else 'MISMATCH'}")
+        else:
+            print("outputs : no complete frame")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    trace = _make_trace(args)
+    rows = []
+    baseline = None
+    for name, builder in PLATFORM_BUILDERS.items():
+        result = SystemSimulator(
+            trace,
+            builder(AbstractWorkload()),
+            rectifier=standard_rectifier(),
+            stop_when_finished=False,
+        ).run()
+        if name == "nvp":
+            baseline = result.forward_progress
+        rows.append(
+            [
+                name,
+                result.forward_progress,
+                result.backups,
+                result.rollbacks,
+                f"{result.on_time_fraction:.1%}",
+            ]
+        )
+    print(f"trace: {trace}\n")
+    print(format_table(["platform", "FP", "backups", "rollbacks", "on-time"], rows))
+    if baseline:
+        for row in rows:
+            if row[0] == "wait" and row[1]:
+                print(f"\nnvp / wait-compute = {baseline / row[1]:.2f}x")
+    return 0
+
+
+def cmd_outages(args) -> int:
+    trace = _make_trace(args)
+    stats = analyze_outages(trace, DEFAULT_THRESHOLD_W)
+    print(f"trace          : {trace}")
+    print(f"threshold      : {DEFAULT_THRESHOLD_W * 1e6:.0f} uW")
+    print(f"outages        : {stats.count} "
+          f"({stats.emergencies_per_second(trace.duration_s):.0f}/s)")
+    print(f"mean duration  : {stats.mean_duration_s * 1e3:.2f} ms")
+    print(f"max duration   : {stats.max_duration_s * 1e3:.1f} ms")
+    print(f"supply duty    : {stats.duty_cycle:.1%}")
+    return 0
+
+
+def cmd_kernels(args) -> int:
+    if not args.verify:
+        for name in sorted(KERNELS):
+            print(name)
+        return 0
+    from repro.isa.cpu import CPU
+
+    failures = 0
+    for name in sorted(KERNELS):
+        build = build_kernel(name)
+        cpu = CPU(build.program.instructions)
+        cpu.memory.load_image(build.program.data_image)
+        cpu.run(max_instructions=20_000_000)
+        outputs = np.array(cpu.memory.output, dtype=np.uint16)
+        ok = cpu.state.halted and np.array_equal(outputs, build.expected_output)
+        print(f"{name:12s} {'OK' if ok else 'FAIL'} "
+              f"({cpu.instructions_retired} instructions)")
+        failures += 0 if ok else 1
+    return 1 if failures else 0
+
+
+def cmd_compile(args) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    from repro.lang.codegen import compile_source
+    from repro.lang.lint import lint as lint_program
+
+    compiled = compile_source(source, optimize=args.optimize)
+    warnings = lint_program(source)
+    if args.emit_asm:
+        print(compiled.asm)
+    else:
+        print(
+            f"compiled {args.file}: {len(compiled.program.instructions)} "
+            f"instructions, {len(compiled.program.data_image)} data words"
+        )
+    for warning in warnings:
+        print(
+            f"lint: {warning.function}:{warning.line}: global "
+            f"{warning.name!r} is {warning.kind} — not replay-idempotent "
+            "on an NVP"
+        )
+    if args.run:
+        from repro.isa.cpu import CPU
+
+        cpu = CPU(compiled.program.instructions)
+        cpu.memory.load_image(compiled.program.data_image)
+        cpu.run(max_instructions=args.max_instructions)
+        status = "halted" if cpu.state.halted else "BUDGET EXCEEDED"
+        print(f"run: {cpu.instructions_retired} instructions, {status}")
+        print(f"outputs: {cpu.memory.output}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.analysis.profiler import profile_program
+
+    if args.kernel:
+        build = build_kernel(args.kernel)
+        program = build.program
+        label = args.kernel
+    else:
+        if not args.file:
+            print("profile: need --kernel or --file", file=sys.stderr)
+            return 2
+        from repro.lang.codegen import compile_source
+
+        with open(args.file) as handle:
+            program = compile_source(handle.read()).program
+        label = args.file
+    profile = profile_program(program, max_instructions=args.max_instructions)
+    print(f"profile of {label}:")
+    print(profile.report(top=args.top))
+    return 0
+
+
+def cmd_techs(args) -> int:
+    del args
+    rows = []
+    for tech in TECHNOLOGIES:
+        rows.append(
+            [
+                tech.name,
+                tech.write_energy_j_per_bit * 1e12,
+                tech.wakeup_time_s * 1e6,
+                f"{tech.endurance_cycles:.1g}",
+                tech.backup_energy_j(DEFAULT_STATE_BITS) * 1e12,
+            ]
+        )
+    print(format_table(
+        ["technology", "write pJ/bit", "wakeup us", "endurance", "backup pJ"], rows
+    ))
+    return 0
+
+
+def _add_trace_arguments(parser) -> None:
+    parser.add_argument(
+        "--source",
+        choices=sorted(SOURCE_GENERATORS) + ["hybrid"],
+        default="wristwatch",
+        help="harvesting source class",
+    )
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="simulated seconds")
+    parser.add_argument("--seed", type=int, default=7, help="trace RNG seed")
+    parser.add_argument("--mean-uw", type=float, default=None,
+                        help="rescale the trace to this mean power (uW)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="nvpsim: nonvolatile-processor simulation framework",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="run one platform on one trace")
+    _add_trace_arguments(p_sim)
+    p_sim.add_argument("--platform", choices=sorted(PLATFORM_BUILDERS),
+                       default="nvp")
+    p_sim.add_argument("--kernel", choices=sorted(KERNELS), default=None,
+                       help="run a real NV16 kernel instead of the abstract mix")
+    p_sim.add_argument("--frames", type=int, default=5,
+                       help="frames for --kernel workloads")
+    p_sim.add_argument("--json", action="store_true",
+                       help="emit the full result as JSON")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="compare all platforms on one trace")
+    _add_trace_arguments(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_out = sub.add_parser("outages", help="outage statistics of a trace")
+    _add_trace_arguments(p_out)
+    p_out.set_defaults(func=cmd_outages)
+
+    p_ker = sub.add_parser("kernels", help="list (or verify) the kernel suite")
+    p_ker.add_argument("--verify", action="store_true",
+                       help="execute every kernel and check its reference")
+    p_ker.set_defaults(func=cmd_kernels)
+
+    p_tech = sub.add_parser("techs", help="print the NVM technology table")
+    p_tech.set_defaults(func=cmd_techs)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile an NVC source file (with intermittency lint)"
+    )
+    p_compile.add_argument("file", help="NVC source file")
+    p_compile.add_argument("--emit-asm", action="store_true",
+                           help="print the generated NV16 assembly")
+    p_compile.add_argument("--run", action="store_true",
+                           help="execute the compiled program")
+    p_compile.add_argument("-O", "--optimize", action="store_true",
+                           help="constant-fold and prune dead branches")
+    p_compile.add_argument("--max-instructions", type=int, default=1_000_000)
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_profile = sub.add_parser(
+        "profile", help="energy-profile a kernel or NVC source file"
+    )
+    p_profile.add_argument("--kernel", choices=sorted(KERNELS), default=None)
+    p_profile.add_argument("--file", default=None, help="NVC source file")
+    p_profile.add_argument("--top", type=int, default=10)
+    p_profile.add_argument("--max-instructions", type=int, default=5_000_000)
+    p_profile.set_defaults(func=cmd_profile)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The nonvolatile-processor core: the paper's primary subject.
+
+An NVP mirrors its architectural state (register file, PC, pipeline
+flip-flops) into distributed nonvolatile elements so that execution
+survives power outages with microsecond-scale backup and wake-up.
+This package provides:
+
+* :class:`~repro.core.config.NVPConfig` — the architecture knob set,
+* backup strategies (full / compare-and-write / word-incremental) and
+  the :class:`~repro.core.backup.BackupController`,
+* the restore / wake-up model (:mod:`repro.core.restore`),
+* the forward-progress ledger (:mod:`repro.core.progress`), and
+* :class:`~repro.core.nvp.NVPPlatform`, the tick-level platform model
+  driven by :class:`~repro.system.simulator.SystemSimulator`.
+"""
+
+from repro.core.config import NVPConfig
+from repro.core.progress import ForwardProgressLedger
+from repro.core.backup import (
+    BackupController,
+    BackupResult,
+    BackupStrategy,
+    CompareAndWriteBackup,
+    FullBackup,
+    IncrementalWordBackup,
+    strategy_by_name,
+)
+from repro.core.restore import RestoreResult, WakeupModel
+from repro.core.nvp import NVPPlatform
+
+__all__ = [
+    "BackupController",
+    "BackupResult",
+    "BackupStrategy",
+    "CompareAndWriteBackup",
+    "ForwardProgressLedger",
+    "FullBackup",
+    "IncrementalWordBackup",
+    "NVPConfig",
+    "NVPPlatform",
+    "RestoreResult",
+    "WakeupModel",
+    "strategy_by_name",
+]

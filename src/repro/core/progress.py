@@ -1,0 +1,74 @@
+"""Forward-progress accounting.
+
+*Forward progress* — the number of instructions whose effects have
+persistently committed — is the execution metric NVP papers compare
+platforms by.  Instructions executed since the last successful backup
+(or checkpoint) are *volatile*: they become persistent when a backup
+succeeds, and are lost (rolled back) if power fails first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ForwardProgressLedger:
+    """Tracks persistent vs volatile instruction progress.
+
+    Attributes:
+        persistent: instructions committed persistently.
+        volatile: instructions executed since the last commit point.
+        lost: instructions rolled back across all power failures.
+        commits: successful backup/checkpoint commits.
+        rollbacks: power failures that discarded volatile work.
+    """
+
+    persistent: int = 0
+    volatile: int = 0
+    lost: int = 0
+    commits: int = 0
+    rollbacks: int = 0
+
+    def execute(self, instructions: int) -> None:
+        """Record newly executed (still volatile) instructions."""
+        if instructions < 0:
+            raise ValueError("instruction count cannot be negative")
+        self.volatile += instructions
+
+    def commit(self) -> int:
+        """A backup/checkpoint succeeded; volatile work becomes persistent.
+
+        Returns:
+            The number of instructions committed by this call.
+        """
+        committed = self.volatile
+        self.persistent += committed
+        self.volatile = 0
+        self.commits += 1
+        return committed
+
+    def rollback(self) -> int:
+        """Power failed before a commit; volatile work is lost.
+
+        Returns:
+            The number of instructions lost by this call.
+        """
+        dropped = self.volatile
+        self.lost += dropped
+        self.volatile = 0
+        self.rollbacks += 1
+        return dropped
+
+    @property
+    def total_executed(self) -> int:
+        """All instructions ever executed (persistent + volatile + lost)."""
+        return self.persistent + self.volatile + self.lost
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of executed instructions that persisted (0 if none)."""
+        executed = self.total_executed
+        if executed == 0:
+            return 0.0
+        return self.persistent / executed

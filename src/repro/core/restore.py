@@ -1,0 +1,104 @@
+"""Restore / wake-up modelling.
+
+Wake-up time — the delay from power-good to the first executed
+instruction — is one of the headline figures NVP prototypes compete
+on (3 µs for the ferroelectric NVP, ~1.5 µs for the ReRAM NVP with its
+6× restore-time reduction, hundreds of µs for flash-based MCUs).
+Under frequent outages the wake-up and backup times directly erode the
+achievable duty cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.nvm.technology import NVMTechnology
+
+
+@dataclass(frozen=True)
+class RestoreResult:
+    """Outcome of a restore operation.
+
+    Attributes:
+        data_words: the restored data-register words (possibly
+            corrupted by retention relaxation).
+        energy_j: energy spent restoring.
+        time_s: wake-up plus read-back time.
+        flipped_bits: data bits that relaxed during the outage (for
+            reporting; already applied to ``data_words``).
+    """
+
+    data_words: list
+    energy_j: float
+    time_s: float
+    flipped_bits: int
+
+
+@dataclass(frozen=True)
+class WakeupModel:
+    """Analytic duty-cycle model of backup/restore overheads.
+
+    Attributes:
+        technology: the NVM technology holding the state.
+        state_bits: architectural state size.
+        parallelism: bits per write/read quantum.
+    """
+
+    technology: NVMTechnology
+    state_bits: int
+    parallelism: int = 64
+
+    def wakeup_time_s(self) -> float:
+        """Time from power-good to execution resuming."""
+        return self.technology.restore_time_s(self.state_bits, self.parallelism)
+
+    def backup_time_s(self) -> float:
+        """Time to save the full state."""
+        return self.technology.backup_time_s(self.state_bits, self.parallelism)
+
+    def overhead_per_cycle_s(self) -> float:
+        """Time lost to one backup + one restore (one outage cycle)."""
+        return self.wakeup_time_s() + self.backup_time_s()
+
+    def effective_duty_cycle(
+        self, outage_rate_hz: float, supply_duty: float = 1.0
+    ) -> float:
+        """Fraction of powered time actually spent executing.
+
+        Args:
+            outage_rate_hz: power-emergency onset rate.
+            supply_duty: fraction of time the supply is above threshold.
+
+        Each outage costs one backup (before the outage) and one
+        restore (after), so the executable fraction is
+        ``supply_duty - rate * (t_backup + t_restore)``, floored at 0.
+        """
+        if outage_rate_hz < 0:
+            raise ValueError("outage rate cannot be negative")
+        if not 0 <= supply_duty <= 1:
+            raise ValueError("supply duty must be in [0, 1]")
+        lost = outage_rate_hz * self.overhead_per_cycle_s()
+        return max(0.0, supply_duty - lost)
+
+
+def wakeup_comparison(
+    technologies: Sequence[NVMTechnology],
+    state_bits: int,
+    outage_rate_hz: float,
+    supply_duty: float = 1.0,
+    parallelism: int = 64,
+) -> Dict[str, Dict[str, float]]:
+    """Tabulate wake-up overheads and duty cycles per technology.
+
+    Returns a mapping ``name -> {wakeup_us, backup_us, duty_cycle}``.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for tech in technologies:
+        model = WakeupModel(tech, state_bits, parallelism)
+        table[tech.name] = {
+            "wakeup_us": model.wakeup_time_s() * 1e6,
+            "backup_us": model.backup_time_s() * 1e6,
+            "duty_cycle": model.effective_duty_cycle(outage_rate_hz, supply_duty),
+        }
+    return table

@@ -1,0 +1,414 @@
+"""Two-pass assembler for the NV16 ISA.
+
+Supported syntax (one statement per line; ``;``, ``#`` and ``//`` start
+comments):
+
+* Sections: ``.text`` (instructions; default) and ``.data`` (data
+  image).  Inside ``.data``, ``.org ADDR`` moves the cursor, ``.word
+  v1, v2, ...`` emits words, ``.space N [, fill]`` reserves words.
+* Labels: ``name:`` — in ``.text`` they resolve to instruction indices,
+  in ``.data`` to data-memory addresses.
+* Immediates: decimal (``42``, ``-7``), hex (``0x1F``), character
+  (``'a'``), a symbol, or ``symbol+N`` / ``symbol-N``.
+* Memory operands: ``ld rd, off(rs1)`` and ``st rs2, off(rs1)``.
+* Registers: ``r0..r7`` plus aliases ``zero``, ``lr`` (r6), ``sp`` (r7).
+
+Pseudo-instructions::
+
+    li rd, imm       -> addi rd, r0, imm
+    mov rd, rs       -> add rd, rs, r0
+    jmp label        -> jal r0, label
+    call label       -> jal lr, label
+    ret              -> jalr r0, lr, 0
+    inc rd / dec rd  -> addi rd, rd, +/-1
+    not rd, rs       -> xori rd, rs, 0xFFFF
+    neg rd, rs       -> sub rd, r0, rs
+    beqz/bnez rs, l  -> beq/bne rs, r0, l
+    bgt/ble/bgtu/bleu a, b, l -> swapped blt/bge/bltu/bgeu
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import (
+    IMMEDIATE_OPCODES,
+    IMM_MAX,
+    IMM_MIN,
+    Instruction,
+    Opcode,
+    REGISTER_ALIASES,
+    REGISTER_NAMES,
+    encode,
+)
+from repro.isa.memory import NVM_BASE
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):")
+_SYMBOL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)([+-]\d+)?$")
+_MEM_OPERAND_RE = re.compile(r"^(.*)\(\s*([A-Za-z0-9_]+)\s*\)$")
+
+
+class AssemblerError(Exception):
+    """Raised for any syntax or semantic error, with line context."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+@dataclass
+class Program:
+    """An assembled NV16 program.
+
+    Attributes:
+        instructions: decoded instruction sequence (instruction memory).
+        words: the corresponding encoded 32-bit machine words.
+        symbols: label name -> value (instruction index or data address).
+        data_image: initial data-memory contents, ``{address: word}``.
+        source: the original assembly text.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    words: List[int] = field(default_factory=list)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    data_image: Dict[int, int] = field(default_factory=dict)
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class _Statement:
+    line_no: int
+    mnemonic: str
+    operands: List[str]
+
+
+def _strip_comment(line: str) -> str:
+    in_char = False
+    for idx, char in enumerate(line):
+        if char == "'":
+            in_char = not in_char
+        elif not in_char and (char in ";#" or line[idx : idx + 2] == "//"):
+            return line[:idx]
+    return line
+
+
+def _parse_register(token: str, line_no: int) -> int:
+    name = token.strip().lower()
+    if name in REGISTER_ALIASES:
+        return REGISTER_ALIASES[name]
+    if name in REGISTER_NAMES:
+        return REGISTER_NAMES.index(name)
+    raise AssemblerError(f"unknown register {token!r}", line_no)
+
+
+def _parse_number(token: str) -> Optional[int]:
+    token = token.strip()
+    if not token:
+        return None
+    if len(token) == 3 and token[0] == "'" and token[2] == "'":
+        return ord(token[1])
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+class _ImmediateResolver:
+    """Resolves numeric literals and ``symbol[+/-N]`` expressions."""
+
+    def __init__(self, symbols: Dict[str, int]) -> None:
+        self._symbols = symbols
+
+    def resolve(self, token: str, line_no: int) -> int:
+        value = _parse_number(token)
+        if value is not None:
+            return value
+        match = _SYMBOL_RE.match(token.strip())
+        if match:
+            name, offset = match.group(1), match.group(2)
+            if name in self._symbols:
+                return self._symbols[name] + (int(offset) if offset else 0)
+            raise AssemblerError(f"undefined symbol {name!r}", line_no)
+        raise AssemblerError(f"cannot parse immediate {token!r}", line_no)
+
+
+def _split_operands(text: str) -> List[str]:
+    if not text.strip():
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+# Pseudo-instruction expansion table: mnemonic -> handler.  Each handler
+# returns a (real_mnemonic, operands) tuple.
+def _expand_pseudo(stmt: _Statement) -> Tuple[str, List[str]]:
+    m, ops = stmt.mnemonic, stmt.operands
+    n = stmt.line_no
+
+    def need(count: int) -> None:
+        if len(ops) != count:
+            raise AssemblerError(f"{m} expects {count} operand(s), got {len(ops)}", n)
+
+    if m == "li":
+        need(2)
+        return "addi", [ops[0], "r0", ops[1]]
+    if m == "mov":
+        need(2)
+        return "add", [ops[0], ops[1], "r0"]
+    if m == "jmp":
+        need(1)
+        return "jal", ["r0", ops[0]]
+    if m == "call":
+        need(1)
+        return "jal", ["lr", ops[0]]
+    if m == "ret":
+        need(0)
+        return "jalr", ["r0", "lr", "0"]
+    if m == "inc":
+        need(1)
+        return "addi", [ops[0], ops[0], "1"]
+    if m == "dec":
+        need(1)
+        return "addi", [ops[0], ops[0], "-1"]
+    if m == "not":
+        need(2)
+        return "xori", [ops[0], ops[1], "0xFFFF"]
+    if m == "neg":
+        need(2)
+        return "sub", [ops[0], "r0", ops[1]]
+    if m == "beqz":
+        need(2)
+        return "beq", [ops[0], "r0", ops[1]]
+    if m == "bnez":
+        need(2)
+        return "bne", [ops[0], "r0", ops[1]]
+    if m in ("bgt", "ble", "bgtu", "bleu"):
+        need(3)
+        real = {"bgt": "blt", "ble": "bge", "bgtu": "bltu", "bleu": "bgeu"}[m]
+        return real, [ops[1], ops[0], ops[2]]
+    return m, ops
+
+
+_PSEUDO_SIZES = {
+    "li": 1, "mov": 1, "jmp": 1, "call": 1, "ret": 1, "inc": 1, "dec": 1,
+    "not": 1, "neg": 1, "beqz": 1, "bnez": 1, "bgt": 1, "ble": 1,
+    "bgtu": 1, "bleu": 1,
+}
+
+
+def assemble(source: str) -> Program:
+    """Assemble NV16 source text into a :class:`Program`.
+
+    Raises:
+        AssemblerError: on any syntax error, unknown mnemonic, undefined
+            symbol, or out-of-range immediate.
+    """
+    program = Program(source=source)
+    statements: List[_Statement] = []
+    section = "text"
+    text_cursor = 0
+    data_cursor = NVM_BASE
+    data_items: List[Tuple[int, int, str]] = []  # (line_no, address, token)
+
+    # ---- pass 1: labels, layout --------------------------------------
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            label = match.group(1)
+            if label in program.symbols:
+                raise AssemblerError(f"duplicate label {label!r}", line_no)
+            program.symbols[label] = text_cursor if section == "text" else data_cursor
+            line = line[match.end():].strip()
+        if not line:
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+
+        if mnemonic == ".text":
+            section = "text"
+            continue
+        if mnemonic == ".data":
+            section = "data"
+            operands = _split_operands(rest)
+            if operands:
+                origin = _parse_number(operands[0])
+                if origin is None:
+                    raise AssemblerError(".data origin must be numeric", line_no)
+                data_cursor = origin
+            continue
+        if mnemonic == ".org":
+            if section != "data":
+                raise AssemblerError(".org is only valid in .data", line_no)
+            origin = _parse_number(rest)
+            if origin is None:
+                raise AssemblerError(".org expects a numeric address", line_no)
+            data_cursor = origin
+            continue
+        if mnemonic == ".word":
+            if section != "data":
+                raise AssemblerError(".word is only valid in .data", line_no)
+            for token in _split_operands(rest):
+                data_items.append((line_no, data_cursor, token))
+                data_cursor += 1
+            continue
+        if mnemonic == ".space":
+            if section != "data":
+                raise AssemblerError(".space is only valid in .data", line_no)
+            operands = _split_operands(rest)
+            if not operands:
+                raise AssemblerError(".space expects a count", line_no)
+            count = _parse_number(operands[0])
+            if count is None or count < 0:
+                raise AssemblerError(".space count must be a non-negative number", line_no)
+            fill = 0
+            if len(operands) > 1:
+                parsed_fill = _parse_number(operands[1])
+                if parsed_fill is None:
+                    raise AssemblerError(".space fill must be numeric", line_no)
+                fill = parsed_fill
+            for _ in range(count):
+                data_items.append((line_no, data_cursor, str(fill)))
+                data_cursor += 1
+            continue
+        if mnemonic.startswith("."):
+            raise AssemblerError(f"unknown directive {mnemonic!r}", line_no)
+
+        if section != "text":
+            raise AssemblerError("instructions are only valid in .text", line_no)
+        statements.append(_Statement(line_no, mnemonic, _split_operands(rest)))
+        text_cursor += _PSEUDO_SIZES.get(mnemonic, 1)
+
+    # ---- pass 2: encode ------------------------------------------------
+    resolver = _ImmediateResolver(program.symbols)
+
+    for line_no, address, token in data_items:
+        value = resolver.resolve(token, line_no)
+        program.data_image[address] = value & 0xFFFF
+
+    for stmt in statements:
+        mnemonic, operands = _expand_pseudo(stmt)
+        instr = _encode_statement(mnemonic, operands, stmt.line_no, resolver)
+        program.instructions.append(instr)
+        program.words.append(encode(instr))
+
+    return program
+
+
+def _encode_statement(
+    mnemonic: str,
+    operands: List[str],
+    line_no: int,
+    resolver: _ImmediateResolver,
+) -> Instruction:
+    try:
+        opcode = Opcode[mnemonic.upper()]
+    except KeyError:
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no) from None
+
+    def imm_of(token: str) -> int:
+        value = resolver.resolve(token, line_no)
+        if not IMM_MIN <= value <= IMM_MAX:
+            raise AssemblerError(
+                f"immediate {value} out of range {IMM_MIN}..{IMM_MAX}", line_no
+            )
+        return value
+
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblerError(
+                f"{mnemonic} expects {count} operand(s), got {len(operands)}", line_no
+            )
+
+    if opcode in (Opcode.NOP, Opcode.HALT):
+        need(0)
+        return Instruction(opcode)
+
+    if opcode is Opcode.LD:
+        need(2)
+        rd = _parse_register(operands[0], line_no)
+        offset, base = _parse_mem_operand(operands[1], line_no, resolver)
+        return Instruction(opcode, rd=rd, rs1=base, imm=offset)
+
+    if opcode is Opcode.ST:
+        need(2)
+        rs2 = _parse_register(operands[0], line_no)
+        offset, base = _parse_mem_operand(operands[1], line_no, resolver)
+        return Instruction(opcode, rs1=base, rs2=rs2, imm=offset)
+
+    if opcode is Opcode.LUI:
+        need(2)
+        return Instruction(
+            opcode, rd=_parse_register(operands[0], line_no), imm=imm_of(operands[1])
+        )
+
+    if opcode is Opcode.JAL:
+        need(2)
+        return Instruction(
+            opcode, rd=_parse_register(operands[0], line_no), imm=imm_of(operands[1])
+        )
+
+    if opcode is Opcode.JALR:
+        need(3)
+        return Instruction(
+            opcode,
+            rd=_parse_register(operands[0], line_no),
+            rs1=_parse_register(operands[1], line_no),
+            imm=imm_of(operands[2]),
+        )
+
+    if opcode in (
+        Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU
+    ):
+        need(3)
+        return Instruction(
+            opcode,
+            rs1=_parse_register(operands[0], line_no),
+            rs2=_parse_register(operands[1], line_no),
+            imm=imm_of(operands[2]),
+        )
+
+    if opcode in IMMEDIATE_OPCODES:
+        need(3)
+        return Instruction(
+            opcode,
+            rd=_parse_register(operands[0], line_no),
+            rs1=_parse_register(operands[1], line_no),
+            imm=imm_of(operands[2]),
+        )
+
+    # Register-register ALU.
+    need(3)
+    return Instruction(
+        opcode,
+        rd=_parse_register(operands[0], line_no),
+        rs1=_parse_register(operands[1], line_no),
+        rs2=_parse_register(operands[2], line_no),
+    )
+
+
+def _parse_mem_operand(
+    token: str, line_no: int, resolver: _ImmediateResolver
+) -> Tuple[int, int]:
+    """Parse ``offset(base)`` into ``(offset, base_register)``."""
+    match = _MEM_OPERAND_RE.match(token.strip())
+    if not match:
+        raise AssemblerError(
+            f"memory operand must look like offset(reg), got {token!r}", line_no
+        )
+    offset_text = match.group(1).strip() or "0"
+    offset = resolver.resolve(offset_text, line_no)
+    if not IMM_MIN <= offset <= IMM_MAX:
+        raise AssemblerError(f"offset {offset} out of range", line_no)
+    base = _parse_register(match.group(2), line_no)
+    return offset, base

@@ -1,0 +1,54 @@
+"""Disassembler for NV16 instructions (debugging and round-trip tests)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+from repro.isa.instructions import (
+    BRANCH_OPCODES,
+    IMMEDIATE_OPCODES,
+    Instruction,
+    Opcode,
+    REGISTER_NAMES,
+    decode,
+)
+
+
+def disassemble(item: Union[int, Instruction]) -> str:
+    """Render one instruction (or encoded word) as assembly text.
+
+    The output is accepted verbatim by :func:`repro.isa.assemble`, so
+    ``assemble(disassemble(i))`` round-trips.
+    """
+    instr = decode(item) if isinstance(item, int) else item
+    op = instr.opcode
+    name = op.name.lower()
+    rd = REGISTER_NAMES[instr.rd]
+    rs1 = REGISTER_NAMES[instr.rs1]
+    rs2 = REGISTER_NAMES[instr.rs2]
+
+    if op in (Opcode.NOP, Opcode.HALT):
+        return name
+    if op is Opcode.LD:
+        return f"{name} {rd}, {instr.imm}({rs1})"
+    if op is Opcode.ST:
+        return f"{name} {rs2}, {instr.imm}({rs1})"
+    if op is Opcode.LUI:
+        return f"{name} {rd}, {instr.imm}"
+    if op is Opcode.JAL:
+        return f"{name} {rd}, {instr.imm}"
+    if op is Opcode.JALR:
+        return f"{name} {rd}, {rs1}, {instr.imm}"
+    if op in BRANCH_OPCODES:
+        return f"{name} {rs1}, {rs2}, {instr.imm}"
+    if op in IMMEDIATE_OPCODES:
+        return f"{name} {rd}, {rs1}, {instr.imm}"
+    return f"{name} {rd}, {rs1}, {rs2}"
+
+
+def disassemble_program(items: Iterable[Union[int, Instruction]]) -> List[str]:
+    """Disassemble a sequence of instructions/words with PC annotations."""
+    lines = []
+    for pc, item in enumerate(items):
+        lines.append(f"{pc:#06x}: {disassemble(item)}")
+    return lines

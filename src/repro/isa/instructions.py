@@ -1,0 +1,204 @@
+"""NV16 instruction-set definition: opcodes, fields, encode/decode.
+
+NV16 is a 16-bit load/store architecture with eight general registers.
+``r0`` is hardwired to zero (writes are discarded), ``r6`` is the
+conventional link register (``lr``) and ``r7`` the conventional stack
+pointer (``sp``).  Instructions are encoded in one 32-bit word:
+
+    [31:26] opcode   (6 bits)
+    [25:23] rd       (3 bits)
+    [22:20] rs1      (3 bits)
+    [19:17] rs2      (3 bits)
+    [16:0]  imm      (17 bits, two's complement)
+
+The 17-bit signed immediate covers the full 16-bit unsigned address
+space, so absolute branch/jump targets and data addresses always fit in
+a single instruction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+WORD_MASK = 0xFFFF
+WORD_BITS = 16
+
+IMM_BITS = 17
+IMM_MIN = -(1 << (IMM_BITS - 1))
+IMM_MAX = (1 << (IMM_BITS - 1)) - 1
+
+NUM_REGISTERS = 8
+
+#: Canonical register names; index == register number.
+REGISTER_NAMES = ("r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7")
+
+#: Assembler-visible aliases.
+REGISTER_ALIASES = {
+    "zero": 0,
+    "lr": 6,
+    "sp": 7,
+}
+
+
+class Opcode(enum.IntEnum):
+    """NV16 opcodes.
+
+    The numeric values are part of the binary encoding and must remain
+    stable.
+    """
+
+    # Register-register ALU.
+    ADD = 0x00
+    SUB = 0x01
+    AND = 0x02
+    OR = 0x03
+    XOR = 0x04
+    SHL = 0x05
+    SHR = 0x06
+    SAR = 0x07
+    MUL = 0x08
+    MULH = 0x09
+    DIVU = 0x0A
+    REMU = 0x0B
+    SLT = 0x0C
+    SLTU = 0x0D
+
+    # Register-immediate ALU.
+    ADDI = 0x10
+    ANDI = 0x11
+    ORI = 0x12
+    XORI = 0x13
+    SHLI = 0x14
+    SHRI = 0x15
+    SARI = 0x16
+    SLTI = 0x17
+    SLTIU = 0x18
+    LUI = 0x19
+
+    # Memory.
+    LD = 0x20
+    ST = 0x21
+
+    # Control flow (absolute targets).
+    BEQ = 0x28
+    BNE = 0x29
+    BLT = 0x2A
+    BGE = 0x2B
+    BLTU = 0x2C
+    BGEU = 0x2D
+    JAL = 0x2E
+    JALR = 0x2F
+
+    # Misc.
+    NOP = 0x3E
+    HALT = 0x3F
+
+
+#: Opcodes whose third operand is an immediate rather than rs2.
+IMMEDIATE_OPCODES = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.SHLI,
+        Opcode.SHRI,
+        Opcode.SARI,
+        Opcode.SLTI,
+        Opcode.SLTIU,
+        Opcode.LUI,
+        Opcode.LD,
+        Opcode.ST,
+        Opcode.BEQ,
+        Opcode.BNE,
+        Opcode.BLT,
+        Opcode.BGE,
+        Opcode.BLTU,
+        Opcode.BGEU,
+        Opcode.JAL,
+        Opcode.JALR,
+    }
+)
+
+#: Conditional-branch opcodes (rs1, rs2 compared; imm is the target).
+BRANCH_OPCODES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU}
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded NV16 instruction.
+
+    Field meaning depends on the opcode:
+
+    * ALU reg-reg: ``rd = rs1 OP rs2``
+    * ALU reg-imm: ``rd = rs1 OP imm`` (``LUI``: ``rd = imm << 8``)
+    * ``LD``: ``rd = mem[rs1 + imm]``; ``ST``: ``mem[rs1 + imm] = rs2``
+    * branches: ``if rs1 CMP rs2: pc = imm``
+    * ``JAL``: ``rd = pc + 1; pc = imm``
+    * ``JALR``: ``rd = pc + 1; pc = rs1 + imm``
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for name, reg in (("rd", self.rd), ("rs1", self.rs1), ("rs2", self.rs2)):
+            if not 0 <= reg < NUM_REGISTERS:
+                raise ValueError(f"{name}={reg} out of range 0..{NUM_REGISTERS - 1}")
+        if not IMM_MIN <= self.imm <= IMM_MAX:
+            raise ValueError(f"imm={self.imm} out of range {IMM_MIN}..{IMM_MAX}")
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an :class:`Instruction` into its 32-bit machine word."""
+    imm_field = instr.imm & ((1 << IMM_BITS) - 1)
+    return (
+        (int(instr.opcode) << 26)
+        | (instr.rd << 23)
+        | (instr.rs1 << 20)
+        | (instr.rs2 << 17)
+        | imm_field
+    )
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit machine word into an :class:`Instruction`.
+
+    Raises:
+        ValueError: if the opcode field is not a defined NV16 opcode or
+            the word does not fit in 32 bits.
+    """
+    if not 0 <= word < (1 << 32):
+        raise ValueError(f"machine word {word:#x} does not fit in 32 bits")
+    opcode_field = (word >> 26) & 0x3F
+    try:
+        opcode = Opcode(opcode_field)
+    except ValueError as exc:
+        raise ValueError(f"undefined opcode {opcode_field:#04x}") from exc
+    imm_field = word & ((1 << IMM_BITS) - 1)
+    if imm_field & (1 << (IMM_BITS - 1)):
+        imm_field -= 1 << IMM_BITS
+    return Instruction(
+        opcode=opcode,
+        rd=(word >> 23) & 0x7,
+        rs1=(word >> 20) & 0x7,
+        rs2=(word >> 17) & 0x7,
+        imm=imm_field,
+    )
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 16-bit word as a two's-complement signed integer."""
+    value &= WORD_MASK
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def to_unsigned(value: int) -> int:
+    """Truncate an integer to its 16-bit unsigned representation."""
+    return value & WORD_MASK

@@ -1,0 +1,50 @@
+"""NVC: a small C-like language compiled to NV16.
+
+Real NVP toolchains compile annotated C; this package provides the
+equivalent for the NV16 substrate — a compact imperative language with
+16-bit integers, 1-D arrays, functions, and the control flow needed to
+write sensing kernels:
+
+.. code-block:: c
+
+    int src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    int total;
+
+    func sum(n) {
+        int i; int acc;
+        acc = 0;
+        for (i = 0; i < n; i = i + 1) { acc = acc + src[i]; }
+        return acc;
+    }
+
+    func main() {
+        total = sum(8);
+        out(total);            // stream to the MMIO output port
+    }
+
+The pipeline is ``source → lex → parse → (interpret | codegen → NV16
+assembly → Program)``.  The tree-walking interpreter implements the
+same 16-bit semantics as the generated code and serves as the
+cross-check oracle in the test suite.
+"""
+
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.parser import ParseError, parse
+from repro.lang.interp import InterpError, interpret
+from repro.lang.codegen import CodegenError, compile_program, compile_source
+from repro.lang.lint import LintWarning, lint
+
+__all__ = [
+    "CodegenError",
+    "InterpError",
+    "LexError",
+    "LintWarning",
+    "ParseError",
+    "Token",
+    "compile_program",
+    "compile_source",
+    "interpret",
+    "lint",
+    "parse",
+    "tokenize",
+]

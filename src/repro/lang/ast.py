@@ -1,0 +1,226 @@
+"""Abstract syntax tree for NVC.
+
+All nodes are frozen dataclasses; line numbers are carried for error
+reporting.  Semantics are 16-bit: arithmetic wraps modulo 2¹⁶,
+comparisons are signed (matching NV16's ``slt``/``blt``), and shift
+amounts are taken modulo 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+# ---- expressions -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    """Integer literal."""
+
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Var:
+    """Scalar variable reference."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Index:
+    """Array element reference ``name[expr]``."""
+
+    name: str
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Unary:
+    """Unary operator: ``-``, ``~`` or ``!``."""
+
+    op: str
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Binary:
+    """Binary operator (arithmetic, bitwise, comparison)."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Logical:
+    """Short-circuit ``&&`` / ``||``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Call:
+    """Function call ``name(args...)``; ``in()`` is the input builtin."""
+
+    name: str
+    args: Tuple["Expr", ...]
+    line: int = 0
+
+
+Expr = (Num, Var, Index, Unary, Binary, Logical, Call)
+
+# ---- statements -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target = value;`` where target is a Var or Index."""
+
+    target: object
+    value: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class If:
+    """``if (cond) {...} [else {...}]``."""
+
+    cond: object
+    then_body: Tuple
+    else_body: Tuple = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class While:
+    """``while (cond) {...}``."""
+
+    cond: object
+    body: Tuple
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class For:
+    """``for (init; cond; step) {...}`` (init/step are assignments)."""
+
+    init: Optional[Assign]
+    cond: object
+    step: Optional[Assign]
+    body: Tuple
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Out:
+    """``out(expr);`` — stream to the MMIO output port."""
+
+    value: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Return:
+    """``return [expr];``."""
+
+    value: Optional[object] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Halt:
+    """``halt;`` — stop the core."""
+
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Break:
+    """``break;`` — leave the innermost loop."""
+
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Continue:
+    """``continue;`` — next iteration of the innermost loop."""
+
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExprStatement:
+    """An expression evaluated for its side effects (a call)."""
+
+    value: object
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class LocalDecl:
+    """``int name;`` inside a function body (scalars only)."""
+
+    name: str
+    line: int = 0
+
+
+Statement = (
+    Assign, If, While, For, Out, Return, Halt, Break, Continue,
+    ExprStatement, LocalDecl,
+)
+
+# ---- top level -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GlobalDecl:
+    """``int name [= n];`` or ``int name[size] [= {..}];`` at top level."""
+
+    name: str
+    size: Optional[int] = None  # None => scalar
+    initializer: Tuple[int, ...] = ()
+    line: int = 0
+
+    @property
+    def words(self) -> int:
+        """Words of storage this global occupies."""
+        return 1 if self.size is None else self.size
+
+
+@dataclass(frozen=True)
+class Function:
+    """``func name(params...) { body }``."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Tuple
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed NVC compilation unit."""
+
+    globals: Tuple[GlobalDecl, ...] = field(default=())
+    functions: Tuple[Function, ...] = field(default=())
+
+    def function(self, name: str) -> Function:
+        """Look up a function by name.
+
+        Raises:
+            KeyError: if it does not exist.
+        """
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function named {name!r}")

@@ -1,0 +1,625 @@
+"""NVC → NV16 code generator.
+
+Strategy (authentic to 8051-class MCU toolchains): **static frames**.
+Each function's return-address slot, parameters, locals and expression
+spill slots live at fixed NVM addresses, so no runtime stack pointer
+is needed; true recursion is rejected at compile time (the call graph
+must be acyclic).  Re-entrancy through argument expressions is safe
+because a callee's parameter slots are written only after every
+argument has been evaluated.
+
+Expression evaluation uses a four-register window (``r1``–``r4``) over
+a conceptual evaluation stack; deeper positions live in the frame's
+spill slots.  ``r5``/``r6`` are scratch (``lr`` is saved in the frame
+on entry), ``r0`` is zero, and ``r7`` is unused (reserved).
+
+Generated code matches the :mod:`repro.lang.interp` semantics
+bit-for-bit: 16-bit wrap-around, unsigned ``/ % >>``, signed
+comparisons, shift counts mod 16, ``x / 0 == 0xFFFF``, ``x % 0 == x``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.isa.assembler import Program as AsmProgram
+from repro.isa.assembler import assemble
+from repro.isa.memory import INPUT_PORT, NVM_BASE, OUTPUT_PORT
+from repro.lang import ast
+from repro.lang.parser import parse
+
+#: Base address for compiler-managed data (globals, then frames).
+DATA_BASE = NVM_BASE
+
+#: Eval-stack positions held in registers (positions 0..3 -> r1..r4).
+REG_WINDOW = 4
+
+
+class CodegenError(Exception):
+    """Raised on semantic errors (unknown names, recursion, arity)."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+@dataclass
+class CompiledProgram:
+    """The result of compiling NVC source.
+
+    Attributes:
+        asm: the generated NV16 assembly text.
+        program: the assembled binary.
+        source: the original NVC source.
+    """
+
+    asm: str
+    program: AsmProgram
+    source: str
+
+
+def _collect_locals(body) -> List[str]:
+    names: List[str] = []
+
+    def walk(statements):
+        for node in statements:
+            if isinstance(node, ast.LocalDecl):
+                if node.name not in names:
+                    names.append(node.name)
+            elif isinstance(node, ast.If):
+                walk(node.then_body)
+                walk(node.else_body)
+            elif isinstance(node, (ast.While,)):
+                walk(node.body)
+            elif isinstance(node, ast.For):
+                walk(node.body)
+
+    walk(body)
+    return names
+
+
+def _collect_calls(body) -> Set[str]:
+    calls: Set[str] = set()
+
+    def walk_expr(node):
+        if isinstance(node, ast.Call):
+            calls.add(node.name)
+            for arg in node.args:
+                walk_expr(arg)
+        elif isinstance(node, ast.Unary):
+            walk_expr(node.operand)
+        elif isinstance(node, (ast.Binary, ast.Logical)):
+            walk_expr(node.left)
+            walk_expr(node.right)
+        elif isinstance(node, ast.Index):
+            walk_expr(node.index)
+
+    def walk(statements):
+        for node in statements:
+            if isinstance(node, ast.Assign):
+                walk_expr(node.value)
+                if isinstance(node.target, ast.Index):
+                    walk_expr(node.target.index)
+            elif isinstance(node, ast.If):
+                walk_expr(node.cond)
+                walk(node.then_body)
+                walk(node.else_body)
+            elif isinstance(node, ast.While):
+                walk_expr(node.cond)
+                walk(node.body)
+            elif isinstance(node, ast.For):
+                if node.init:
+                    walk_expr(node.init.value)
+                walk_expr(node.cond)
+                if node.step:
+                    walk_expr(node.step.value)
+                walk(node.body)
+            elif isinstance(node, (ast.Out, ast.ExprStatement)):
+                walk_expr(node.value)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                walk_expr(node.value)
+
+    walk(body)
+    calls.discard("in")
+    return calls
+
+
+def _check_no_recursion(program: ast.Program) -> None:
+    graph = {fn.name: _collect_calls(fn.body) for fn in program.functions}
+    state: Dict[str, int] = {}
+
+    def visit(name: str, chain: Tuple[str, ...]) -> None:
+        if name not in graph:
+            return
+        if state.get(name) == 1:
+            cycle = " -> ".join(chain + (name,))
+            raise CodegenError(f"recursion is not supported: {cycle}")
+        if state.get(name) == 2:
+            return
+        state[name] = 1
+        for callee in graph[name]:
+            visit(callee, chain + (name,))
+        state[name] = 2
+
+    for fn_name in graph:
+        visit(fn_name, ())
+
+
+class _FunctionContext:
+    """Per-function frame bookkeeping."""
+
+    def __init__(self, fn: ast.Function) -> None:
+        self.fn = fn
+        self.params = list(fn.params)
+        self.locals = _collect_locals(fn.body)
+        overlap = set(self.params) & set(self.locals)
+        if overlap:
+            raise CodegenError(
+                f"locals shadow parameters in {fn.name}: {sorted(overlap)}",
+                fn.line,
+            )
+        self.max_depth = 0
+
+    @property
+    def frame_label(self) -> str:
+        return f"F_{self.fn.name}"
+
+    def slot_of(self, name: str) -> Optional[str]:
+        """Frame-relative symbol for a param/local, or None."""
+        if name in self.params:
+            return f"{self.frame_label}+{1 + self.params.index(name)}"
+        if name in self.locals:
+            return f"{self.frame_label}+{1 + len(self.params) + self.locals.index(name)}"
+        return None
+
+    def spill_slot(self, position: int) -> str:
+        """Frame symbol for eval-stack position ``position`` (>= 0)."""
+        base = 1 + len(self.params) + len(self.locals)
+        return f"{self.frame_label}+{base + position}"
+
+    @property
+    def frame_words(self) -> int:
+        return 1 + len(self.params) + len(self.locals) + self.max_depth
+
+
+class _Codegen:
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.lines: List[str] = []
+        self.label_counter = 0
+        self.globals: Dict[str, ast.GlobalDecl] = {}
+        for decl in program.globals:
+            self.globals[decl.name] = decl
+        self.functions = {fn.name: fn for fn in program.functions}
+        if "main" not in self.functions:
+            raise CodegenError("program has no main()")
+        if self.functions["main"].params:
+            raise CodegenError("main() cannot take parameters")
+        _check_no_recursion(program)
+        self.contexts = {
+            fn.name: _FunctionContext(fn) for fn in program.functions
+        }
+        # (break_label, continue_label) of the enclosing loops.
+        self._loop_stack: List[Tuple[str, str]] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def new_label(self, stem: str) -> str:
+        self.label_counter += 1
+        return f"L{self.label_counter}_{stem}"
+
+    # -- eval-stack machinery --------------------------------------------
+
+    @staticmethod
+    def _reg(position: int) -> Optional[str]:
+        return f"r{position + 1}" if position < REG_WINDOW else None
+
+    def _note_depth(self, ctx: _FunctionContext, depth: int) -> None:
+        spill_positions = max(0, depth - REG_WINDOW)
+        # Register positions also get home slots (for call flushes), so
+        # the frame needs one spill word per position ever used.
+        ctx.max_depth = max(ctx.max_depth, depth, REG_WINDOW + spill_positions)
+
+    def _store_position(self, ctx, position: int, src_reg: str) -> None:
+        """Move a value in ``src_reg`` into eval position ``position``."""
+        reg = self._reg(position)
+        if reg is not None:
+            if reg != src_reg:
+                self.emit(f"mov  {reg}, {src_reg}")
+        else:
+            self.emit(f"st   {src_reg}, {ctx.spill_slot(position)}(r0)")
+
+    def _load_position(self, ctx, position: int, scratch: str) -> str:
+        """Return a register holding eval position ``position``."""
+        reg = self._reg(position)
+        if reg is not None:
+            return reg
+        self.emit(f"ld   {scratch}, {ctx.spill_slot(position)}(r0)")
+        return scratch
+
+    # -- expressions --------------------------------------------------------
+
+    def gen_expr(self, ctx: _FunctionContext, node, depth: int) -> None:
+        """Generate code leaving the value at eval position ``depth``."""
+        self._note_depth(ctx, depth + 1)
+        if isinstance(node, ast.Num):
+            value = node.value & 0xFFFF
+            reg = self._reg(depth)
+            if reg is not None:
+                self.emit(f"li   {reg}, {value}")
+            else:
+                self.emit(f"li   r5, {value}")
+                self._store_position(ctx, depth, "r5")
+            return
+        if isinstance(node, ast.Var):
+            self._gen_load_var(ctx, node, depth)
+            return
+        if isinstance(node, ast.Index):
+            decl = self.globals.get(node.name)
+            if decl is None or decl.size is None:
+                raise CodegenError(f"{node.name!r} is not an array", node.line)
+            self.gen_expr(ctx, node.index, depth)
+            idx = self._load_position(ctx, depth, "r5")
+            self.emit(f"addi r5, {idx}, g_{node.name}")
+            self.emit("ld   r5, 0(r5)")
+            self._store_position(ctx, depth, "r5")
+            return
+        if isinstance(node, ast.Unary):
+            self.gen_expr(ctx, node.operand, depth)
+            operand = self._load_position(ctx, depth, "r5")
+            if node.op == "-":
+                self.emit(f"neg  r5, {operand}")
+            elif node.op == "~":
+                self.emit(f"not  r5, {operand}")
+            else:  # "!"
+                self.emit(f"sltiu r5, {operand}, 1")
+            self._store_position(ctx, depth, "r5")
+            return
+        if isinstance(node, ast.Binary):
+            self.gen_expr(ctx, node.left, depth)
+            self.gen_expr(ctx, node.right, depth + 1)
+            a = self._load_position(ctx, depth, "r5")
+            b = self._load_position(ctx, depth + 1, "r6")
+            self._gen_binary_op(node.op, a, b, node.line)
+            self._store_position(ctx, depth, "r5")
+            return
+        if isinstance(node, ast.Logical):
+            self._gen_logical(ctx, node, depth)
+            return
+        if isinstance(node, ast.Call):
+            self._gen_call(ctx, node, depth)
+            return
+        raise CodegenError(f"cannot compile {type(node).__name__}")
+
+    def _gen_load_var(self, ctx, node: ast.Var, depth: int) -> None:
+        slot = ctx.slot_of(node.name)
+        if slot is not None:
+            self.emit(f"ld   r5, {slot}(r0)")
+            self._store_position(ctx, depth, "r5")
+            return
+        decl = self.globals.get(node.name)
+        if decl is None:
+            raise CodegenError(f"unknown variable {node.name!r}", node.line)
+        if decl.size is not None:
+            raise CodegenError(
+                f"array {node.name!r} used as a scalar", node.line
+            )
+        self.emit(f"ld   r5, g_{node.name}(r0)")
+        self._store_position(ctx, depth, "r5")
+
+    def _gen_binary_op(self, op: str, a: str, b: str, line: int) -> None:
+        """Compute ``a op b`` into r5 (a and b may be r5/r6)."""
+        simple = {
+            "+": "add", "-": "sub", "*": "mul", "/": "divu", "%": "remu",
+            "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+        }
+        if op in simple:
+            self.emit(f"{simple[op]:4s} r5, {a}, {b}")
+            return
+        if op == "==":
+            self.emit(f"sub  r5, {a}, {b}")
+            self.emit("sltiu r5, r5, 1")
+            return
+        if op == "!=":
+            self.emit(f"sub  r5, {a}, {b}")
+            self.emit("sltu r5, r0, r5")
+            return
+        if op == "<":
+            self.emit(f"slt  r5, {a}, {b}")
+            return
+        if op == ">":
+            self.emit(f"slt  r5, {b}, {a}")
+            return
+        if op == "<=":
+            self.emit(f"slt  r5, {b}, {a}")
+            self.emit("xori r5, r5, 1")
+            return
+        if op == ">=":
+            self.emit(f"slt  r5, {a}, {b}")
+            self.emit("xori r5, r5, 1")
+            return
+        raise CodegenError(f"unknown operator {op!r}", line)
+
+    def _gen_logical(self, ctx, node: ast.Logical, depth: int) -> None:
+        end = self.new_label("lend")
+        short = self.new_label("lshort")
+        self.gen_expr(ctx, node.left, depth)
+        left = self._load_position(ctx, depth, "r5")
+        if node.op == "&&":
+            self.emit(f"beqz {left}, {short}")
+        else:  # "||"
+            self.emit(f"bnez {left}, {short}")
+        self.gen_expr(ctx, node.right, depth)
+        right = self._load_position(ctx, depth, "r5")
+        self.emit(f"sltu r5, r0, {right}")  # normalise to 0/1
+        self._store_position(ctx, depth, "r5")
+        self.emit(f"jmp  {end}")
+        self.emit_label(short)
+        self.emit(f"li   r5, {0 if node.op == '&&' else 1}")
+        self._store_position(ctx, depth, "r5")
+        self.emit_label(end)
+
+    def _gen_call(self, ctx, node: ast.Call, depth: int) -> None:
+        if node.name == "in":
+            if node.args:
+                raise CodegenError("in() takes no arguments", node.line)
+            self.emit(f"ld   r5, {INPUT_PORT}(r0)")
+            self._store_position(ctx, depth, "r5")
+            return
+        fn = self.functions.get(node.name)
+        if fn is None:
+            raise CodegenError(f"unknown function {node.name!r}", node.line)
+        if len(node.args) != len(fn.params):
+            raise CodegenError(
+                f"{node.name}() expects {len(fn.params)} args, "
+                f"got {len(node.args)}",
+                node.line,
+            )
+        callee = self.contexts[node.name]
+        # Evaluate every argument onto the eval stack.
+        for offset, arg in enumerate(node.args):
+            self.gen_expr(ctx, arg, depth + offset)
+        # Flush live register positions (0 .. depth+nargs-1) to their
+        # home slots: the callee clobbers the whole register window.
+        live = min(depth + len(node.args), REG_WINDOW)
+        for position in range(live):
+            self._note_depth(ctx, position + 1)
+            self.emit(
+                f"st   r{position + 1}, {ctx.spill_slot(position)}(r0)"
+            )
+        # Copy the evaluated arguments into the callee's parameter slots.
+        for offset in range(len(node.args)):
+            position = depth + offset
+            src = ctx.spill_slot(position)
+            dst = f"{callee.frame_label}+{1 + offset}"
+            self.emit(f"ld   r5, {src}(r0)")
+            self.emit(f"st   r5, {dst}(r0)")
+        self.emit(f"call fn_{node.name}")
+        # Result arrives in r1; park it, restore the window, place it.
+        self.emit("mov  r5, r1")
+        for position in range(min(depth, REG_WINDOW)):
+            self.emit(
+                f"ld   r{position + 1}, {ctx.spill_slot(position)}(r0)"
+            )
+        self._store_position(ctx, depth, "r5")
+
+    # -- statements -----------------------------------------------------------
+
+    def gen_statement(self, ctx: _FunctionContext, node) -> None:
+        if isinstance(node, ast.LocalDecl):
+            slot = ctx.slot_of(node.name)
+            assert slot is not None
+            self.emit(f"st   r0, {slot}(r0)")
+            return
+        if isinstance(node, ast.Assign):
+            self._gen_assign(ctx, node)
+            return
+        if isinstance(node, ast.If):
+            self._gen_if(ctx, node)
+            return
+        if isinstance(node, ast.While):
+            self._gen_while(ctx, node)
+            return
+        if isinstance(node, ast.For):
+            self._gen_for(ctx, node)
+            return
+        if isinstance(node, ast.Out):
+            self.gen_expr(ctx, node.value, 0)
+            value = self._load_position(ctx, 0, "r5")
+            self.emit(f"st   {value}, {OUTPUT_PORT}(r0)")
+            return
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                self.gen_expr(ctx, node.value, 0)
+                value = self._load_position(ctx, 0, "r5")
+                if value != "r1":
+                    self.emit(f"mov  r1, {value}")
+            else:
+                self.emit("li   r1, 0")
+            self.emit(f"jmp  ret_{ctx.fn.name}")
+            return
+        if isinstance(node, ast.Halt):
+            self.emit("halt")
+            return
+        if isinstance(node, ast.Break):
+            if not self._loop_stack:
+                raise CodegenError("break outside a loop", node.line)
+            self.emit(f"jmp  {self._loop_stack[-1][0]}")
+            return
+        if isinstance(node, ast.Continue):
+            if not self._loop_stack:
+                raise CodegenError("continue outside a loop", node.line)
+            self.emit(f"jmp  {self._loop_stack[-1][1]}")
+            return
+        if isinstance(node, ast.ExprStatement):
+            self.gen_expr(ctx, node.value, 0)
+            return
+        raise CodegenError(f"cannot compile {type(node).__name__}")
+
+    def _gen_assign(self, ctx, node: ast.Assign) -> None:
+        target = node.target
+        if isinstance(target, ast.Var):
+            self.gen_expr(ctx, node.value, 0)
+            value = self._load_position(ctx, 0, "r5")
+            slot = ctx.slot_of(target.name)
+            if slot is not None:
+                self.emit(f"st   {value}, {slot}(r0)")
+                return
+            decl = self.globals.get(target.name)
+            if decl is None:
+                raise CodegenError(
+                    f"unknown variable {target.name!r}", node.line
+                )
+            if decl.size is not None:
+                raise CodegenError(
+                    f"cannot assign to array {target.name!r}", node.line
+                )
+            self.emit(f"st   {value}, g_{target.name}(r0)")
+            return
+        # Array element: evaluate value at position 0, index at 1.
+        decl = self.globals.get(target.name)
+        if decl is None or decl.size is None:
+            raise CodegenError(f"{target.name!r} is not an array", node.line)
+        self.gen_expr(ctx, node.value, 0)
+        self.gen_expr(ctx, target.index, 1)
+        index = self._load_position(ctx, 1, "r6")
+        self.emit(f"addi r6, {index}, g_{target.name}")
+        value = self._load_position(ctx, 0, "r5")
+        self.emit(f"st   {value}, 0(r6)")
+
+    def _gen_condition(self, ctx, cond, false_label: str) -> None:
+        self.gen_expr(ctx, cond, 0)
+        value = self._load_position(ctx, 0, "r5")
+        self.emit(f"beqz {value}, {false_label}")
+
+    def _gen_if(self, ctx, node: ast.If) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        self._gen_condition(ctx, node.cond, else_label)
+        for statement in node.then_body:
+            self.gen_statement(ctx, statement)
+        if node.else_body:
+            self.emit(f"jmp  {end_label}")
+            self.emit_label(else_label)
+            for statement in node.else_body:
+                self.gen_statement(ctx, statement)
+            self.emit_label(end_label)
+        else:
+            self.emit_label(else_label)
+
+    def _gen_while(self, ctx, node: ast.While) -> None:
+        top = self.new_label("while")
+        end = self.new_label("endwhile")
+        self.emit_label(top)
+        self._gen_condition(ctx, node.cond, end)
+        self._loop_stack.append((end, top))
+        for statement in node.body:
+            self.gen_statement(ctx, statement)
+        self._loop_stack.pop()
+        self.emit(f"jmp  {top}")
+        self.emit_label(end)
+
+    def _gen_for(self, ctx, node: ast.For) -> None:
+        top = self.new_label("for")
+        step_label = self.new_label("forstep")
+        end = self.new_label("endfor")
+        if node.init is not None:
+            self.gen_statement(ctx, node.init)
+        self.emit_label(top)
+        self._gen_condition(ctx, node.cond, end)
+        self._loop_stack.append((end, step_label))
+        for statement in node.body:
+            self.gen_statement(ctx, statement)
+        self._loop_stack.pop()
+        self.emit_label(step_label)
+        if node.step is not None:
+            self.gen_statement(ctx, node.step)
+        self.emit(f"jmp  {top}")
+        self.emit_label(end)
+
+    # -- functions and program ---------------------------------------------------
+
+    def gen_function(self, fn: ast.Function) -> None:
+        ctx = self.contexts[fn.name]
+        self.emit_label(f"fn_{fn.name}")
+        # Prologue: save lr.  Parameters were already written into this
+        # frame's slots by the caller.
+        self.emit(f"st   lr, {ctx.frame_label}+0(r0)")
+        for statement in fn.body:
+            self.gen_statement(ctx, statement)
+        # Implicit return 0 on fall-through.
+        self.emit("li   r1, 0")
+        self.emit_label(f"ret_{fn.name}")
+        self.emit(f"ld   lr, {ctx.frame_label}+0(r0)")
+        self.emit("ret")
+
+    def generate(self) -> str:
+        # Startup stub.
+        self.emit_label("__start")
+        self.emit("call fn_main")
+        self.emit("halt")
+        for fn in self.program.functions:
+            self.gen_function(fn)
+        # Data section: globals, then frames (sizes known only now).
+        data: List[str] = [f".data {DATA_BASE:#x}"]
+        for decl in self.program.globals:
+            if decl.size is None:
+                value = decl.initializer[0] if decl.initializer else 0
+                data.append(f"g_{decl.name}: .word {value & 0xFFFF}")
+            else:
+                init = [v & 0xFFFF for v in decl.initializer]
+                parts = [f"g_{decl.name}:"]
+                if init:
+                    parts.append(f" .word {', '.join(str(v) for v in init)}")
+                data.append("".join(parts))
+                remainder = decl.size - len(init)
+                if remainder > 0:
+                    data.append(f".space {remainder}")
+        for fn in self.program.functions:
+            ctx = self.contexts[fn.name]
+            data.append(f"{ctx.frame_label}: .space {max(1, ctx.frame_words)}")
+        header = "; generated by the NVC compiler\n"
+        return header + "\n".join(data) + "\n.text\n" + "\n".join(self.lines) + "\n"
+
+
+def compile_program(tree: ast.Program, optimize: bool = False) -> CompiledProgram:
+    """Compile a parsed NVC program to an assembled NV16 binary.
+
+    Frame sizes depend on the deepest expression spill, which is only
+    known after code generation — that is why the data section (where
+    the frame ``.space`` directives live) is emitted last.
+
+    Args:
+        optimize: run the constant folder / branch pruner first.
+    """
+    if optimize:
+        from repro.lang.optimize import optimize as fold
+
+        tree = fold(tree)
+    asm = _Codegen(tree).generate()
+    program = assemble(asm)
+    return CompiledProgram(asm=asm, program=program, source="")
+
+
+def compile_source(source: str, optimize: bool = False) -> CompiledProgram:
+    """Compile NVC source text to an assembled NV16 binary.
+
+    Args:
+        optimize: run the constant folder / branch pruner first.
+
+    Raises:
+        LexError / ParseError / CodegenError on the respective stage's
+        failures.
+    """
+    compiled = compile_program(parse(source), optimize=optimize)
+    compiled.source = source
+    return compiled

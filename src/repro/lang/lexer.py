@@ -1,0 +1,105 @@
+"""Tokeniser for NVC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+KEYWORDS = frozenset(
+    {"int", "func", "if", "else", "while", "for", "return", "out", "halt",
+     "in", "break", "continue"}
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+)
+
+
+class LexError(Exception):
+    """Raised on an unrecognised character."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: ``"num"``, ``"ident"``, ``"kw"``, ``"op"`` or ``"eof"``.
+        text: the matched text (numbers keep their source spelling).
+        line: 1-based source line.
+    """
+
+    kind: str
+    text: str
+    line: int
+
+    @property
+    def value(self) -> int:
+        """Numeric value of a ``num`` token."""
+        if self.kind != "num":
+            raise ValueError(f"token {self.text!r} is not a number")
+        return int(self.text, 0)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise NVC source into a token list ending with an EOF token.
+
+    ``//`` comments run to end of line.
+
+    Raises:
+        LexError: on an unrecognised character.
+    """
+    tokens: List[Token] = []
+    line = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char.isdigit():
+            start = index
+            if source.startswith("0x", index) or source.startswith("0X", index):
+                index += 2
+                while index < length and source[index] in "0123456789abcdefABCDEF":
+                    index += 1
+            else:
+                while index < length and source[index].isdigit():
+                    index += 1
+            tokens.append(Token("num", source[start:index], line))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        matched: Optional[str] = None
+        for op in OPERATORS:
+            if source.startswith(op, index):
+                matched = op
+                break
+        if matched is None:
+            raise LexError(f"unexpected character {char!r}", line)
+        tokens.append(Token("op", matched, line))
+        index += len(matched)
+    tokens.append(Token("eof", "", line))
+    return tokens

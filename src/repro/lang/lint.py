@@ -1,0 +1,151 @@
+"""Intermittency lint: flag NVC patterns that break replay idempotence.
+
+An NVP rollback restores registers (and locals, which live in the
+frame image) but *not* nonvolatile global memory: any global the
+program both reads and writes can be observed half-updated after a
+rollback, and read-modify-write accumulators (``hist[b] = hist[b] + 1``)
+double-count when the span is replayed.  This is the
+memory-consistency hazard the DATE'17 tutorial lists among the open
+NVP challenges; intermittent-programming systems (Chain, Alpaca,
+Ratchet) exist precisely to eliminate it.
+
+The linter performs the static check those systems automate: it
+reports every global that a function both reads and writes
+(``read-modify-write``), with a stronger warning when the write target
+and read source are the same array (a true accumulator pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple, Union
+
+from repro.lang import ast
+from repro.lang.parser import parse
+
+
+@dataclass(frozen=True)
+class LintWarning:
+    """One idempotence hazard.
+
+    Attributes:
+        function: the function containing the hazard.
+        name: the global involved.
+        kind: ``"read-modify-write"`` (global read and written in the
+            same function) or ``"self-accumulate"`` (a single statement
+            reads and writes the same global — the strongest signal).
+        line: source line of the offending write.
+    """
+
+    function: str
+    name: str
+    kind: str
+    line: int
+
+
+def _expr_reads(node, reads: Set[str]) -> None:
+    if isinstance(node, ast.Var):
+        reads.add(node.name)
+    elif isinstance(node, ast.Index):
+        reads.add(node.name)
+        _expr_reads(node.index, reads)
+    elif isinstance(node, ast.Unary):
+        _expr_reads(node.operand, reads)
+    elif isinstance(node, (ast.Binary, ast.Logical)):
+        _expr_reads(node.left, reads)
+        _expr_reads(node.right, reads)
+    elif isinstance(node, ast.Call):
+        for arg in node.args:
+            _expr_reads(arg, reads)
+
+
+def _walk_statements(body, visit) -> None:
+    for node in body:
+        visit(node)
+        if isinstance(node, ast.If):
+            _walk_statements(node.then_body, visit)
+            _walk_statements(node.else_body, visit)
+        elif isinstance(node, ast.While):
+            _walk_statements(node.body, visit)
+        elif isinstance(node, ast.For):
+            if node.init is not None:
+                visit(node.init)
+            if node.step is not None:
+                visit(node.step)
+            _walk_statements(node.body, visit)
+
+
+def lint(program: Union[str, ast.Program]) -> List[LintWarning]:
+    """Report replay-idempotence hazards in an NVC program.
+
+    Returns warnings ordered by (function, line).
+    """
+    tree = parse(program) if isinstance(program, str) else program
+    global_names = {decl.name for decl in tree.globals}
+    warnings: List[LintWarning] = []
+
+    for fn in tree.functions:
+        local_names = set(fn.params) | set(
+            node.name
+            for node in _flatten(fn.body)
+            if isinstance(node, ast.LocalDecl)
+        )
+        reads: Set[str] = set()
+        writes: List[Tuple[str, int]] = []
+        self_accumulates: List[Tuple[str, int]] = []
+
+        def visit(node) -> None:
+            if isinstance(node, ast.Assign):
+                _expr_reads(node.value, reads)
+                target = node.target
+                statement_reads: Set[str] = set()
+                _expr_reads(node.value, statement_reads)
+                if isinstance(target, ast.Index):
+                    _expr_reads(target.index, reads)
+                    _expr_reads(target.index, statement_reads)
+                name = target.name
+                if name in global_names and name not in local_names:
+                    writes.append((name, node.line))
+                    if name in statement_reads:
+                        self_accumulates.append((name, node.line))
+            elif isinstance(node, (ast.Out, ast.ExprStatement)):
+                _expr_reads(node.value, reads)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                _expr_reads(node.value, reads)
+            elif isinstance(node, ast.If):
+                _expr_reads(node.cond, reads)
+            elif isinstance(node, ast.While):
+                _expr_reads(node.cond, reads)
+            elif isinstance(node, ast.For):
+                _expr_reads(node.cond, reads)
+
+        _walk_statements(fn.body, visit)
+
+        reported: Set[Tuple[str, str]] = set()
+        for name, line in self_accumulates:
+            if (name, "self-accumulate") not in reported:
+                warnings.append(
+                    LintWarning(fn.name, name, "self-accumulate", line)
+                )
+                reported.add((name, "self-accumulate"))
+        for name, line in writes:
+            if name in reads and (name, "read-modify-write") not in reported:
+                if (name, "self-accumulate") in reported:
+                    continue  # already covered by the stronger warning
+                warnings.append(
+                    LintWarning(fn.name, name, "read-modify-write", line)
+                )
+                reported.add((name, "read-modify-write"))
+
+    warnings.sort(key=lambda w: (w.function, w.line, w.name))
+    return warnings
+
+
+def _flatten(body) -> List:
+    out: List = []
+
+    def visit(node) -> None:
+        out.append(node)
+
+    _walk_statements(body, visit)
+    return out

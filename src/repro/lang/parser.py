@@ -1,0 +1,337 @@
+"""Recursive-descent parser for NVC."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on any syntax error, with line context."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+#: Binary operator precedence tiers, weakest first.  ``&&``/``||`` are
+#: handled separately (short-circuit nodes).
+_PRECEDENCE: Tuple[Tuple[str, ...], ...] = (
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r}, got {self.current.text!r}", self.current.line
+            )
+        return self.advance()
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        globals_: List[ast.GlobalDecl] = []
+        functions: List[ast.Function] = []
+        while not self.check("eof"):
+            if self.check("kw", "int"):
+                globals_.append(self.parse_global())
+            elif self.check("kw", "func"):
+                functions.append(self.parse_function())
+            else:
+                raise ParseError(
+                    f"expected declaration, got {self.current.text!r}",
+                    self.current.line,
+                )
+        names = [g.name for g in globals_] + [f.name for f in functions]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ParseError(f"duplicate names: {sorted(duplicates)}", 1)
+        return ast.Program(globals=tuple(globals_), functions=tuple(functions))
+
+    def parse_global(self) -> ast.GlobalDecl:
+        line = self.expect("kw", "int").line
+        name = self.expect("ident").text
+        size: Optional[int] = None
+        initializer: Tuple[int, ...] = ()
+        if self.accept("op", "["):
+            size_token = self.expect("num")
+            size = size_token.value
+            if size <= 0:
+                raise ParseError("array size must be positive", size_token.line)
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            if size is None:
+                initializer = (self._signed_number(),)
+            else:
+                self.expect("op", "{")
+                values = [self._signed_number()]
+                while self.accept("op", ","):
+                    values.append(self._signed_number())
+                self.expect("op", "}")
+                if len(values) > size:
+                    raise ParseError(
+                        f"{len(values)} initialisers for array of {size}", line
+                    )
+                initializer = tuple(values)
+        self.expect("op", ";")
+        return ast.GlobalDecl(name=name, size=size, initializer=initializer, line=line)
+
+    def _signed_number(self) -> int:
+        negative = self.accept("op", "-") is not None
+        value = self.expect("num").value
+        return -value if negative else value
+
+    def parse_function(self) -> ast.Function:
+        line = self.expect("kw", "func").line
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.check("op", ")"):
+            params.append(self.expect("ident").text)
+            while self.accept("op", ","):
+                params.append(self.expect("ident").text)
+        self.expect("op", ")")
+        if len(params) != len(set(params)):
+            raise ParseError("duplicate parameter names", line)
+        body = self.parse_block()
+        return ast.Function(name=name, params=tuple(params), body=body, line=line)
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_block(self) -> Tuple:
+        self.expect("op", "{")
+        statements: List = []
+        while not self.check("op", "}"):
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return tuple(statements)
+
+    def parse_statement(self):
+        token = self.current
+        if token.kind == "kw":
+            if token.text == "int":
+                self.advance()
+                name = self.expect("ident").text
+                if self.check("op", "["):
+                    raise ParseError("local arrays are not supported", token.line)
+                self.expect("op", ";")
+                return ast.LocalDecl(name=name, line=token.line)
+            if token.text == "if":
+                return self.parse_if()
+            if token.text == "while":
+                return self.parse_while()
+            if token.text == "for":
+                return self.parse_for()
+            if token.text == "out":
+                self.advance()
+                self.expect("op", "(")
+                value = self.parse_expression()
+                self.expect("op", ")")
+                self.expect("op", ";")
+                return ast.Out(value=value, line=token.line)
+            if token.text == "return":
+                self.advance()
+                value = None
+                if not self.check("op", ";"):
+                    value = self.parse_expression()
+                self.expect("op", ";")
+                return ast.Return(value=value, line=token.line)
+            if token.text == "halt":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Halt(line=token.line)
+            if token.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Break(line=token.line)
+            if token.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Continue(line=token.line)
+        if token.kind == "ident":
+            # Either an assignment or a call statement.
+            next_token = self.tokens[self.pos + 1]
+            if next_token.kind == "op" and next_token.text == "(":
+                expr = self.parse_expression()
+                self.expect("op", ";")
+                return ast.ExprStatement(value=expr, line=token.line)
+            assign = self.parse_assignment()
+            self.expect("op", ";")
+            return assign
+        raise ParseError(f"unexpected token {token.text!r}", token.line)
+
+    def parse_assignment(self) -> ast.Assign:
+        name_token = self.expect("ident")
+        if self.accept("op", "["):
+            index = self.parse_expression()
+            self.expect("op", "]")
+            target: object = ast.Index(
+                name=name_token.text, index=index, line=name_token.line
+            )
+        else:
+            target = ast.Var(name=name_token.text, line=name_token.line)
+        self.expect("op", "=")
+        value = self.parse_expression()
+        return ast.Assign(target=target, value=value, line=name_token.line)
+
+    def parse_if(self) -> ast.If:
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then_body = self.parse_block()
+        else_body: Tuple = ()
+        if self.accept("kw", "else"):
+            if self.check("kw", "if"):
+                else_body = (self.parse_if(),)
+            else:
+                else_body = self.parse_block()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body, line=line)
+
+    def parse_while(self) -> ast.While:
+        line = self.expect("kw", "while").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.While(cond=cond, body=body, line=line)
+
+    def parse_for(self) -> ast.For:
+        line = self.expect("kw", "for").line
+        self.expect("op", "(")
+        init = None
+        if not self.check("op", ";"):
+            init = self.parse_assignment()
+        self.expect("op", ";")
+        cond = None
+        if not self.check("op", ";"):
+            cond = self.parse_expression()
+        self.expect("op", ";")
+        step = None
+        if not self.check("op", ")"):
+            step = self.parse_assignment()
+        self.expect("op", ")")
+        body = self.parse_block()
+        if cond is None:
+            cond = ast.Num(value=1, line=line)
+        return ast.For(init=init, cond=cond, step=step, body=body, line=line)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def parse_expression(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self.check("op", "||"):
+            line = self.advance().line
+            right = self.parse_and()
+            left = ast.Logical(op="||", left=left, right=right, line=line)
+        return left
+
+    def parse_and(self):
+        left = self.parse_binary(0)
+        while self.check("op", "&&"):
+            line = self.advance().line
+            right = self.parse_binary(0)
+            left = ast.Logical(op="&&", left=left, right=right, line=line)
+        return left
+
+    def parse_binary(self, tier: int):
+        if tier >= len(_PRECEDENCE):
+            return self.parse_unary()
+        left = self.parse_binary(tier + 1)
+        while self.current.kind == "op" and self.current.text in _PRECEDENCE[tier]:
+            op_token = self.advance()
+            right = self.parse_binary(tier + 1)
+            left = ast.Binary(
+                op=op_token.text, left=left, right=right, line=op_token.line
+            )
+        return left
+
+    def parse_unary(self):
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "~", "!"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(op=token.text, operand=operand, line=token.line)
+        return self.parse_primary()
+
+    def parse_primary(self):
+        token = self.current
+        if token.kind == "num":
+            self.advance()
+            return ast.Num(value=token.value, line=token.line)
+        if token.kind == "kw" and token.text == "in":
+            self.advance()
+            self.expect("op", "(")
+            self.expect("op", ")")
+            return ast.Call(name="in", args=(), line=token.line)
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args: List = []
+                if not self.check("op", ")"):
+                    args.append(self.parse_expression())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expression())
+                self.expect("op", ")")
+                return ast.Call(name=token.text, args=tuple(args), line=token.line)
+            if self.accept("op", "["):
+                index = self.parse_expression()
+                self.expect("op", "]")
+                return ast.Index(name=token.text, index=index, line=token.line)
+            return ast.Var(name=token.text, line=token.line)
+        if self.accept("op", "("):
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse NVC source into an :class:`~repro.lang.ast.Program`.
+
+    Raises:
+        LexError: on tokenisation failures.
+        ParseError: on syntax errors.
+    """
+    parser = _Parser(tokenize(source))
+    return parser.parse_program()

@@ -1,0 +1,138 @@
+"""Analytic STT-MRAM retention / write-energy tradeoff model.
+
+The magnetic tunnel junction's retention time grows exponentially with
+its thermal-stability factor Δ (``t_ret = tau0 * exp(Δ)``, with
+``tau0 ≈ 1 ns``), while the critical switching current — and hence the
+write energy — grows roughly linearly with Δ.  Relaxing retention from
+a decade to milliseconds therefore cuts write energy severalfold; this
+is the device-level lever behind retention-relaxed ("approximate")
+backup in NVPs, studied for STT caches by Smullen et al. (HPCA'11) and
+Jog et al. (DAC'12) and productized in the self-write-termination
+circuit of the ISSCC'16 ReRAM NVP.
+
+The write-current model combines the two switching regimes:
+
+* precessional (short pulses): ``I = Ic(Δ) * (1 + tau_c / tau_p)``
+* thermal activation is folded into the Δ requirement itself.
+
+Write energy for a pulse of width ``tau_p`` at current ``I`` through a
+junction of resistance ``R`` is ``E = I² R tau_p``, which is minimised
+at ``tau_p = tau_c`` — the "best write-energy box".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Attempt period of the thermal activation process, seconds.
+TAU0_S = 1e-9
+
+
+@dataclass(frozen=True)
+class STTParameters:
+    """Device parameters for the analytic MTJ model.
+
+    Attributes:
+        ic_per_delta_a: critical current per unit of thermal stability,
+            amperes.  ``Ic(Δ) = ic_per_delta_a * Δ``.  The default puts
+            a 10-year-retention write (Δ ≈ 40) at ~0.4 mA and ~0.3 pJ —
+            the regime published STT-MRAM macros report.
+        tau_c_s: characteristic pulse width of the precessional term.
+        resistance_ohm: MTJ resistance in the parallel state.
+        min_delta: lowest Δ the write circuit will target (guards the
+            model away from the super-paramagnetic limit).
+    """
+
+    ic_per_delta_a: float = 5.0e-6
+    tau_c_s: float = 1.0e-9
+    resistance_ohm: float = 2_000.0
+    min_delta: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.ic_per_delta_a <= 0 or self.tau_c_s <= 0 or self.resistance_ohm <= 0:
+            raise ValueError("STT parameters must be positive")
+        if self.min_delta <= 0:
+            raise ValueError("min_delta must be positive")
+
+
+DEFAULT_STT = STTParameters()
+
+
+def required_delta(retention_s: float, params: STTParameters = DEFAULT_STT) -> float:
+    """Thermal-stability factor needed for a target retention time.
+
+    ``Δ = ln(t_ret / tau0)``, clamped to ``params.min_delta``.
+
+    Raises:
+        ValueError: if ``retention_s`` is not positive.
+    """
+    if retention_s <= 0:
+        raise ValueError("retention time must be positive")
+    return max(params.min_delta, math.log(retention_s / TAU0_S))
+
+
+def retention_from_delta(delta: float) -> float:
+    """Inverse of :func:`required_delta` (no clamping)."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    return TAU0_S * math.exp(delta)
+
+
+def write_current(
+    retention_s: float,
+    pulse_width_s: float,
+    params: STTParameters = DEFAULT_STT,
+) -> float:
+    """Write current (A) for a retention target and write pulse width."""
+    if pulse_width_s <= 0:
+        raise ValueError("pulse width must be positive")
+    delta = required_delta(retention_s, params)
+    ic = params.ic_per_delta_a * delta
+    return ic * (1.0 + params.tau_c_s / pulse_width_s)
+
+
+def write_energy(
+    retention_s: float,
+    pulse_width_s: float,
+    params: STTParameters = DEFAULT_STT,
+) -> float:
+    """Per-bit write energy (J) for a retention target and pulse width."""
+    current = write_current(retention_s, pulse_width_s, params)
+    return current * current * params.resistance_ohm * pulse_width_s
+
+
+def optimal_pulse_width(
+    retention_s: float, params: STTParameters = DEFAULT_STT
+) -> float:
+    """Pulse width minimising write energy.
+
+    ``E(tau) = Ic²R (tau + 2 tau_c + tau_c²/tau)`` is minimised at
+    ``tau = tau_c`` independent of Δ.
+    """
+    del retention_s  # the optimum does not depend on the retention target
+    return params.tau_c_s
+
+
+def write_energy_at_optimum(
+    retention_s: float, params: STTParameters = DEFAULT_STT
+) -> float:
+    """Minimum per-bit write energy for a retention target (J)."""
+    return write_energy(retention_s, optimal_pulse_width(retention_s, params), params)
+
+
+def energy_saving_fraction(
+    relaxed_retention_s: float,
+    nominal_retention_s: float,
+    params: STTParameters = DEFAULT_STT,
+) -> float:
+    """Fractional write-energy saving from relaxing retention.
+
+    Returns ``1 - E(relaxed)/E(nominal)``; e.g. relaxing from one day
+    to 10 ms saves roughly 75 % because energy scales with Δ².
+    """
+    nominal = write_energy_at_optimum(nominal_retention_s, params)
+    relaxed = write_energy_at_optimum(relaxed_retention_s, params)
+    if nominal <= 0:
+        raise ValueError("nominal write energy must be positive")
+    return 1.0 - relaxed / nominal

@@ -1,0 +1,154 @@
+"""Self-write-termination write-circuit model.
+
+The 65 nm ReRAM NVP (ISSCC'16) introduced per-bit adaptive data
+retention with self-write-termination: a current-mirror DAC selects
+one of a small number of write currents and a high-frequency counter
+terminates each bit's write pulse when its (retention-dependent)
+target width is reached.  This module models that circuit at the
+behavioural level: quantised currents and pulse widths, the resulting
+per-word write energy/latency, and the (static) transistor overhead —
+so experiments can account for circuit realism rather than assuming
+ideal continuous control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.nvm.retention import RetentionPolicy
+from repro.nvm.sttram import (
+    DEFAULT_STT,
+    STTParameters,
+    optimal_pulse_width,
+    write_current,
+)
+
+
+@dataclass(frozen=True)
+class WriteCircuitReport:
+    """Per-word write figures produced by the circuit model.
+
+    Attributes:
+        bit_current_a: quantised write current per bit, LSB first.
+        bit_pulse_s: quantised pulse width per bit, LSB first.
+        word_energy_j: total write energy for one word.
+        word_latency_s: write latency (bits are written in parallel, so
+            this is the longest pulse plus termination overhead).
+        overhead_transistors: static transistor count of the write
+            module (current mirrors, MUX array, counter, comparators).
+    """
+
+    bit_current_a: List[float]
+    bit_pulse_s: List[float]
+    word_energy_j: float
+    word_latency_s: float
+    overhead_transistors: int
+
+
+class SelfTerminatingWriteCircuit:
+    """Quantised dynamic-retention write driver.
+
+    Args:
+        current_levels: number of selectable mirror output currents.
+        counter_bits: width of the pulse-termination counter.
+        counter_clock_hz: the high-frequency termination clock; pulse
+            widths are quantised to its period.
+        params: analytic device parameters.
+    """
+
+    def __init__(
+        self,
+        current_levels: int = 8,
+        counter_bits: int = 4,
+        counter_clock_hz: float = 2e9,
+        params: STTParameters = DEFAULT_STT,
+    ) -> None:
+        if current_levels < 2:
+            raise ValueError("need at least two current levels")
+        if counter_bits < 1:
+            raise ValueError("counter must have at least one bit")
+        if counter_clock_hz <= 0:
+            raise ValueError("counter clock must be positive")
+        self.current_levels = current_levels
+        self.counter_bits = counter_bits
+        self.counter_clock_hz = counter_clock_hz
+        self.params = params
+
+    @property
+    def pulse_quantum_s(self) -> float:
+        """Smallest representable pulse width."""
+        return 1.0 / self.counter_clock_hz
+
+    @property
+    def max_pulse_s(self) -> float:
+        """Longest representable pulse width."""
+        return ((1 << self.counter_bits) - 1) * self.pulse_quantum_s
+
+    @property
+    def overhead_transistors(self) -> int:
+        """Static transistor overhead of the write module.
+
+        Current mirror legs (~6 transistors each), the MUX array
+        (~4 per level), the termination counter (~8 per bit) and one
+        comparator (~10 transistors) per column of an 8-column
+        sub-array.  The published figure for this class of circuit is
+        "fewer than 200 transistors per sub-array".
+        """
+        mirrors = 6 * self.current_levels
+        muxes = 4 * self.current_levels
+        counter = 8 * self.counter_bits
+        comparators = 10 * 8
+        return mirrors + muxes + counter + comparators
+
+    def _quantise_pulse(self, pulse_s: float) -> float:
+        """Round a pulse width up to the counter grid (clamped)."""
+        quanta = max(1, -(-pulse_s // self.pulse_quantum_s))  # ceil
+        quanta = min(quanta, (1 << self.counter_bits) - 1)
+        return quanta * self.pulse_quantum_s
+
+    def _quantise_current(self, current_a: float, currents: List[float]) -> float:
+        """Pick the smallest available mirror current >= the request."""
+        for level in currents:
+            if level >= current_a:
+                return level
+        return currents[-1]
+
+    def plan_word_write(
+        self, policy: RetentionPolicy, word_bits: int = 16
+    ) -> WriteCircuitReport:
+        """Compute the write plan for one word under a shaping policy.
+
+        Each bit gets the energy-optimal pulse width for its retention
+        target, quantised to the counter grid, and the smallest mirror
+        current that still meets the target at that pulse width.
+        """
+        ideal_currents = []
+        pulses = []
+        for bit in range(word_bits):
+            retention = policy.retention_s(bit, word_bits)
+            pulse = self._quantise_pulse(optimal_pulse_width(retention, self.params))
+            pulses.append(pulse)
+            ideal_currents.append(write_current(retention, pulse, self.params))
+        # Provision mirror levels across the needed current range.
+        lo, hi = min(ideal_currents), max(ideal_currents)
+        if hi <= lo:
+            levels = [hi] * self.current_levels
+        else:
+            step = (hi - lo) / (self.current_levels - 1)
+            levels = [lo + step * i for i in range(self.current_levels)]
+        currents = [self._quantise_current(c, levels) for c in ideal_currents]
+        energy = sum(
+            current * current * self.params.resistance_ohm * pulse
+            for current, pulse in zip(currents, pulses)
+        )
+        # Parallel bit writes: latency is the longest pulse plus one
+        # termination-clock cycle for the comparator to fire.
+        latency = max(pulses) + self.pulse_quantum_s
+        return WriteCircuitReport(
+            bit_current_a=currents,
+            bit_pulse_s=pulses,
+            word_energy_j=energy,
+            word_latency_s=latency,
+            overhead_transistors=self.overhead_transistors,
+        )

@@ -1,0 +1,31 @@
+"""System-level adaptive policies.
+
+The tutorial's system layer covers three adaptation mechanisms built
+on NVPs, each re-implemented here:
+
+* **energy-band DPM** (:mod:`repro.policy.dpm`) — keep the storage
+  capacitor inside its efficient voltage band instead of greedily
+  draining it (TECS'17 class);
+* **ML configuration matching** (:mod:`repro.policy.mlmatch`) — map
+  sampled power-profile statistics to the best NVP configuration
+  (ICCAD'15 class);
+* **frequency scaling** (:mod:`repro.policy.freqscale`) — match clock
+  frequency (and hence power draw) to harvested income
+  (Spendthrift class).
+"""
+
+from repro.policy.dpm import EnergyBandGovernor, efficient_band
+from repro.policy.mlmatch import ConfigMatcher, trace_features
+from repro.policy.freqscale import (
+    PowerAwareFrequencyPolicy,
+    frequency_sweep,
+)
+
+__all__ = [
+    "ConfigMatcher",
+    "EnergyBandGovernor",
+    "PowerAwareFrequencyPolicy",
+    "efficient_band",
+    "frequency_sweep",
+    "trace_features",
+]

@@ -1,0 +1,92 @@
+"""Energy-band dynamic power management.
+
+A greedy NVP drains its capacitor to just above the backup threshold
+and executes there — at a low terminal voltage where the front end's
+conversion efficiency is poor.  Energy-band DPM instead throttles
+execution when stored energy falls below the capacitor's efficient
+band, letting the voltage recover toward the converter's optimum, and
+runs at full speed inside the band.  The published system-level result
+is a net forward-progress gain despite executing fewer ticks at full
+speed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.storage.capacitor import Capacitor
+from repro.system.thresholds import ThresholdPlan
+
+
+def efficient_band(
+    capacitor: Capacitor, lo_frac: float = 0.5, hi_frac: float = 1.2
+) -> Tuple[float, float]:
+    """Energy band around the converter's optimal capacitor voltage.
+
+    Args:
+        capacitor: the storage capacitor (its efficiency curve defines
+            the optimal voltage).
+        lo_frac / hi_frac: band bounds as multiples of the energy at
+            the optimal voltage, clamped to the capacitor's capacity.
+
+    Returns:
+        ``(band_lo_j, band_hi_j)``.
+    """
+    if not 0 < lo_frac < hi_frac:
+        raise ValueError("need 0 < lo_frac < hi_frac")
+    v_opt = capacitor.efficiency.v_opt_v
+    e_opt = 0.5 * capacitor.capacitance_f * v_opt * v_opt
+    hi = min(hi_frac * e_opt, capacitor.energy_max_j)
+    lo = min(lo_frac * e_opt, hi * 0.99)
+    return lo, hi
+
+
+class EnergyBandGovernor:
+    """Execution governor keeping stored energy in the efficient band.
+
+    Implements the :data:`repro.core.nvp.Governor` interface: called
+    each tick with the stored energy, it returns the fraction of the
+    tick the core may execute.
+
+    Args:
+        band_lo_j / band_hi_j: the efficient energy band.
+        slowdown: execution fraction used below the band (must stay
+            positive so the system cannot stall forever under abundant
+            power).
+    """
+
+    def __init__(
+        self, band_lo_j: float, band_hi_j: float, slowdown: float = 0.2
+    ) -> None:
+        if band_lo_j < 0 or band_hi_j <= band_lo_j:
+            raise ValueError("need 0 <= band_lo < band_hi")
+        if not 0 < slowdown <= 1:
+            raise ValueError("slowdown must be in (0, 1]")
+        self.band_lo_j = band_lo_j
+        self.band_hi_j = band_hi_j
+        self.slowdown = slowdown
+        self.throttled_ticks = 0
+        self.full_ticks = 0
+
+    @classmethod
+    def for_capacitor(
+        cls,
+        capacitor: Capacitor,
+        lo_frac: float = 0.5,
+        hi_frac: float = 1.2,
+        slowdown: float = 0.2,
+    ) -> "EnergyBandGovernor":
+        """Build a governor from a capacitor's efficiency curve."""
+        lo, hi = efficient_band(capacitor, lo_frac, hi_frac)
+        return cls(lo, hi, slowdown)
+
+    def __call__(self, energy_j: float, plan: ThresholdPlan, dt_s: float) -> float:
+        del dt_s
+        # Never throttle below the operational floor: the NVP must be
+        # able to reach its backup threshold normally.
+        floor = max(self.band_lo_j, plan.backup_threshold_j)
+        if energy_j < floor:
+            self.throttled_ticks += 1
+            return self.slowdown
+        self.full_ticks += 1
+        return 1.0

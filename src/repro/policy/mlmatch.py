@@ -1,0 +1,131 @@
+"""ML-based matching of NVP configuration to power profiles.
+
+Harvested-power profiles differ enough (bursty kinetic vs smooth solar
+vs packetised RF) that no single NVP configuration — clock frequency,
+backup margin, capacitor size — wins everywhere.  The ICCAD'15-class
+approach samples cheap statistics of the incoming power and uses a
+trained model to pick the configuration; this module implements the
+feature extraction and a k-nearest-neighbour matcher with a
+``train_from_sweeps`` helper that labels training traces by exhaustive
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.harvest.outage import DEFAULT_THRESHOLD_W, analyze_outages
+from repro.harvest.traces import PowerTrace
+
+#: Names of the extracted features, in vector order.
+FEATURE_NAMES = (
+    "mean_w",
+    "std_w",
+    "p95_w",
+    "duty_above_threshold",
+    "outages_per_s",
+    "mean_outage_s",
+)
+
+
+def trace_features(
+    trace: PowerTrace, threshold_w: float = DEFAULT_THRESHOLD_W
+) -> np.ndarray:
+    """Extract the statistics vector an online power monitor can sample."""
+    stats = analyze_outages(trace, threshold_w)
+    samples = trace.samples_w
+    return np.array(
+        [
+            float(samples.mean()),
+            float(samples.std()),
+            float(np.percentile(samples, 95)),
+            stats.duty_cycle,
+            stats.emergencies_per_second(trace.duration_s),
+            stats.mean_duration_s,
+        ]
+    )
+
+
+class ConfigMatcher:
+    """k-NN matcher from power-profile features to configuration index.
+
+    Args:
+        k: neighbours consulted per prediction.
+    """
+
+    def __init__(self, k: int = 3) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self._features: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    @property
+    def trained(self) -> bool:
+        """True once :meth:`fit` has been called."""
+        return self._features is not None
+
+    def fit(self, features: Sequence[np.ndarray], labels: Sequence[int]) -> None:
+        """Store the training set (features are rescaled per dimension)."""
+        if len(features) == 0 or len(features) != len(labels):
+            raise ValueError("need equal, nonzero numbers of features and labels")
+        matrix = np.vstack(features).astype(float)
+        scale = matrix.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        self._features = matrix / scale
+        self._labels = np.asarray(labels, dtype=int)
+
+    def predict(self, features: np.ndarray) -> int:
+        """Majority label among the k nearest training profiles.
+
+        Raises:
+            RuntimeError: if the matcher has not been fitted.
+        """
+        if self._features is None or self._labels is None or self._scale is None:
+            raise RuntimeError("matcher is not trained")
+        vector = np.asarray(features, dtype=float) / self._scale
+        distances = np.linalg.norm(self._features - vector, axis=1)
+        k = min(self.k, len(distances))
+        nearest = np.argsort(distances)[:k]
+        votes = np.bincount(self._labels[nearest])
+        return int(np.argmax(votes))
+
+    def predict_trace(
+        self, trace: PowerTrace, threshold_w: float = DEFAULT_THRESHOLD_W
+    ) -> int:
+        """Predict the configuration index for a power trace."""
+        return self.predict(trace_features(trace, threshold_w))
+
+
+def train_from_sweeps(
+    traces: Sequence[PowerTrace],
+    n_configs: int,
+    evaluate: Callable[[PowerTrace, int], float],
+    k: int = 3,
+    threshold_w: float = DEFAULT_THRESHOLD_W,
+) -> ConfigMatcher:
+    """Label each training trace by exhaustive evaluation and fit a matcher.
+
+    Args:
+        traces: training power profiles.
+        n_configs: size of the configuration space.
+        evaluate: ``evaluate(trace, config_index) -> score`` (higher is
+            better, typically forward progress).
+        k: matcher neighbourhood size.
+        threshold_w: operating threshold for feature extraction.
+    """
+    if n_configs < 1:
+        raise ValueError("need at least one configuration")
+    features: List[np.ndarray] = []
+    labels: List[int] = []
+    for trace in traces:
+        scores = [evaluate(trace, index) for index in range(n_configs)]
+        features.append(trace_features(trace, threshold_w))
+        labels.append(int(np.argmax(scores)))
+    matcher = ConfigMatcher(k=k)
+    matcher.fit(features, labels)
+    return matcher

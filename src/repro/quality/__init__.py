@@ -1,0 +1,11 @@
+"""Output-quality metrics (MSE / PSNR / SNR) for kernel outputs."""
+
+from repro.quality.metrics import (
+    bit_accuracy,
+    mae,
+    mse,
+    psnr,
+    snr_db,
+)
+
+__all__ = ["bit_accuracy", "mae", "mse", "psnr", "snr_db"]

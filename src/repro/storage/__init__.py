@@ -1,0 +1,26 @@
+"""Energy-storage devices and front-end channels.
+
+The key system-level tradeoff the DATE'17 tutorial identifies is
+between (a) trickle-charging a large storage capacitor — paying
+leakage, conversion losses, and long wait times — and (b) running an
+NVP off a small backup-sized capacitor — paying frequent backup and
+restore overheads.  This package models the storage side: a capacitor
+with voltage-dependent conversion efficiency, leakage, and minimum
+charging current; an idealised storage reference; and single- versus
+dual-channel front-end architectures.
+"""
+
+from repro.storage.capacitor import Capacitor, ChargeEfficiency, StorageStep
+from repro.storage.ideal import IdealStorage
+from repro.storage.frontend import DualChannelFrontEnd, SingleChannelFrontEnd
+from repro.storage.tiered import TieredStorage
+
+__all__ = [
+    "Capacitor",
+    "ChargeEfficiency",
+    "DualChannelFrontEnd",
+    "IdealStorage",
+    "SingleChannelFrontEnd",
+    "StorageStep",
+    "TieredStorage",
+]

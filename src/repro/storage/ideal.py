@@ -1,0 +1,97 @@
+"""Idealised energy store: no leakage, perfect conversion.
+
+Used as a reference to separate architectural effects (backup/restore
+overheads) from storage losses, and as the upper bound in the
+capacitor-sizing experiment.
+"""
+
+from __future__ import annotations
+
+from repro.storage.capacitor import StorageStep
+
+
+class IdealStorage:
+    """Loss-free, efficiency-1.0 energy store with a capacity bound.
+
+    Implements the same ``step``/``draw``/``energy_j`` interface as
+    :class:`~repro.storage.capacitor.Capacitor`.
+    """
+
+    def __init__(self, capacity_j: float, initial_j: float = 0.0) -> None:
+        if capacity_j <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= initial_j <= capacity_j:
+            raise ValueError("initial energy outside [0, capacity]")
+        self.capacity_j = capacity_j
+        self._energy_j = initial_j
+        self.total_charged_j = 0.0
+        self.total_delivered_j = 0.0
+        self.total_leaked_j = 0.0
+        self.total_wasted_j = 0.0
+
+    @property
+    def energy_j(self) -> float:
+        """Stored energy, joules."""
+        return self._energy_j
+
+    @property
+    def energy_max_j(self) -> float:
+        """Capacity, joules."""
+        return self.capacity_j
+
+    @property
+    def state_of_charge(self) -> float:
+        """Stored energy as a fraction of capacity."""
+        return self._energy_j / self.capacity_j
+
+    @property
+    def voltage_v(self) -> float:
+        """Nominal rail voltage (constant 1.0 for the ideal store)."""
+        return 1.0
+
+    def set_energy(self, energy_j: float) -> None:
+        """Force the stored energy (test/benchmark setup helper)."""
+        if not 0 <= energy_j <= self.capacity_j:
+            raise ValueError("energy outside [0, capacity]")
+        self._energy_j = energy_j
+
+    def step(self, p_in_w: float, p_load_w: float, dt_s: float) -> StorageStep:
+        """Advance one tick with perfect charging and no leakage."""
+        if p_in_w < 0 or p_load_w < 0:
+            raise ValueError("powers cannot be negative")
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        charged = p_in_w * dt_s
+        wasted = 0.0
+        headroom = self.capacity_j - self._energy_j
+        if charged > headroom:
+            wasted = charged - headroom
+            charged = headroom
+        self._energy_j += charged
+
+        demand = p_load_w * dt_s
+        delivered = min(demand, self._energy_j)
+        self._energy_j -= delivered
+
+        self.total_charged_j += charged
+        self.total_delivered_j += delivered
+        self.total_wasted_j += wasted
+        return StorageStep(
+            delivered_j=delivered,
+            charged_j=charged,
+            leaked_j=0.0,
+            wasted_j=wasted,
+            deficit=delivered < demand - 1e-18,
+        )
+
+    def draw(self, energy_j: float) -> float:
+        """Withdraw up to ``energy_j`` immediately; returns the amount drawn."""
+        if energy_j < 0:
+            raise ValueError("cannot draw negative energy")
+        drawn = min(energy_j, self._energy_j)
+        self._energy_j -= drawn
+        self.total_delivered_j += drawn
+        return drawn
+
+    def __repr__(self) -> str:
+        return f"IdealStorage(E={self._energy_j * 1e6:.3g}/{self.capacity_j * 1e6:.3g}uJ)"

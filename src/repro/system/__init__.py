@@ -1,0 +1,30 @@
+"""System-level co-simulation.
+
+Couples a harvested-power trace, the rectifier, the storage element
+and a platform model (NVP or baseline) at a 0.1 ms tick — a direct
+re-implementation of the published MATLAB/Python system-level
+simulation methodology that drove the RTL/functional simulator.
+"""
+
+from repro.system.simulator import Platform, SystemSimulator, TickReport
+from repro.system.result import SimulationResult
+from repro.system.scheduler import (
+    PeriodicTask,
+    ScheduleReport,
+    schedule_replay,
+)
+from repro.system.telemetry import Telemetry
+from repro.system.thresholds import ThresholdPlan, plan_thresholds
+
+__all__ = [
+    "PeriodicTask",
+    "Platform",
+    "ScheduleReport",
+    "SimulationResult",
+    "SystemSimulator",
+    "Telemetry",
+    "ThresholdPlan",
+    "TickReport",
+    "plan_thresholds",
+    "schedule_replay",
+]

@@ -1,0 +1,118 @@
+"""Peripheral-state modelling: the part NVFF backup does not cover.
+
+A nonvolatile processor preserves *its own* state across outages, but
+the analog/mixed-signal peripherals around it — ADCs, sensor
+front-ends, radios — lose their configuration registers and bias
+points whenever the rail collapses.  Re-initialising them on every
+wake-up costs instructions, settle time and energy, and at wristwatch
+emergency rates this recurring tax can rival the backup/restore cost
+itself.  The DATE'17 tutorial lists this as one of the open
+challenges for NVP systems; this module lets experiments quantify it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Peripheral:
+    """One peripheral's power-cycle behaviour.
+
+    Attributes:
+        name: identifier.
+        reinit_instructions: software reconfiguration cost paid by the
+            core on every wake-up.
+        reinit_settle_s: analog settling time before the peripheral is
+            usable (bias, PLL, AGC...), during which the core stalls.
+        reinit_energy_j: analog energy of the re-initialisation beyond
+            the instructions (charging bias networks etc.).
+        active_power_w: additional rail load while the system runs.
+    """
+
+    name: str
+    reinit_instructions: int = 0
+    reinit_settle_s: float = 0.0
+    reinit_energy_j: float = 0.0
+    active_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.reinit_instructions < 0:
+            raise ValueError("reinit instructions cannot be negative")
+        if self.reinit_settle_s < 0 or self.reinit_energy_j < 0:
+            raise ValueError("reinit costs cannot be negative")
+        if self.active_power_w < 0:
+            raise ValueError("active power cannot be negative")
+
+
+#: Representative catalog (order-of-magnitude figures for ULP parts).
+ADC_10BIT = Peripheral(
+    name="adc-10bit",
+    reinit_instructions=150,
+    reinit_settle_s=50e-6,
+    reinit_energy_j=5e-9,
+    active_power_w=4e-6,
+)
+
+IMAGE_SENSOR = Peripheral(
+    name="image-sensor",
+    reinit_instructions=2_000,
+    reinit_settle_s=1e-3,
+    reinit_energy_j=200e-9,
+    active_power_w=40e-6,
+)
+
+RADIO_TRX = Peripheral(
+    name="radio-trx",
+    reinit_instructions=4_000,
+    reinit_settle_s=2e-3,
+    reinit_energy_j=500e-9,
+    active_power_w=0.0,  # duty-cycled separately; idle current negligible
+)
+
+
+class PeripheralSet:
+    """The peripherals attached to a platform.
+
+    Args:
+        peripherals: the attached devices (may be empty).
+    """
+
+    def __init__(self, peripherals: Sequence[Peripheral] = ()) -> None:
+        self.peripherals = tuple(peripherals)
+        self.reinits = 0
+
+    @property
+    def active_power_w(self) -> float:
+        """Total extra rail load while the system runs."""
+        return sum(p.active_power_w for p in self.peripherals)
+
+    def reinit_cost(
+        self, instr_energy_j: float, instr_time_s: float
+    ) -> Tuple[float, float]:
+        """Wake-up re-initialisation cost as ``(energy_j, time_s)``.
+
+        Args:
+            instr_energy_j: the core's mean energy per instruction.
+            instr_time_s: the core's mean time per instruction.
+        """
+        if instr_energy_j < 0 or instr_time_s < 0:
+            raise ValueError("instruction costs cannot be negative")
+        energy = 0.0
+        time_s = 0.0
+        for p in self.peripherals:
+            energy += p.reinit_instructions * instr_energy_j + p.reinit_energy_j
+            time_s += p.reinit_instructions * instr_time_s + p.reinit_settle_s
+        return energy, time_s
+
+    def record_reinit(self) -> None:
+        """Count one wake-up re-initialisation (telemetry)."""
+        self.reinits += 1
+
+    def __len__(self) -> int:
+        return len(self.peripherals)
+
+    def __repr__(self) -> str:
+        names = ", ".join(p.name for p in self.peripherals)
+        return f"PeripheralSet([{names}])"

@@ -1,0 +1,116 @@
+"""Calibrated component presets and platform builders.
+
+These encode the representative parts the evaluation assumes:
+
+* **NVP capacitor** — a small ceramic capacitor (hundreds of nF),
+  sized only to guarantee the backup operation and stabilise the rail:
+  negligible leakage, good conversion efficiency across its range.
+* **Supercap** — the large storage element a wait-and-compute design
+  needs (tens of µF and up).  Modelled on GZ-class thin supercaps:
+  ~1 MΩ effective leakage, a ~20 µA minimum charging current, and a
+  conversion-efficiency curve that collapses away from the optimal
+  voltage.
+* **Checkpoint capacitor** — the mid-size reservoir Hibernus-class
+  systems use (a few µF).
+
+Builders assemble (workload, storage, platform) triples so examples
+and benchmarks stay short.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.checkpoint import CheckpointConfig, CheckpointPlatform
+from repro.baselines.oracle import OraclePlatform
+from repro.baselines.waitcompute import WaitComputePlatform
+from repro.core.config import NVPConfig
+from repro.core.nvp import NVPPlatform
+from repro.harvest.rectifier import Rectifier
+from repro.storage.capacitor import Capacitor, ChargeEfficiency
+from repro.workloads.base import Workload
+
+#: Default sizes (farads).
+NVP_CAPACITANCE_F = 150e-9
+SUPERCAP_CAPACITANCE_F = 47e-6
+CHECKPOINT_CAPACITANCE_F = 4.7e-6
+
+
+def nvp_capacitor(capacitance_f: float = NVP_CAPACITANCE_F) -> Capacitor:
+    """Small ceramic backup capacitor for an NVP."""
+    return Capacitor(
+        capacitance_f,
+        v_max_v=3.3,
+        leak_resistance_ohm=20e6,
+        efficiency=ChargeEfficiency(
+            eta_peak=0.90, eta_floor=0.75, v_opt_v=2.0, v_span_v=3.0
+        ),
+    )
+
+
+def supercap(capacitance_f: float = SUPERCAP_CAPACITANCE_F) -> Capacitor:
+    """GZ-class supercapacitor for wait-and-compute storage."""
+    return Capacitor(
+        capacitance_f,
+        v_max_v=3.3,
+        leak_resistance_ohm=1e6,
+        efficiency=ChargeEfficiency(
+            eta_peak=0.85, eta_floor=0.30, v_opt_v=2.2, v_span_v=2.5
+        ),
+        min_charge_current_a=20e-6,
+    )
+
+
+def checkpoint_capacitor(capacitance_f: float = CHECKPOINT_CAPACITANCE_F) -> Capacitor:
+    """Mid-size reservoir for software-checkpointing MCUs."""
+    return Capacitor(
+        capacitance_f,
+        v_max_v=3.3,
+        leak_resistance_ohm=5e6,
+        efficiency=ChargeEfficiency(
+            eta_peak=0.88, eta_floor=0.50, v_opt_v=2.1, v_span_v=2.8
+        ),
+    )
+
+
+def standard_rectifier() -> Rectifier:
+    """The default AC-DC front end for the wristwatch harvester."""
+    return Rectifier(eta_max=0.85, knee_power_w=8e-6, cutin_power_w=1e-6)
+
+
+# -- platform builders ----------------------------------------------------
+
+
+def build_nvp(
+    workload: Workload,
+    config: Optional[NVPConfig] = None,
+    capacitance_f: float = NVP_CAPACITANCE_F,
+    seed: int = 0,
+) -> NVPPlatform:
+    """An NVP on its standard small capacitor."""
+    return NVPPlatform(workload, nvp_capacitor(capacitance_f), config, seed=seed)
+
+
+def build_wait_compute(
+    workload: Workload,
+    capacitance_f: float = SUPERCAP_CAPACITANCE_F,
+    energy_margin: float = 1.3,
+) -> WaitComputePlatform:
+    """A wait-and-compute MCU on its supercap."""
+    return WaitComputePlatform(
+        workload, supercap(capacitance_f), energy_margin=energy_margin
+    )
+
+
+def build_checkpoint(
+    workload: Workload,
+    config: Optional[CheckpointConfig] = None,
+    capacitance_f: float = CHECKPOINT_CAPACITANCE_F,
+) -> CheckpointPlatform:
+    """A software-checkpointing MCU on its mid-size capacitor."""
+    return CheckpointPlatform(workload, checkpoint_capacitor(capacitance_f), config)
+
+
+def build_oracle(workload: Workload) -> OraclePlatform:
+    """The continuously powered upper-bound platform."""
+    return OraclePlatform(workload)

@@ -1,0 +1,107 @@
+"""Simulation result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated outcome of one system-level simulation.
+
+    Attributes:
+        label: the platform label.
+        duration_s: simulated wall-clock time.
+        forward_progress: instructions persistently committed.
+        total_executed: all instructions executed (incl. lost work).
+        lost_instructions: instructions rolled back on power failures.
+        units_completed: completed work units (frames).
+        completed: True if the workload finished within the trace.
+        completion_time_s: time at which the workload finished.
+        backups / restores: successful operation counts.
+        failed_backups / failed_restores: operations that ran out of
+            energy midway.
+        rollbacks: power failures that discarded volatile work.
+        state_time_s: seconds spent per platform state
+            (``"off"``, ``"run"``, ...).
+        harvested_j: energy offered by the (rectified) trace.
+        consumed_j: energy delivered to the platform load.
+        backup_energy_j / restore_energy_j: energy spent on state
+            preservation.
+        extras: free-form platform-specific metrics.
+    """
+
+    label: str
+    duration_s: float
+    forward_progress: int = 0
+    total_executed: int = 0
+    lost_instructions: int = 0
+    units_completed: int = 0
+    completed: bool = False
+    completion_time_s: Optional[float] = None
+    backups: int = 0
+    restores: int = 0
+    failed_backups: int = 0
+    failed_restores: int = 0
+    rollbacks: int = 0
+    state_time_s: Dict[str, float] = field(default_factory=dict)
+    harvested_j: float = 0.0
+    consumed_j: float = 0.0
+    backup_energy_j: float = 0.0
+    restore_energy_j: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def on_time_fraction(self) -> float:
+        """Fraction of time the core was executing."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.state_time_s.get("run", 0.0) / self.duration_s
+
+    @property
+    def progress_per_second(self) -> float:
+        """Forward progress rate (instructions per second)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.forward_progress / self.duration_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view of the result (for tooling/CI)."""
+        return {
+            "label": self.label,
+            "duration_s": self.duration_s,
+            "forward_progress": self.forward_progress,
+            "total_executed": self.total_executed,
+            "lost_instructions": self.lost_instructions,
+            "units_completed": self.units_completed,
+            "completed": self.completed,
+            "completion_time_s": self.completion_time_s,
+            "backups": self.backups,
+            "restores": self.restores,
+            "failed_backups": self.failed_backups,
+            "failed_restores": self.failed_restores,
+            "rollbacks": self.rollbacks,
+            "state_time_s": dict(self.state_time_s),
+            "harvested_j": self.harvested_j,
+            "consumed_j": self.consumed_j,
+            "backup_energy_j": self.backup_energy_j,
+            "restore_energy_j": self.restore_energy_j,
+            "on_time_fraction": self.on_time_fraction,
+            "progress_per_second": self.progress_per_second,
+            "extras": dict(self.extras),
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        done = (
+            f"done@{self.completion_time_s:.3f}s"
+            if self.completed and self.completion_time_s is not None
+            else "unfinished"
+        )
+        return (
+            f"{self.label}: FP={self.forward_progress} "
+            f"({self.progress_per_second:.0f}/s), units={self.units_completed}, "
+            f"backups={self.backups}, restores={self.restores}, "
+            f"rollbacks={self.rollbacks}, on={self.on_time_fraction:.1%}, {done}"
+        )

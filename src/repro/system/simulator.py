@@ -1,0 +1,133 @@
+"""The tick-level system simulator.
+
+The simulator owns the time axis: it walks the power trace one 0.1 ms
+tick at a time, converts harvested power through the (optional)
+rectifier, hands each tick to the platform's state machine, and
+aggregates the telemetry into a :class:`SimulationResult`.
+
+Platforms (the NVP and every baseline) implement one method —
+``tick(p_in_w, dt_s) -> TickReport`` — plus a small set of reporting
+properties; all paradigm-specific behaviour (thresholds, backup,
+checkpointing, wait-and-compute) lives inside the platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+from repro.harvest.rectifier import Rectifier
+from repro.harvest.traces import PowerTrace
+from repro.system.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class TickReport:
+    """What a platform did during one tick.
+
+    Attributes:
+        state: platform state during the tick (``"off"``, ``"run"``,
+            ``"backup"``, ``"restore"``, ``"charge"``, ``"done"``).
+        instructions: instructions executed this tick.
+    """
+
+    state: str
+    instructions: int = 0
+
+
+@runtime_checkable
+class Platform(Protocol):
+    """The interface every simulated platform implements."""
+
+    label: str
+
+    def tick(self, p_in_w: float, dt_s: float) -> TickReport: ...
+
+    @property
+    def finished(self) -> bool: ...
+
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot merged into the result (see platform docs)."""
+        ...
+
+
+class SystemSimulator:
+    """Walks a power trace through a platform.
+
+    Args:
+        trace: the harvested-power trace (pre-rectifier).
+        platform: the platform under test.
+        rectifier: optional AC-DC front end; ``None`` applies the trace
+            directly (use when the trace is already a DC profile).
+        stop_when_finished: end the simulation as soon as the workload
+            completes.
+        telemetry: optional :class:`~repro.system.telemetry.Telemetry`
+            recorder capturing the per-tick time series.
+    """
+
+    def __init__(
+        self,
+        trace: PowerTrace,
+        platform: Platform,
+        rectifier: Optional[Rectifier] = None,
+        stop_when_finished: bool = True,
+        telemetry=None,
+    ) -> None:
+        self.trace = trace
+        self.platform = platform
+        self.rectifier = rectifier
+        self.stop_when_finished = stop_when_finished
+        self.telemetry = telemetry
+
+    def run(self) -> SimulationResult:
+        """Execute the full trace (or until completion) and aggregate."""
+        dt = self.trace.dt_s
+        state_time: Dict[str, float] = {}
+        harvested = 0.0
+        ticks_run = 0
+        completion_time: Optional[float] = None
+
+        for index, p_raw in enumerate(self.trace.samples_w):
+            p_in = (
+                self.rectifier.output_power(float(p_raw))
+                if self.rectifier is not None
+                else float(p_raw)
+            )
+            harvested += p_in * dt
+            report = self.platform.tick(p_in, dt)
+            state_time[report.state] = state_time.get(report.state, 0.0) + dt
+            ticks_run = index + 1
+            if self.telemetry is not None:
+                self.telemetry.record(index * dt, report, self.platform)
+            if self.platform.finished and completion_time is None:
+                completion_time = ticks_run * dt
+                if self.stop_when_finished:
+                    break
+
+        stats = self.platform.stats()
+        result = SimulationResult(
+            label=self.platform.label,
+            duration_s=ticks_run * dt,
+            completed=self.platform.finished,
+            completion_time_s=completion_time,
+            state_time_s=state_time,
+            harvested_j=harvested,
+        )
+        for key in (
+            "forward_progress",
+            "total_executed",
+            "lost_instructions",
+            "units_completed",
+            "backups",
+            "restores",
+            "failed_backups",
+            "failed_restores",
+            "rollbacks",
+        ):
+            if key in stats:
+                setattr(result, key, int(stats.pop(key)))
+        for key in ("consumed_j", "backup_energy_j", "restore_energy_j"):
+            if key in stats:
+                setattr(result, key, float(stats.pop(key)))
+        result.extras = {k: float(v) for k, v in stats.items()}
+        return result

@@ -1,0 +1,85 @@
+"""Energy-threshold planning.
+
+An NVP's power-management policy is a pair of energy thresholds on the
+storage element:
+
+* **backup threshold** — when stored energy falls to this level the
+  controller triggers a backup; it must cover the worst-case backup
+  energy times a safety margin (future power income is unpredictable
+  and a failed backup loses all volatile work).
+* **start threshold** — stored energy required before waking up; it
+  must cover the restore cost, the backup reserve, and enough run
+  energy to make the wake-up worthwhile (hysteresis against
+  restore/backup thrashing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ThresholdPlan:
+    """Planned energy thresholds.
+
+    Attributes:
+        backup_threshold_j: trigger level for backup.
+        start_threshold_j: wake-up level.
+        backup_cost_j: the worst-case backup energy the plan reserves.
+        restore_cost_j: the restore energy the plan reserves.
+    """
+
+    backup_threshold_j: float
+    start_threshold_j: float
+    backup_cost_j: float
+    restore_cost_j: float
+
+    def __post_init__(self) -> None:
+        if self.backup_threshold_j < 0 or self.start_threshold_j < 0:
+            raise ValueError("thresholds cannot be negative")
+        if self.start_threshold_j < self.backup_threshold_j:
+            raise ValueError("start threshold must be >= backup threshold")
+
+
+def plan_thresholds(
+    backup_cost_j: float,
+    restore_cost_j: float,
+    run_power_w: float,
+    tick_s: float,
+    backup_margin: float = 1.5,
+    run_reserve_ticks: float = 2.0,
+) -> ThresholdPlan:
+    """Compute the standard threshold plan.
+
+    Args:
+        backup_cost_j: worst-case backup energy.
+        restore_cost_j: restore energy.
+        run_power_w: average execution power.
+        tick_s: simulator tick.
+        backup_margin: safety multiplier on the backup reserve.
+        run_reserve_ticks: run-energy hysteresis, in ticks.
+
+    Returns:
+        A :class:`ThresholdPlan`.
+    """
+    if backup_cost_j < 0 or restore_cost_j < 0:
+        raise ValueError("costs cannot be negative")
+    if run_power_w < 0:
+        raise ValueError("run power cannot be negative")
+    if tick_s <= 0:
+        raise ValueError("tick must be positive")
+    if backup_margin < 1.0:
+        raise ValueError("backup margin must be >= 1.0")
+    if run_reserve_ticks < 0:
+        raise ValueError("run reserve cannot be negative")
+    run_tick_energy = run_power_w * tick_s
+    backup_threshold = backup_margin * (backup_cost_j + run_tick_energy)
+    start_threshold = (
+        backup_threshold + restore_cost_j + run_reserve_ticks * run_tick_energy
+    )
+    return ThresholdPlan(
+        backup_threshold_j=backup_threshold,
+        start_threshold_j=start_threshold,
+        backup_cost_j=backup_cost_j,
+        restore_cost_j=restore_cost_j,
+    )

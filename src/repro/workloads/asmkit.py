@@ -1,0 +1,88 @@
+"""Shared helpers for NV16 kernel construction.
+
+Kernels follow a common contract:
+
+* all data lives in the NVM region (``0x8000+``) so it survives power
+  failures — the volatile RAM segment is never used;
+* every computed output value is also streamed to the MMIO output
+  port, so the harness can score quality even across frame restarts
+  and rollbacks;
+* kernels are *replay-idempotent*: they only read their inputs and
+  write their outputs, so re-executing a span of instructions after a
+  rollback cannot corrupt the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.isa.assembler import Program, assemble
+from repro.isa.memory import NVM_BASE, OUTPUT_PORT
+
+#: Conventional base address for kernel inputs.
+SRC_BASE = NVM_BASE  # 0x8000
+
+
+@dataclass
+class KernelBuild:
+    """A built kernel: program + expected outputs + metadata.
+
+    Attributes:
+        name: kernel name.
+        program: the assembled NV16 program.
+        expected_output: the reference output stream for one frame
+            (what the MMIO port should carry, as unsigned 16-bit ints).
+        params: generation parameters (image size, buffer length, ...).
+    """
+
+    name: str
+    program: Program
+    expected_output: np.ndarray
+    params: Dict[str, int] = field(default_factory=dict)
+
+
+def assemble_kernel(
+    name: str,
+    source: str,
+    data: Optional[Dict[int, np.ndarray]] = None,
+    expected_output: Optional[np.ndarray] = None,
+    params: Optional[Dict[str, int]] = None,
+) -> KernelBuild:
+    """Assemble kernel source and inject input arrays into the image.
+
+    Args:
+        name: kernel name.
+        source: NV16 assembly text.
+        data: mapping ``base_address -> array`` of input words to merge
+            into the program's data image (values truncated to 16 bits).
+        expected_output: the reference output stream.
+        params: generation parameters to record.
+    """
+    program = assemble(source)
+    if data:
+        for base, array in data.items():
+            flat = np.asarray(array).ravel()
+            for offset, value in enumerate(flat):
+                program.data_image[base + offset] = int(value) & 0xFFFF
+    expected = (
+        np.asarray(expected_output, dtype=np.uint16)
+        if expected_output is not None
+        else np.zeros(0, dtype=np.uint16)
+    )
+    return KernelBuild(
+        name=name,
+        program=program,
+        expected_output=expected,
+        params=dict(params or {}),
+    )
+
+
+def emit_output(value_reg: str, addr_reg: str) -> str:
+    """Assembly snippet streaming ``value_reg`` to the output port.
+
+    ``addr_reg`` is clobbered.
+    """
+    return f"    li {addr_reg}, {OUTPUT_PORT}\n    st {value_reg}, 0({addr_reg})\n"

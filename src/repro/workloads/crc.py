@@ -1,0 +1,89 @@
+"""CRC-16/CCITT-FALSE over a byte buffer.
+
+The canonical pattern-matching/integrity kernel: init 0xFFFF,
+polynomial 0x1021, MSB-first, no reflection.  The CRC accumulates in a
+register (not memory), so the kernel is fully replay-idempotent on an
+NVP.  Output stream: the final 16-bit CRC (one word per frame).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa.memory import OUTPUT_PORT
+from repro.workloads.asmkit import KernelBuild, SRC_BASE, assemble_kernel
+from repro.workloads.images import test_bytes
+
+POLY = 0x1021
+INIT = 0xFFFF
+
+
+def crc16(data) -> int:
+    """Bit-accurate CRC-16/CCITT-FALSE of a byte sequence."""
+    crc = INIT
+    for byte in np.asarray(data, dtype=np.int64).ravel():
+        crc ^= (int(byte) & 0xFF) << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def reference(src: np.ndarray) -> np.ndarray:
+    """Reference output stream: the single CRC word."""
+    return np.array([crc16(src)], dtype=np.uint16)
+
+
+def assembly(length: int) -> str:
+    """Generate the NV16 CRC-16 program over ``length`` bytes."""
+    if length < 1:
+        raise ValueError("CRC needs at least one byte")
+    src = SRC_BASE
+    return f"""
+; crc16-ccitt over {length} bytes at {src:#x}
+.data {src:#x}
+src: .space {length}
+.text
+main:
+    li   r1, 0            ; index
+    li   r2, {INIT}       ; crc
+byteloop:
+    ld   r4, src(r1)
+    shli r4, r4, 8
+    xor  r2, r2, r4
+    li   r5, 8
+bitloop:
+    li   r6, 0x8000
+    and  r6, r2, r6
+    shli r2, r2, 1
+    beqz r6, nofb
+    li   r6, {POLY}
+    xor  r2, r2, r6
+nofb:
+    dec  r5
+    bnez r5, bitloop
+    inc  r1
+    li   r3, {length}
+    blt  r1, r3, byteloop
+    li   r3, {OUTPUT_PORT}
+    st   r2, 0(r3)
+    halt
+"""
+
+
+def build(
+    data: Optional[np.ndarray] = None, length: int = 128, seed: int = 7
+) -> KernelBuild:
+    """Build the CRC kernel for a byte buffer (or a synthetic one)."""
+    buf = test_bytes(length, seed) if data is None else np.asarray(data)
+    return assemble_kernel(
+        name="crc",
+        source=assembly(len(buf)),
+        data={SRC_BASE: buf},
+        expected_output=reference(buf),
+        params={"length": len(buf)},
+    )

@@ -1,0 +1,140 @@
+"""Fixed-point DFT magnitude spectrum (the FFT-class kernel).
+
+Spectrum analysis is the signature workload of gas-sensing and
+water-quality IoT nodes.  This kernel computes an O(N²) discrete
+Fourier transform with Q5 twiddle factors (scale 32) and an input
+pre-shift chosen so the 16-bit accumulators cannot overflow, then
+emits ``|re| + |im|`` per bin.  The Python reference reproduces the
+16-bit wrap-around arithmetic bit-exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.isa.memory import OUTPUT_PORT
+from repro.workloads.asmkit import KernelBuild, SRC_BASE, assemble_kernel
+from repro.workloads.images import test_signal
+
+TWIDDLE_SCALE = 32
+
+
+def _wrap16(value: int) -> int:
+    return value & 0xFFFF
+
+
+def _signed16(value: int) -> int:
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def input_shift(n: int) -> int:
+    """Smallest pre-shift keeping ``32 · (255 >> s) · N`` below 2¹⁵."""
+    shift = 0
+    while TWIDDLE_SCALE * (255 >> shift) * n >= 32768 and shift < 8:
+        shift += 1
+    return shift
+
+
+def twiddle_tables(n: int) -> tuple:
+    """Q5 cosine/sine tables of length N (as unsigned 16-bit words)."""
+    cos_tab = [
+        _wrap16(round(TWIDDLE_SCALE * math.cos(2 * math.pi * j / n)))
+        for j in range(n)
+    ]
+    sin_tab = [
+        _wrap16(round(TWIDDLE_SCALE * math.sin(2 * math.pi * j / n)))
+        for j in range(n)
+    ]
+    return cos_tab, sin_tab
+
+
+def reference(src: np.ndarray) -> np.ndarray:
+    """Bit-exact reference of the fixed-point DFT magnitude spectrum."""
+    signal = np.asarray(src, dtype=np.int64).ravel()
+    n = len(signal)
+    if n < 2 or (n & (n - 1)) != 0:
+        raise ValueError("DFT length must be a power of two >= 2")
+    shift = input_shift(n)
+    cos_tab, sin_tab = twiddle_tables(n)
+    out = []
+    for k in range(n):
+        re = 0
+        im = 0
+        for t in range(n):
+            idx = (k * t) & (n - 1)
+            xv = int(signal[t]) >> shift
+            re = _wrap16(re + _wrap16(_signed16(cos_tab[idx]) * xv))
+            im = _wrap16(im - _wrap16(_signed16(sin_tab[idx]) * xv))
+        mag = abs(_signed16(re)) + abs(_signed16(im))
+        out.append(_wrap16(mag))
+    return np.array(out, dtype=np.uint16)
+
+
+def assembly(n: int) -> str:
+    """Generate the NV16 DFT program over ``n`` samples."""
+    if n < 2 or (n & (n - 1)) != 0:
+        raise ValueError("DFT length must be a power of two >= 2")
+    shift = input_shift(n)
+    cos_tab, sin_tab = twiddle_tables(n)
+    src = SRC_BASE
+    cos_words = ", ".join(str(v) for v in cos_tab)
+    sin_words = ", ".join(str(v) for v in sin_tab)
+    return f"""
+; dft-{n} (Q5 twiddles, input >> {shift}) at {src:#x}
+.data {src:#x}
+src:    .space {n}
+costab: .word {cos_words}
+sintab: .word {sin_words}
+.text
+main:
+    li   r1, 0            ; k (frequency bin)
+kloop:
+    li   r4, 0            ; re
+    li   r6, 0            ; im
+    li   r2, 0            ; n (time index)
+nloop:
+    mul  r3, r1, r2
+    andi r3, r3, {n - 1}
+    ld   r7, src(r2)
+    shri r7, r7, {shift}
+    ld   r5, costab(r3)
+    mul  r5, r5, r7
+    add  r4, r4, r5
+    ld   r5, sintab(r3)
+    mul  r5, r5, r7
+    sub  r6, r6, r5
+    inc  r2
+    li   r3, {n}
+    blt  r2, r3, nloop
+    bge  r4, r0, re_pos
+    neg  r4, r4
+re_pos:
+    bge  r6, r0, im_pos
+    neg  r6, r6
+im_pos:
+    add  r4, r4, r6
+    li   r3, {OUTPUT_PORT}
+    st   r4, 0(r3)
+    inc  r1
+    li   r3, {n}
+    blt  r1, r3, kloop
+    halt
+"""
+
+
+def build(
+    data: Optional[np.ndarray] = None, length: int = 32, seed: int = 7
+) -> KernelBuild:
+    """Build the DFT kernel for a signal (or a synthetic one)."""
+    signal = test_signal(length, seed) if data is None else np.asarray(data)
+    return assemble_kernel(
+        name="dft",
+        source=assembly(len(signal)),
+        data={SRC_BASE: signal},
+        expected_output=reference(signal),
+        params={"length": len(signal)},
+    )

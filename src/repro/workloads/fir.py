@@ -1,0 +1,93 @@
+"""8-tap FIR low-pass filter over a 1-D sensor signal.
+
+``y[n] = (Σ_k c[k] · x[n-k]) >> 6`` with a smooth symmetric kernel
+(coefficient sum 52, so an 8-bit input cannot overflow 16 bits).
+Output stream: ``N - 7`` filtered samples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.isa.memory import OUTPUT_PORT
+from repro.workloads.asmkit import KernelBuild, SRC_BASE, assemble_kernel
+from repro.workloads.images import test_signal
+
+#: Default low-pass taps (sum = 52 keeps the accumulator within 16 bits).
+DEFAULT_TAPS = (1, 3, 8, 14, 14, 8, 3, 1)
+SHIFT = 6
+
+
+def reference(src: np.ndarray, taps: Sequence[int] = DEFAULT_TAPS) -> np.ndarray:
+    """Bit-accurate reference of the fixed-point FIR."""
+    signal = np.asarray(src, dtype=np.int64).ravel()
+    taps = list(taps)
+    n_taps = len(taps)
+    if len(signal) < n_taps:
+        raise ValueError("signal shorter than the filter")
+    out = []
+    for n in range(n_taps - 1, len(signal)):
+        acc = sum(taps[k] * int(signal[n - k]) for k in range(n_taps)) & 0xFFFF
+        out.append(acc >> SHIFT)
+    return np.array(out, dtype=np.uint16)
+
+
+def assembly(length: int, taps: Sequence[int] = DEFAULT_TAPS) -> str:
+    """Generate the NV16 FIR program over ``length`` samples."""
+    taps = list(taps)
+    n_taps = len(taps)
+    if length < n_taps:
+        raise ValueError("signal shorter than the filter")
+    src = SRC_BASE
+    coef = src + length
+    dst = coef + n_taps
+    coef_words = ", ".join(str(t) for t in taps)
+    return f"""
+; fir {n_taps}-tap over {length} samples at {src:#x}
+.data {src:#x}
+src:  .space {length}
+coef: .word {coef_words}
+dst:  .space {length - n_taps + 1}
+.text
+main:
+    li   r7, dst
+    li   r1, {n_taps - 1}  ; n
+nloop:
+    li   r4, 0             ; acc
+    li   r2, 0             ; k
+kloop:
+    mov  r3, r1
+    sub  r3, r3, r2
+    ld   r5, src(r3)       ; x[n-k]
+    ld   r6, coef(r2)      ; c[k]
+    mul  r5, r5, r6
+    add  r4, r4, r5
+    inc  r2
+    li   r3, {n_taps}
+    blt  r2, r3, kloop
+    shri r4, r4, {SHIFT}
+    st   r4, 0(r7)
+    inc  r7
+    li   r3, {OUTPUT_PORT}
+    st   r4, 0(r3)
+    inc  r1
+    li   r3, {length}
+    blt  r1, r3, nloop
+    halt
+"""
+
+
+def build(
+    data: Optional[np.ndarray] = None, length: int = 128, seed: int = 7
+) -> KernelBuild:
+    """Build the FIR kernel for a signal (or a synthetic one)."""
+    signal = test_signal(length, seed) if data is None else np.asarray(data)
+    return assemble_kernel(
+        name="fir",
+        source=assembly(len(signal)),
+        data={SRC_BASE: signal},
+        expected_output=reference(signal),
+        params={"length": len(signal)},
+    )

@@ -1,0 +1,90 @@
+"""16-bin histogram of an 8-bit buffer.
+
+Bins live in nonvolatile memory and are updated read-modify-write,
+which makes this kernel deliberately **not replay-idempotent**: if an
+NVP rolls back past bin increments that already reached NVM, those
+increments are double-counted.  The suite uses it both as a workload
+and as a demonstration of the intermittent-consistency hazard the
+tutorial highlights.  Output stream: the 16 bin counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa.memory import OUTPUT_PORT
+from repro.workloads.asmkit import KernelBuild, SRC_BASE, assemble_kernel
+from repro.workloads.images import test_bytes
+
+N_BINS = 16
+
+
+def reference(src: np.ndarray) -> np.ndarray:
+    """Reference: counts of values per 16-wide bucket (value >> 4)."""
+    data = np.asarray(src, dtype=np.int64).ravel()
+    counts = np.bincount(data >> 4, minlength=N_BINS)[:N_BINS]
+    return counts.astype(np.uint16)
+
+
+def assembly(length: int) -> str:
+    """Generate the NV16 histogram program over ``length`` bytes."""
+    if length < 1:
+        raise ValueError("histogram needs at least one sample")
+    src = SRC_BASE
+    bins = src + length
+    return f"""
+; histogram(16 bins) over {length} bytes at {src:#x}; bins at {bins:#x}
+.data {src:#x}
+src:  .space {length}
+bins: .space {N_BINS}
+.text
+main:
+    ; zero the bins (the data image already is, but an explicit clear
+    ; keeps repeated frames well-defined)
+    li   r1, 0
+zloop:
+    li   r3, bins
+    add  r3, r3, r1
+    st   r0, 0(r3)
+    inc  r1
+    li   r3, {N_BINS}
+    blt  r1, r3, zloop
+    li   r1, 0            ; index
+hloop:
+    ld   r4, src(r1)
+    shri r4, r4, 4        ; bucket
+    li   r3, bins
+    add  r3, r3, r4
+    ld   r5, 0(r3)
+    inc  r5
+    st   r5, 0(r3)
+    inc  r1
+    li   r3, {length}
+    blt  r1, r3, hloop
+    ; stream the bins
+    li   r1, 0
+outl:
+    ld   r4, bins(r1)
+    li   r3, {OUTPUT_PORT}
+    st   r4, 0(r3)
+    inc  r1
+    li   r3, {N_BINS}
+    blt  r1, r3, outl
+    halt
+"""
+
+
+def build(
+    data: Optional[np.ndarray] = None, length: int = 256, seed: int = 7
+) -> KernelBuild:
+    """Build the histogram kernel for a buffer (or a synthetic one)."""
+    buf = test_bytes(length, seed, runs=False) if data is None else np.asarray(data)
+    return assemble_kernel(
+        name="histogram",
+        source=assembly(len(buf)),
+        data={SRC_BASE: buf},
+        expected_output=reference(buf),
+        params={"length": len(buf)},
+    )

@@ -1,0 +1,80 @@
+"""Deterministic synthetic test imagery.
+
+Stands in for the sensor frames real prototypes capture: gradients,
+geometric shapes and texture noise, so that edge detectors, median
+filters and integral images all have something meaningful to chew on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def test_image(size: int = 32, seed: int = 7, kind: str = "scene") -> np.ndarray:
+    """Generate a deterministic ``size``×``size`` uint8 grayscale image.
+
+    Args:
+        size: image side length (>= 4).
+        seed: RNG seed (texture noise).
+        kind: ``"scene"`` (gradient + shapes + noise), ``"gradient"``,
+            ``"noise"``, or ``"edges"`` (high-contrast bars).
+
+    Raises:
+        ValueError: for an unknown kind or a too-small size.
+    """
+    if size < 4:
+        raise ValueError("image must be at least 4x4")
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:size, 0:size]
+
+    if kind == "gradient":
+        image = (xx + yy) * (255.0 / (2 * (size - 1)))
+    elif kind == "noise":
+        image = rng.uniform(0, 255, size=(size, size))
+    elif kind == "edges":
+        image = np.where((xx // max(1, size // 8)) % 2 == 0, 220.0, 30.0)
+    elif kind == "scene":
+        image = (xx + yy) * (200.0 / (2 * (size - 1))) + 20.0
+        # A bright disc and a dark square.
+        cy, cx, r = size * 0.35, size * 0.6, size * 0.18
+        disc = (yy - cy) ** 2 + (xx - cx) ** 2 <= r * r
+        image[disc] = 240.0
+        s0, s1 = int(size * 0.6), int(size * 0.85)
+        image[s0:s1, s0:s1] = 25.0
+        image += rng.normal(0.0, 6.0, size=(size, size))
+    else:
+        raise ValueError(f"unknown image kind {kind!r}")
+
+    return np.clip(np.round(image), 0, 255).astype(np.uint8)
+
+
+def test_signal(length: int = 256, seed: int = 7) -> np.ndarray:
+    """Deterministic 1-D uint8 sensor signal (two tones + noise)."""
+    if length < 8:
+        raise ValueError("signal must have at least 8 samples")
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    signal = (
+        100.0
+        + 70.0 * np.sin(2 * np.pi * t / 32.0)
+        + 40.0 * np.sin(2 * np.pi * t / 7.0)
+        + rng.normal(0.0, 5.0, size=length)
+    )
+    return np.clip(np.round(signal), 0, 255).astype(np.uint8)
+
+
+def test_bytes(length: int = 256, seed: int = 7, runs: bool = True) -> np.ndarray:
+    """Deterministic uint8 byte buffer (run-structured for RLE/CRC)."""
+    if length < 4:
+        raise ValueError("buffer must have at least 4 bytes")
+    rng = np.random.default_rng(seed)
+    if not runs:
+        return rng.integers(0, 256, size=length, dtype=np.uint8).astype(np.uint8)
+    out = np.empty(length, dtype=np.uint8)
+    i = 0
+    while i < length:
+        run = int(rng.integers(1, 12))
+        value = int(rng.integers(0, 256))
+        out[i : i + run] = value
+        i += run
+    return out

@@ -1,0 +1,88 @@
+"""Integral image (summed-area table, modulo 2¹⁶).
+
+``ii[y][x] = src[y][x] + ii[y-1][x] + ii[y][x-1] - ii[y-1][x-1]``,
+computed with a running row sum.  All arithmetic wraps at 16 bits, as
+it does on the real core.  Output stream: the full H×W table in
+row-major order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa.memory import OUTPUT_PORT
+from repro.workloads.asmkit import KernelBuild, SRC_BASE, assemble_kernel
+from repro.workloads.images import test_image
+
+
+def reference(src: np.ndarray) -> np.ndarray:
+    """NumPy reference: row-major summed-area table, mod 65536."""
+    img = np.asarray(src, dtype=np.int64)
+    if img.ndim != 2:
+        raise ValueError("integral needs a 2-D image")
+    table = np.cumsum(np.cumsum(img, axis=0), axis=1) % 65536
+    return table.astype(np.uint16).ravel()
+
+
+def assembly(height: int, width: int) -> str:
+    """Generate the NV16 integral-image program for an H×W frame."""
+    if height < 1 or width < 1:
+        raise ValueError("integral needs a non-empty frame")
+    src = SRC_BASE
+    dst = src + height * width
+    w = width
+    return f"""
+; integral {height}x{width}: src@{src:#x} -> dst@{dst:#x} + output port
+.data {src:#x}
+src: .space {height * width}
+dst: .space {height * width}
+.text
+main:
+    li   r6, dst
+    li   r1, 0            ; y
+yloop:
+    li   r2, 0            ; x
+    li   r4, 0            ; row running sum
+xloop:
+    li   r5, {w}
+    mul  r3, r1, r5
+    add  r3, r3, r2
+    addi r3, r3, src
+    ld   r5, 0(r3)
+    add  r4, r4, r5       ; rs += src[y][x]
+    beqz r1, norow
+    ld   r5, {-w}(r6)     ; ii[y-1][x]
+    add  r5, r5, r4
+    jmp  store
+norow:
+    mov  r5, r4
+store:
+    st   r5, 0(r6)
+    li   r3, {OUTPUT_PORT}
+    st   r5, 0(r3)
+    inc  r6
+    inc  r2
+    li   r5, {w}
+    blt  r2, r5, xloop
+    inc  r1
+    li   r5, {height}
+    blt  r1, r5, yloop
+    halt
+"""
+
+
+def build(
+    image: Optional[np.ndarray] = None, size: int = 16, seed: int = 7
+) -> KernelBuild:
+    """Build the integral-image kernel for an image (or a synthetic one)."""
+    img = test_image(size, seed) if image is None else np.asarray(image)
+    height, width = img.shape
+    return assemble_kernel(
+        name="integral",
+        source=assembly(height, width),
+        data={SRC_BASE: img},
+        expected_output=reference(img),
+        params={"height": height, "width": width},
+    )

@@ -1,0 +1,99 @@
+"""Fixed-point matrix multiply (N×N, 4-bit operands).
+
+``C = A · B`` with 4-bit unsigned operands so the 16-bit accumulator
+cannot overflow for N ≤ 16.  Output stream: C in row-major order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.isa.memory import OUTPUT_PORT
+from repro.workloads.asmkit import KernelBuild, SRC_BASE, assemble_kernel
+
+
+def make_operands(n: int = 8, seed: int = 7) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic pair of N×N 4-bit matrices."""
+    if n < 1:
+        raise ValueError("matrix size must be positive")
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 16, size=(n, n), dtype=np.int64)
+    b = rng.integers(0, 16, size=(n, n), dtype=np.int64)
+    return a, b
+
+
+def reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference: row-major C = A·B mod 65536."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError("matmul needs two square matrices of equal size")
+    return ((a @ b) % 65536).astype(np.uint16).ravel()
+
+
+def assembly(n: int) -> str:
+    """Generate the NV16 matmul program for N×N matrices."""
+    if n < 1 or (n & (n - 1)) != 0:
+        raise ValueError("matrix size must be a power of two (shift addressing)")
+    shift = n.bit_length() - 1
+    a_base = SRC_BASE
+    b_base = a_base + n * n
+    c_base = b_base + n * n
+    return f"""
+; matmul {n}x{n}: A@{a_base:#x}, B@{b_base:#x} -> C@{c_base:#x}
+.data {a_base:#x}
+mata: .space {n * n}
+matb: .space {n * n}
+matc: .space {n * n}
+.text
+main:
+    li   r1, 0            ; i
+iloop:
+    li   r2, 0            ; j
+jloop:
+    li   r4, 0            ; acc
+    li   r5, 0            ; k
+kloop:
+    shli r3, r1, {shift}
+    add  r3, r3, r5
+    ld   r6, mata(r3)     ; A[i][k]
+    shli r3, r5, {shift}
+    add  r3, r3, r2
+    ld   r7, matb(r3)     ; B[k][j]
+    mul  r6, r6, r7
+    add  r4, r4, r6
+    inc  r5
+    li   r3, {n}
+    blt  r5, r3, kloop
+    shli r3, r1, {shift}
+    add  r3, r3, r2
+    st   r4, matc(r3)
+    li   r3, {OUTPUT_PORT}
+    st   r4, 0(r3)
+    inc  r2
+    li   r3, {n}
+    blt  r2, r3, jloop
+    inc  r1
+    li   r3, {n}
+    blt  r1, r3, iloop
+    halt
+"""
+
+
+def build(
+    operands: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    n: int = 8,
+    seed: int = 7,
+) -> KernelBuild:
+    """Build the matmul kernel (synthetic operands by default)."""
+    a, b = make_operands(n, seed) if operands is None else operands
+    n = a.shape[0]
+    return assemble_kernel(
+        name="matmul",
+        source=assembly(n),
+        data={SRC_BASE: a, SRC_BASE + n * n: b},
+        expected_output=reference(a, b),
+        params={"n": n},
+    )

@@ -1,0 +1,113 @@
+"""3×3 median filter.
+
+For each interior pixel, the nine neighbourhood values are copied to a
+scratch buffer, bubble-sorted, and the middle element emitted — the
+standard salt-and-pepper denoiser used in NVP evaluations.
+Output stream: the (H-2)×(W-2) filtered map in row-major order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa.memory import OUTPUT_PORT
+from repro.workloads.asmkit import KernelBuild, SRC_BASE, assemble_kernel
+from repro.workloads.images import test_image
+
+
+def reference(src: np.ndarray) -> np.ndarray:
+    """NumPy reference: row-major 3×3 median map."""
+    img = np.asarray(src, dtype=np.int64)
+    if img.ndim != 2 or img.shape[0] < 3 or img.shape[1] < 3:
+        raise ValueError("median needs a 2-D image at least 3x3")
+    height, width = img.shape
+    out = np.empty((height - 2, width - 2), dtype=np.uint16)
+    for y in range(1, height - 1):
+        for x in range(1, width - 1):
+            window = img[y - 1 : y + 2, x - 1 : x + 2].ravel()
+            out[y - 1, x - 1] = int(np.sort(window)[4])
+    return out.ravel()
+
+
+def assembly(height: int, width: int) -> str:
+    """Generate the NV16 median program for an H×W frame at SRC_BASE."""
+    if height < 3 or width < 3:
+        raise ValueError("median needs at least a 3x3 frame")
+    src = SRC_BASE
+    dst = src + height * width
+    scratch = dst + (height - 2) * (width - 2)
+    w = width
+    offsets = [-w - 1, -w, -w + 1, -1, 0, 1, w - 1, w, w + 1]
+    copy_lines = "\n".join(
+        f"    ld   r5, {off}(r3)\n    st   r5, {scratch + k}(r0)"
+        for k, off in enumerate(offsets)
+    )
+    return f"""
+; median3x3 {height}x{width}: src@{src:#x} -> dst@{dst:#x}, scratch@{scratch:#x}
+.data {src:#x}
+src: .space {height * width}
+dst: .space {(height - 2) * (width - 2)}
+buf: .space 10
+.text
+main:
+    li   r7, dst
+    li   r1, 1            ; y
+yloop:
+    li   r2, 1            ; x
+xloop:
+    li   r5, {w}
+    mul  r3, r1, r5
+    add  r3, r3, r2
+    addi r3, r3, src      ; r3 = &src[y][x]
+{copy_lines}
+    ; bubble sort: 8 passes over buf[0..8]
+    li   r3, 8
+    st   r3, {scratch + 9}(r0)
+pass:
+    li   r4, 0
+inner:
+    li   r3, {scratch}
+    add  r3, r3, r4
+    ld   r5, 0(r3)
+    ld   r6, 1(r3)
+    bleu r5, r6, noswap
+    st   r6, 0(r3)
+    st   r5, 1(r3)
+noswap:
+    inc  r4
+    li   r3, 8
+    blt  r4, r3, inner
+    ld   r3, {scratch + 9}(r0)
+    dec  r3
+    st   r3, {scratch + 9}(r0)
+    bnez r3, pass
+    ld   r4, {scratch + 4}(r0)
+    st   r4, 0(r7)
+    inc  r7
+    li   r5, {OUTPUT_PORT}
+    st   r4, 0(r5)
+    inc  r2
+    li   r5, {w - 1}
+    blt  r2, r5, xloop
+    inc  r1
+    li   r5, {height - 1}
+    blt  r1, r5, yloop
+    halt
+"""
+
+
+def build(
+    image: Optional[np.ndarray] = None, size: int = 12, seed: int = 7
+) -> KernelBuild:
+    """Build the median kernel for an image (or a synthetic one)."""
+    img = test_image(size, seed) if image is None else np.asarray(image)
+    height, width = img.shape
+    return assemble_kernel(
+        name="median",
+        source=assembly(height, width),
+        data={SRC_BASE: img},
+        expected_output=reference(img),
+        params={"height": height, "width": width},
+    )

@@ -1,0 +1,113 @@
+"""3×3 morphological filters: erosion (min) and dilation (max).
+
+The binary/greyscale morphology pair used in post-sensing cleanup
+(specks removal before thresholding, blob growth before counting).
+Output stream: the (H-2)×(W-2) filtered map in row-major order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa.memory import OUTPUT_PORT
+from repro.workloads.asmkit import KernelBuild, SRC_BASE, assemble_kernel
+from repro.workloads.images import test_image
+
+
+def reference(src: np.ndarray, op: str = "erode") -> np.ndarray:
+    """NumPy reference: row-major 3×3 min (erode) or max (dilate) map."""
+    img = np.asarray(src, dtype=np.int64)
+    if img.ndim != 2 or img.shape[0] < 3 or img.shape[1] < 3:
+        raise ValueError("morphology needs a 2-D image at least 3x3")
+    if op not in ("erode", "dilate"):
+        raise ValueError(f"unknown morphology op {op!r}")
+    height, width = img.shape
+    out = np.empty((height - 2, width - 2), dtype=np.uint16)
+    reducer = np.min if op == "erode" else np.max
+    for y in range(1, height - 1):
+        for x in range(1, width - 1):
+            out[y - 1, x - 1] = int(reducer(img[y - 1 : y + 2, x - 1 : x + 2]))
+    return out.ravel()
+
+
+def assembly(height: int, width: int, op: str = "erode") -> str:
+    """Generate the NV16 morphology program for an H×W frame."""
+    if height < 3 or width < 3:
+        raise ValueError("morphology needs at least a 3x3 frame")
+    if op not in ("erode", "dilate"):
+        raise ValueError(f"unknown morphology op {op!r}")
+    src = SRC_BASE
+    dst = src + height * width
+    w = width
+    # For erode keep the smaller value; for dilate the larger.
+    keep_branch = "bleu" if op == "erode" else "bgeu"
+    offsets = [-w - 1, -w, -w + 1, -1, 1, w - 1, w, w + 1]
+    neighbour_lines = []
+    for index, offset in enumerate(offsets):
+        neighbour_lines.append(
+            f"    ld   r5, {offset}(r3)\n"
+            f"    {keep_branch} r4, r5, keep{index}\n"
+            f"    mov  r4, r5\n"
+            f"keep{index}:"
+        )
+    body = "\n".join(neighbour_lines)
+    return f"""
+; {op}3x3 {height}x{width}: src@{src:#x} -> dst@{dst:#x} + output port
+.data {src:#x}
+src: .space {height * width}
+dst: .space {(height - 2) * (width - 2)}
+.text
+main:
+    li   r7, dst
+    li   r1, 1            ; y
+yloop:
+    li   r2, 1            ; x
+xloop:
+    li   r5, {w}
+    mul  r3, r1, r5
+    add  r3, r3, r2
+    addi r3, r3, src      ; r3 = &src[y][x]
+    ld   r4, 0(r3)        ; acc = centre
+{body}
+    st   r4, 0(r7)
+    inc  r7
+    li   r5, {OUTPUT_PORT}
+    st   r4, 0(r5)
+    inc  r2
+    li   r5, {w - 1}
+    blt  r2, r5, xloop
+    inc  r1
+    li   r5, {height - 1}
+    blt  r1, r5, yloop
+    halt
+"""
+
+
+def build(
+    image: Optional[np.ndarray] = None,
+    size: int = 12,
+    op: str = "erode",
+    seed: int = 7,
+) -> KernelBuild:
+    """Build a morphology kernel for an image (or a synthetic one)."""
+    img = test_image(size, seed) if image is None else np.asarray(image)
+    height, width = img.shape
+    return assemble_kernel(
+        name=op,
+        source=assembly(height, width, op),
+        data={SRC_BASE: img},
+        expected_output=reference(img, op),
+        params={"height": height, "width": width},
+    )
+
+
+def build_erode(image=None, size: int = 12, seed: int = 7) -> KernelBuild:
+    """Erosion (3×3 minimum) kernel."""
+    return build(image=image, size=size, op="erode", seed=seed)
+
+
+def build_dilate(image=None, size: int = 12, seed: int = 7) -> KernelBuild:
+    """Dilation (3×3 maximum) kernel."""
+    return build(image=image, size=size, op="dilate", seed=seed)

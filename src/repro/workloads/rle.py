@@ -1,0 +1,87 @@
+"""Run-length encoder.
+
+Compresses a byte buffer into ``(value, count)`` pairs — the simplest
+on-device compressor for sensor frames.  All state is register-held,
+so the kernel is replay-idempotent.  Output stream: the pair sequence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.isa.memory import OUTPUT_PORT
+from repro.workloads.asmkit import KernelBuild, SRC_BASE, assemble_kernel
+from repro.workloads.images import test_bytes
+
+
+def reference(src: np.ndarray) -> np.ndarray:
+    """Reference: flattened (value, count) pairs."""
+    data = np.asarray(src, dtype=np.int64).ravel()
+    if len(data) == 0:
+        raise ValueError("RLE needs a non-empty buffer")
+    pairs: List[int] = []
+    current = int(data[0])
+    count = 1
+    for value in data[1:]:
+        if int(value) == current:
+            count += 1
+        else:
+            pairs.extend((current, count))
+            current = int(value)
+            count = 1
+    pairs.extend((current, count))
+    return np.array(pairs, dtype=np.uint16)
+
+
+def assembly(length: int) -> str:
+    """Generate the NV16 RLE program over ``length`` bytes."""
+    if length < 1:
+        raise ValueError("RLE needs at least one byte")
+    src = SRC_BASE
+    return f"""
+; rle over {length} bytes at {src:#x}
+.data {src:#x}
+src: .space {length}
+.text
+main:
+    li   r1, 1            ; index
+    ld   r2, src(r0)      ; current value
+    li   r4, 1            ; run count
+loop:
+    li   r3, {length}
+    bge  r1, r3, flush
+    ld   r5, src(r1)
+    beq  r5, r2, same
+    li   r6, {OUTPUT_PORT}
+    st   r2, 0(r6)
+    st   r4, 0(r6)
+    mov  r2, r5
+    li   r4, 1
+    jmp  next
+same:
+    inc  r4
+next:
+    inc  r1
+    jmp  loop
+flush:
+    li   r6, {OUTPUT_PORT}
+    st   r2, 0(r6)
+    st   r4, 0(r6)
+    halt
+"""
+
+
+def build(
+    data: Optional[np.ndarray] = None, length: int = 256, seed: int = 7
+) -> KernelBuild:
+    """Build the RLE kernel for a buffer (or a synthetic run-heavy one)."""
+    buf = test_bytes(length, seed, runs=True) if data is None else np.asarray(data)
+    return assemble_kernel(
+        name="rle",
+        source=assembly(len(buf)),
+        data={SRC_BASE: buf},
+        expected_output=reference(buf),
+        params={"length": len(buf)},
+    )

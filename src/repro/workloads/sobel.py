@@ -1,0 +1,124 @@
+"""Sobel edge detector (3×3 gradient magnitude, |gx| + |gy|, clamped).
+
+The classic post-sensing kernel: for each interior pixel the two Sobel
+gradients are computed and their absolute sum is clamped to 255.
+Output stream: the (H-2)×(W-2) edge map in row-major order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa.memory import OUTPUT_PORT
+from repro.workloads.asmkit import KernelBuild, SRC_BASE, assemble_kernel
+from repro.workloads.images import test_image
+
+
+def reference(src: np.ndarray) -> np.ndarray:
+    """NumPy reference: row-major |gx|+|gy| edge map, clamped to 255."""
+    img = np.asarray(src, dtype=np.int64)
+    if img.ndim != 2 or img.shape[0] < 3 or img.shape[1] < 3:
+        raise ValueError("sobel needs a 2-D image at least 3x3")
+    gx = (
+        img[:-2, 2:] + 2 * img[1:-1, 2:] + img[2:, 2:]
+        - img[:-2, :-2] - 2 * img[1:-1, :-2] - img[2:, :-2]
+    )
+    gy = (
+        img[2:, :-2] + 2 * img[2:, 1:-1] + img[2:, 2:]
+        - img[:-2, :-2] - 2 * img[:-2, 1:-1] - img[:-2, 2:]
+    )
+    mag = np.abs(gx) + np.abs(gy)
+    return np.minimum(mag, 255).astype(np.uint16).ravel()
+
+
+def assembly(height: int, width: int) -> str:
+    """Generate the NV16 Sobel program for an H×W frame at SRC_BASE."""
+    if height < 3 or width < 3:
+        raise ValueError("sobel needs at least a 3x3 frame")
+    src = SRC_BASE
+    dst = SRC_BASE + height * width
+    w = width
+    return f"""
+; sobel {height}x{width}: src@{src:#x} -> dst@{dst:#x} + output port
+.data {src:#x}
+src: .space {height * width}
+dst: .space {(height - 2) * (width - 2)}
+.text
+main:
+    li   r7, dst          ; output pointer
+    li   r1, 1            ; y
+yloop:
+    li   r2, 1            ; x
+xloop:
+    li   r5, {w}
+    mul  r3, r1, r5
+    add  r3, r3, r2
+    addi r3, r3, src      ; r3 = &src[y][x]
+    ; gx = col(x+1) - col(x-1), weights 1,2,1
+    ld   r4, {1 - w}(r3)
+    ld   r5, 1(r3)
+    shli r5, r5, 1
+    add  r4, r4, r5
+    ld   r5, {1 + w}(r3)
+    add  r4, r4, r5
+    ld   r5, {-1 - w}(r3)
+    sub  r4, r4, r5
+    ld   r5, -1(r3)
+    shli r5, r5, 1
+    sub  r4, r4, r5
+    ld   r5, {w - 1}(r3)
+    sub  r4, r4, r5
+    bge  r4, r0, gx_pos
+    neg  r4, r4
+gx_pos:
+    ; gy = row(y+1) - row(y-1), weights 1,2,1
+    ld   r6, {w - 1}(r3)
+    ld   r5, {w}(r3)
+    shli r5, r5, 1
+    add  r6, r6, r5
+    ld   r5, {w + 1}(r3)
+    add  r6, r6, r5
+    ld   r5, {-w - 1}(r3)
+    sub  r6, r6, r5
+    ld   r5, {-w}(r3)
+    shli r5, r5, 1
+    sub  r6, r6, r5
+    ld   r5, {-w + 1}(r3)
+    sub  r6, r6, r5
+    bge  r6, r0, gy_pos
+    neg  r6, r6
+gy_pos:
+    add  r4, r4, r6
+    li   r5, 255
+    ble  r4, r5, noclamp
+    mov  r4, r5
+noclamp:
+    st   r4, 0(r7)
+    inc  r7
+    li   r5, {OUTPUT_PORT}
+    st   r4, 0(r5)
+    inc  r2
+    li   r5, {w - 1}
+    blt  r2, r5, xloop
+    inc  r1
+    li   r5, {height - 1}
+    blt  r1, r5, yloop
+    halt
+"""
+
+
+def build(
+    image: Optional[np.ndarray] = None, size: int = 16, seed: int = 7
+) -> KernelBuild:
+    """Build the Sobel kernel for an image (or a synthetic one)."""
+    img = test_image(size, seed) if image is None else np.asarray(image)
+    height, width = img.shape
+    return assemble_kernel(
+        name="sobel",
+        source=assembly(height, width),
+        data={SRC_BASE: img},
+        expected_output=reference(img),
+        params={"height": height, "width": width},
+    )

@@ -1,0 +1,108 @@
+"""Naive pattern search (count occurrences of a 4-byte needle).
+
+The pattern-matching representative: scans a buffer and counts every
+(possibly overlapping) occurrence of a fixed 4-byte pattern.  Output
+stream: the single match count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.isa.memory import OUTPUT_PORT
+from repro.workloads.asmkit import KernelBuild, SRC_BASE, assemble_kernel
+
+DEFAULT_PATTERN = (0xDE, 0xAD, 0xBE, 0xEF)
+
+
+def make_haystack(
+    length: int = 256,
+    pattern: Tuple[int, ...] = DEFAULT_PATTERN,
+    plant: int = 5,
+    seed: int = 7,
+) -> np.ndarray:
+    """Random buffer with ``plant`` non-overlapping planted needles."""
+    if length < len(pattern) * (plant + 1):
+        raise ValueError("buffer too short for the requested plants")
+    rng = np.random.default_rng(seed)
+    buf = rng.integers(0, 256, size=length, dtype=np.int64)
+    positions = rng.choice(
+        np.arange(0, length - len(pattern), len(pattern) * 2),
+        size=plant,
+        replace=False,
+    )
+    for pos in positions:
+        buf[pos : pos + len(pattern)] = pattern
+    return buf.astype(np.uint8)
+
+
+def reference(
+    src: np.ndarray, pattern: Tuple[int, ...] = DEFAULT_PATTERN
+) -> np.ndarray:
+    """Reference: count of (overlapping) pattern occurrences."""
+    data = np.asarray(src, dtype=np.int64).ravel()
+    needle = list(pattern)
+    count = sum(
+        1
+        for pos in range(len(data) - len(needle) + 1)
+        if list(data[pos : pos + len(needle)]) == needle
+    )
+    return np.array([count], dtype=np.uint16)
+
+
+def assembly(length: int, pattern_len: int = 4) -> str:
+    """Generate the NV16 search program over ``length`` bytes."""
+    if length < pattern_len:
+        raise ValueError("buffer shorter than the pattern")
+    src = SRC_BASE
+    pat = src + length
+    return f"""
+; strsearch: count {pattern_len}-byte needle in {length} bytes at {src:#x}
+.data {src:#x}
+src: .space {length}
+pat: .space {pattern_len}
+.text
+main:
+    li   r1, 0            ; position
+    li   r2, 0            ; match count
+posloop:
+    li   r3, {length - pattern_len + 1}
+    bge  r1, r3, done
+    li   r4, 0            ; k
+cmploop:
+    mov  r3, r1
+    add  r3, r3, r4
+    ld   r5, src(r3)
+    ld   r6, pat(r4)
+    bne  r5, r6, nomatch
+    inc  r4
+    li   r3, {pattern_len}
+    blt  r4, r3, cmploop
+    inc  r2
+nomatch:
+    inc  r1
+    jmp  posloop
+done:
+    li   r3, {OUTPUT_PORT}
+    st   r2, 0(r3)
+    halt
+"""
+
+
+def build(
+    data: Optional[np.ndarray] = None,
+    length: int = 256,
+    pattern: Tuple[int, ...] = DEFAULT_PATTERN,
+    seed: int = 7,
+) -> KernelBuild:
+    """Build the search kernel (synthetic haystack by default)."""
+    buf = make_haystack(length, pattern, seed=seed) if data is None else np.asarray(data)
+    return assemble_kernel(
+        name="strsearch",
+        source=assembly(len(buf), len(pattern)),
+        data={SRC_BASE: buf, SRC_BASE + len(buf): np.array(pattern)},
+        expected_output=reference(buf, pattern),
+        params={"length": len(buf), "pattern_len": len(pattern)},
+    )

@@ -1,0 +1,42 @@
+"""Shared fixtures for the nvpsim test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harvest.sources import square_trace, wristwatch_trace
+from repro.isa.energy import EnergyModel
+from repro.workloads.base import AbstractWorkload
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for stochastic components."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def energy_model() -> EnergyModel:
+    """Default 1 MHz energy model."""
+    return EnergyModel()
+
+
+@pytest.fixture
+def short_square_trace():
+    """1 s deterministic on/off supply: 500 µW for 20 ms, 0 for 80 ms."""
+    return square_trace(
+        high_w=500e-6, low_w=0.0, period_s=0.1, duty=0.2, duration_s=1.0
+    )
+
+
+@pytest.fixture
+def short_watch_trace():
+    """2 s wristwatch trace (deterministic seed)."""
+    return wristwatch_trace(2.0, seed=99)
+
+
+@pytest.fixture
+def small_abstract_workload() -> AbstractWorkload:
+    """Unbounded abstract workload with small units."""
+    return AbstractWorkload(total_units=None, instructions_per_unit=1_000)

@@ -1,0 +1,71 @@
+"""Tests for closed-loop backup-margin adaptation."""
+
+import pytest
+
+from repro.core.config import NVPConfig
+from repro.core.nvp import NVPPlatform
+from repro.harvest.sources import wristwatch_trace
+from repro.system.presets import nvp_capacitor, standard_rectifier
+from repro.system.simulator import SystemSimulator
+from repro.workloads.base import AbstractWorkload
+
+
+class UnderestimatingWorkload(AbstractWorkload):
+    """Reports 60% of its true run power to the threshold planner —
+    the estimation error the margin exists to absorb."""
+
+    def mean_instruction_energy_j(self) -> float:
+        return 0.6 * super().mean_instruction_energy_j()
+
+
+def run(margin, adaptive, seed=2018):
+    trace = wristwatch_trace(6.0, seed=seed, mean_power_w=20e-6)
+    platform = NVPPlatform(
+        UnderestimatingWorkload(),
+        nvp_capacitor(),
+        NVPConfig(backup_margin=margin, label="nvp"),
+        seed=0,
+        adaptive_margin=adaptive,
+    )
+    result = SystemSimulator(
+        trace, platform, rectifier=standard_rectifier(), stop_when_finished=False
+    ).run()
+    return platform, result
+
+
+class TestAdaptiveMargin:
+    def test_static_bare_margin_loses_work(self):
+        _, result = run(margin=1.0, adaptive=False)
+        assert result.lost_instructions > 0
+        assert result.failed_backups + result.rollbacks > 0
+
+    def test_adaptation_raises_margin_after_losses(self):
+        platform, result = run(margin=1.0, adaptive=True)
+        assert platform.margin_raises > 0
+        assert result.extras["final_margin"] > 1.0
+
+    def test_adaptation_recovers_most_of_the_lost_work(self):
+        """Starting from the same bare margin, the adaptive controller
+        must end with far fewer lost instructions than static."""
+        _, static = run(margin=1.0, adaptive=False)
+        _, adaptive = run(margin=1.0, adaptive=True)
+        assert adaptive.lost_instructions < 0.5 * static.lost_instructions
+        assert adaptive.forward_progress >= static.forward_progress
+
+    def test_well_margined_system_never_adapts(self):
+        platform, result = run(margin=3.0, adaptive=True)
+        assert platform.margin_raises == 0
+        assert result.extras["final_margin"] == pytest.approx(3.0)
+
+    def test_margin_never_decays_below_configured(self):
+        platform, _ = run(margin=1.2, adaptive=True)
+        assert platform._margin >= 1.2
+
+    def test_margin_capped(self):
+        platform, _ = run(margin=1.0, adaptive=True)
+        assert platform._margin <= platform._MARGIN_MAX
+
+    def test_stats_expose_adaptation(self):
+        platform, result = run(margin=1.0, adaptive=True)
+        assert "margin_raises" in result.extras
+        assert "final_margin" in result.extras

@@ -1,0 +1,58 @@
+"""Tests for the oracle (continuous power) platform."""
+
+import pytest
+
+from repro.baselines.oracle import OraclePlatform
+from repro.harvest.sources import constant_trace
+from repro.system.simulator import SystemSimulator
+from repro.workloads.base import AbstractWorkload
+
+
+class TestOracle:
+    def test_executes_regardless_of_power(self):
+        platform = OraclePlatform(AbstractWorkload())
+        report = platform.tick(0.0, 1e-4)
+        assert report.state == "run"
+        assert report.instructions > 0
+
+    def test_all_progress_is_persistent(self):
+        platform = OraclePlatform(AbstractWorkload())
+        for _ in range(100):
+            platform.tick(0.0, 1e-4)
+        stats = platform.stats()
+        assert stats["forward_progress"] == stats["total_executed"]
+        assert stats["lost_instructions"] == 0
+
+    def test_completes_workload(self):
+        workload = AbstractWorkload(total_units=3, instructions_per_unit=1_000)
+        platform = OraclePlatform(workload)
+        result = SystemSimulator(constant_trace(1e-6, 10.0), platform).run()
+        assert result.completed
+        assert result.units_completed == 3
+        assert result.forward_progress == 3_000
+
+    def test_execution_rate_matches_clock(self):
+        """At 1 MHz with the default mix (~1.36 cycles/instr), a 10 ms
+        oracle run retires roughly 7300 instructions."""
+        workload = AbstractWorkload()
+        platform = OraclePlatform(workload)
+        for _ in range(100):  # 10 ms
+            platform.tick(0.0, 1e-4)
+        executed = platform.stats()["total_executed"]
+        assert 6_000 < executed < 9_000
+
+    def test_is_upper_bound_for_harvested_platforms(self):
+        from repro.system.presets import build_nvp, standard_rectifier
+        from repro.harvest.sources import wristwatch_trace
+
+        trace = wristwatch_trace(2.0, seed=5)
+        oracle_result = SystemSimulator(
+            trace, OraclePlatform(AbstractWorkload()), stop_when_finished=False
+        ).run()
+        nvp_result = SystemSimulator(
+            trace,
+            build_nvp(AbstractWorkload()),
+            rectifier=standard_rectifier(),
+            stop_when_finished=False,
+        ).run()
+        assert oracle_result.forward_progress > nvp_result.forward_progress

@@ -1,0 +1,118 @@
+"""Scenario tests for the wait-and-compute baseline."""
+
+import pytest
+
+from repro.baselines.waitcompute import WaitComputePlatform
+from repro.harvest.sources import constant_trace, square_trace
+from repro.storage.capacitor import Capacitor, ChargeEfficiency
+from repro.system.simulator import SystemSimulator
+from repro.workloads.base import AbstractWorkload
+
+DT = 1e-4
+
+
+def lossless_cap(capacitance=47e-6):
+    return Capacitor(
+        capacitance,
+        v_max_v=3.3,
+        leak_resistance_ohm=1e18,
+        efficiency=ChargeEfficiency(1.0, 1.0, 0.0, 1.0),
+    )
+
+
+def make_platform(units=None, unit_instructions=5_000, **kwargs):
+    workload = AbstractWorkload(
+        total_units=units, instructions_per_unit=unit_instructions
+    )
+    return WaitComputePlatform(workload, lossless_cap(), **kwargs)
+
+
+class TestCharging:
+    def test_waits_until_unit_energy(self):
+        platform = make_platform()
+        target = platform.unit_energy_target_j()
+        ticks = 0
+        while platform.tick(100e-6, DT).state == "charge":
+            ticks += 1
+            assert ticks < 100_000, "never started"
+        # It started only once the target was stored (pre-boot).
+        assert platform.boots == 1
+        assert (
+            platform.storage.energy_j + platform.boot_energy_j
+            >= target - 100e-6 * DT - 1e-12
+        )
+
+    def test_charge_time_scales_with_unit_size(self):
+        small = make_platform(unit_instructions=1_000)
+        large = make_platform(unit_instructions=20_000)
+
+        def ticks_to_boot(platform):
+            for tick in range(200_000):
+                platform.tick(50e-6, DT)
+                if platform.boots:
+                    return tick
+            raise AssertionError("never booted")
+
+        assert ticks_to_boot(large) > 5 * ticks_to_boot(small)
+
+    def test_boot_costs_energy(self):
+        platform = make_platform()
+        while not platform.boots:
+            platform.tick(200e-6, DT)
+        assert platform.consumed_j >= platform.boot_energy_j
+
+
+class TestExecution:
+    def test_commits_at_unit_boundaries_only(self):
+        platform = make_platform(units=2, unit_instructions=2_000)
+        trace = constant_trace(300e-6, 10.0)
+        result = SystemSimulator(trace, platform).run()
+        assert result.completed
+        assert result.forward_progress == 4_000
+        assert result.units_completed == 2
+
+    def test_brownout_loses_whole_unit(self):
+        platform = make_platform(units=1, unit_instructions=50_000)
+        # Charge just enough to boot, then cut power: the estimate was
+        # fine but we drain it early by injecting a tiny storage level.
+        while not platform.boots:
+            platform.tick(500e-6, DT)
+        platform.storage.set_energy(platform.storage.energy_j * 0.01)
+        # Run on almost no stored energy with no income -> brownout.
+        # (The first ~10 ticks only burn down the 1 ms boot stall.)
+        for _ in range(100):
+            report = platform.tick(0.0, DT)
+            assert report.state == "run"
+            if platform.ledger.rollbacks:
+                break
+        assert platform.ledger.rollbacks == 1
+        assert platform.ledger.persistent == 0
+        assert platform.workload.units_completed == 0
+
+    def test_graceful_poweroff_between_units(self):
+        """After finishing a unit without energy for the next, the MCU
+        sleeps instead of browning out mid-unit."""
+        platform = make_platform(units=4, unit_instructions=2_000)
+        trace = square_trace(
+            high_w=400e-6, low_w=0.0, period_s=0.5, duty=0.5, duration_s=8.0
+        )
+        result = SystemSimulator(trace, platform).run()
+        assert result.rollbacks == 0
+        assert result.units_completed >= 2
+
+
+class TestValidation:
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            make_platform(energy_margin=0.9)
+
+    def test_boot_cost_validation(self):
+        with pytest.raises(ValueError):
+            make_platform(boot_time_s=-1.0)
+
+    def test_stats_keys(self):
+        platform = make_platform()
+        platform.tick(1e-6, DT)
+        stats = platform.stats()
+        assert stats["backups"] == 0
+        assert "forward_progress" in stats

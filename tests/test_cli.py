@@ -1,0 +1,154 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["simulate", "--platform", "nvp"],
+            ["compare", "--duration", "3"],
+            ["outages", "--source", "solar"],
+            ["kernels"],
+            ["techs"],
+        ],
+    )
+    def test_valid_commands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+
+class TestCommands:
+    def test_techs_prints_catalog(self, capsys):
+        assert main(["techs"]) == 0
+        out = capsys.readouterr().out
+        assert "FeRAM" in out
+        assert "NOR-Flash" in out
+
+    def test_kernels_lists_suite(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sobel", "median", "crc", "dft"):
+            assert name in out
+
+    def test_outages_reports_statistics(self, capsys):
+        assert main(["outages", "--duration", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "outages" in out
+        assert "supply duty" in out
+
+    def test_simulate_abstract(self, capsys):
+        assert main([
+            "simulate", "--platform", "nvp", "--duration", "1", "--seed", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "FP=" in out
+
+    def test_simulate_kernel_bit_exact(self, capsys):
+        assert main([
+            "simulate", "--platform", "nvp", "--kernel", "crc",
+            "--frames", "2", "--duration", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact" in out
+
+    def test_simulate_with_mean_rescale(self, capsys):
+        assert main([
+            "simulate", "--duration", "1", "--mean-uw", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean=40uW" in out
+
+    def test_compare_reports_ratio(self, capsys):
+        assert main(["compare", "--duration", "2", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "nvp / wait-compute" in out
+
+    def test_hybrid_source(self, capsys):
+        assert main([
+            "outages", "--source", "hybrid", "--duration", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "solar+thermal" in out
+
+
+class TestToolchainCommands:
+    @pytest.fixture
+    def nvc_file(self, tmp_path):
+        path = tmp_path / "prog.nvc"
+        path.write_text(
+            "int total;\n"
+            "func main() { int i;\n"
+            "  for (i = 0; i < 4; i = i + 1) { total = total + i; }\n"
+            "  out(total); }\n"
+        )
+        return str(path)
+
+    def test_compile_reports_size_and_lint(self, capsys, nvc_file):
+        assert main(["compile", nvc_file]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out
+        assert "self-accumulate" in out  # 'total' accumulator flagged
+
+    def test_compile_run_prints_outputs(self, capsys, nvc_file):
+        assert main(["compile", nvc_file, "--run"]) == 0
+        out = capsys.readouterr().out
+        assert "outputs: [6]" in out
+
+    def test_compile_emit_asm(self, capsys, nvc_file):
+        assert main(["compile", nvc_file, "--emit-asm"]) == 0
+        out = capsys.readouterr().out
+        assert "fn_main:" in out
+
+    def test_profile_kernel(self, capsys):
+        assert main(["profile", "--kernel", "crc", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert "bitloop" in out
+
+    def test_profile_file(self, capsys, nvc_file):
+        assert main(["profile", "--file", nvc_file]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+
+    def test_profile_needs_target(self, capsys):
+        assert main(["profile"]) == 2
+
+
+class TestJsonAndOptimize:
+    def test_simulate_json(self, capsys):
+        import json
+
+        assert main(["simulate", "--duration", "1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["label"] == "nvp"
+        assert data["forward_progress"] > 0
+        assert "state_time_s" in data
+
+    def test_compile_optimize_flag(self, capsys, tmp_path):
+        path = tmp_path / "opt.nvc"
+        path.write_text("func main() { out(2 + 3 * 4); }\n")
+        assert main(["compile", str(path), "-O", "--run"]) == 0
+        out = capsys.readouterr().out
+        assert "outputs: [14]" in out
+
+
+class TestAllPlatformChoices:
+    @pytest.mark.parametrize("platform", ["nvp", "wait", "checkpoint", "oracle"])
+    def test_simulate_every_platform(self, capsys, platform):
+        assert main([
+            "simulate", "--platform", platform, "--duration", "1", "--seed", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "result" in out

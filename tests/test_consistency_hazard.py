@@ -1,0 +1,79 @@
+"""The intermittent-consistency hazard, demonstrated.
+
+NVP rollback restores *register* state from the backup image, but NVM
+data-memory writes that happened after the backup persist.  A kernel
+that read-modify-writes NVM (like the histogram's bin increments) is
+therefore not replay-idempotent: re-executing a span after a rollback
+double-counts its increments.  Kernels that only read inputs and write
+outputs (sobel, median, CRC-in-register...) replay safely.
+
+The DATE'17 tutorial lists exactly this memory-consistency problem as
+an open challenge for intermittent computing; these tests pin the
+behaviour down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.suite import build_kernel, make_functional_workload
+
+
+def run_with_forced_rollback(name, advance_budget_s=2e-4, **kernel_kwargs):
+    """Execute a kernel with one artificial rollback in the middle.
+
+    Returns (outputs, expected) arrays.
+    """
+    build = build_kernel(name, **kernel_kwargs)
+    workload = make_functional_workload(build, frames=1)
+    # Run ~25% of the frame, snapshot (backup), run another ~25%, then
+    # roll back to the snapshot (power failed without a new backup).
+    profile_total = None
+    steps = 0
+    while not workload.finished:
+        workload.advance(advance_budget_s)
+        steps += 1
+        if steps == 3:
+            snapshot = workload.snapshot()
+        if steps == 6:
+            workload.restore(snapshot)
+            break
+    while not workload.finished:
+        workload.advance(10e-3)
+    del profile_total
+    outputs = np.array(workload.outputs, dtype=np.uint16)
+    return outputs, build.expected_output
+
+
+class TestReplayIdempotence:
+    def test_sobel_is_replay_idempotent(self):
+        """Pure read-input/write-output kernels survive rollback."""
+        outputs, expected = run_with_forced_rollback("sobel", size=12)
+        assert np.array_equal(outputs, expected)
+
+    def test_crc_is_replay_idempotent(self):
+        """Register-held accumulators roll back with the registers."""
+        outputs, expected = run_with_forced_rollback("crc", length=128)
+        assert np.array_equal(outputs, expected)
+
+    def test_fir_is_replay_idempotent(self):
+        outputs, expected = run_with_forced_rollback("fir", length=96)
+        assert np.array_equal(outputs, expected)
+
+    def test_histogram_double_counts_after_rollback(self):
+        """The WAR hazard: NVM bin increments before the rollback
+        persist, so replayed increments double-count.  The total count
+        exceeds the input length by exactly the replayed span."""
+        outputs, expected = run_with_forced_rollback("histogram", length=256)
+        assert len(outputs) == len(expected)
+        total = int(outputs.sum())
+        assert total > int(expected.sum())  # double-counted increments
+        assert not np.array_equal(outputs, expected)
+
+    def test_histogram_correct_without_rollback(self):
+        """Sanity: the hazard needs a rollback to manifest."""
+        build = build_kernel("histogram", length=256)
+        workload = make_functional_workload(build, frames=1)
+        while not workload.finished:
+            workload.advance(10e-3)
+        outputs = np.array(workload.outputs, dtype=np.uint16)
+        assert np.array_equal(outputs, build.expected_output)

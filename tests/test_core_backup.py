@@ -1,0 +1,173 @@
+"""Unit tests for backup strategies and the backup controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.backup import (
+    BackupController,
+    CompareAndWriteBackup,
+    FullBackup,
+    IncrementalWordBackup,
+    strategy_by_name,
+)
+from repro.core.config import NVPConfig
+from repro.nvm.retention import LinearPolicy
+from repro.nvm.technology import FERAM, STT_MRAM
+
+
+class TestStrategies:
+    def test_full_always_writes_everything(self):
+        strategy = FullBackup()
+        bits, dirty = strategy.bits_to_write([1, 2, 3], [1, 2, 3])
+        assert bits == 48
+        assert dirty == [0, 1, 2]
+
+    def test_compare_and_write_counts_hamming_distance(self):
+        strategy = CompareAndWriteBackup()
+        bits, dirty = strategy.bits_to_write([0b1010, 0b0000], [0b1000, 0b0000])
+        assert bits == 1  # only bit 1 of word 0 differs
+        assert dirty == [0]
+
+    def test_compare_and_write_first_backup_is_full(self):
+        strategy = CompareAndWriteBackup()
+        bits, dirty = strategy.bits_to_write([1, 2], None)
+        assert bits == 32
+        assert dirty == [0, 1]
+
+    def test_compare_and_write_identical_writes_nothing(self):
+        strategy = CompareAndWriteBackup()
+        bits, dirty = strategy.bits_to_write([7, 8], [7, 8])
+        assert bits == 0
+        assert dirty == []
+
+    def test_incremental_word_granularity(self):
+        strategy = IncrementalWordBackup()
+        bits, dirty = strategy.bits_to_write([1, 2, 3], [1, 9, 3])
+        assert bits == 16
+        assert dirty == [1]
+
+    def test_length_mismatch_treated_as_full(self):
+        strategy = CompareAndWriteBackup()
+        bits, _ = strategy.bits_to_write([1, 2, 3], [1, 2])
+        assert bits == 48
+
+    def test_strategy_by_name(self):
+        assert isinstance(strategy_by_name("full"), FullBackup)
+        assert isinstance(
+            strategy_by_name("compare_and_write"), CompareAndWriteBackup
+        )
+        with pytest.raises(KeyError):
+            strategy_by_name("bogus")
+
+    def test_strategy_ordering_on_small_change(self):
+        """For a one-bit register change: compare-and-write < incremental < full."""
+        now = [0x1001, 5, 6, 7]
+        prev = [0x1000, 5, 6, 7]
+        full, _ = FullBackup().bits_to_write(now, prev)
+        incr, _ = IncrementalWordBackup().bits_to_write(now, prev)
+        caw, _ = CompareAndWriteBackup().bits_to_write(now, prev)
+        assert caw < incr < full
+
+
+class TestController:
+    def make_controller(self, **config_kwargs):
+        config = NVPConfig(**config_kwargs)
+        return BackupController(config, data_words=8)
+
+    def test_plan_does_not_mutate(self):
+        controller = self.make_controller()
+        controller.plan_backup([1] * 8)
+        assert not controller.has_image
+        assert controller.backup_count == 0
+
+    def test_backup_then_read_roundtrip(self, rng):
+        controller = self.make_controller()
+        words = [10, 20, 30, 40, 50, 60, 70, 80]
+        controller.backup(words)
+        restored, energy, time_s = controller.read_image()
+        assert restored == words
+        assert energy > 0
+        assert time_s >= controller.config.technology.wakeup_time_s
+
+    def test_read_without_image_rejected(self):
+        controller = self.make_controller()
+        with pytest.raises(RuntimeError):
+            controller.read_image()
+
+    def test_second_backup_cheaper_with_compare_and_write(self):
+        controller = self.make_controller(backup_strategy="compare_and_write")
+        first = controller.backup([1] * 8)
+        second = controller.backup([1] * 8)  # identical image
+        assert second.energy_j < first.energy_j
+        assert second.bits_written < first.bits_written
+
+    def test_full_strategy_cost_is_constant(self):
+        controller = self.make_controller(backup_strategy="full")
+        first = controller.backup([1] * 8)
+        second = controller.backup([1] * 8)
+        assert second.energy_j == pytest.approx(first.energy_j)
+
+    def test_worst_case_energy_upper_bounds_plans(self):
+        controller = self.make_controller(backup_strategy="compare_and_write")
+        worst = controller.worst_case_backup_energy_j()
+        plan = controller.plan_backup(list(range(8)))
+        assert plan.energy_j <= worst * (1 + 1e-9)
+
+    def test_backup_energy_scales_with_state_bits(self):
+        small = BackupController(NVPConfig(state_bits=128), data_words=8)
+        large = BackupController(NVPConfig(state_bits=1024), data_words=8)
+        assert (
+            large.worst_case_backup_energy_j() > small.worst_case_backup_energy_j()
+        )
+
+    def test_precise_image_survives_aging(self, rng):
+        controller = self.make_controller()
+        controller.backup(list(range(8)))
+        flips = controller.age(3600.0, rng)
+        assert flips == 0
+        words, _, _ = controller.read_image()
+        assert words == list(range(8))
+
+    def test_relaxed_image_corrupts_after_long_outage(self, rng):
+        config = NVPConfig(
+            technology=STT_MRAM,
+            retention_policy=LinearPolicy(1e-4, STT_MRAM.retention_s),
+        )
+        controller = BackupController(config, data_words=8)
+        controller.backup([0] * 8)
+        flips = controller.age(1.0, rng)
+        assert flips > 0
+        assert controller.total_flipped_bits == flips
+
+    def test_aging_before_any_backup_is_noop(self, rng):
+        controller = self.make_controller()
+        assert controller.age(100.0, rng) == 0
+
+    def test_data_words_validation(self):
+        controller = self.make_controller()
+        with pytest.raises(ValueError):
+            controller.backup([1, 2, 3])  # wrong length
+
+    def test_zero_data_words_supported(self):
+        controller = BackupController(NVPConfig(), data_words=0)
+        result = controller.backup([])
+        assert result.bits_written > 0  # control state still written
+
+    def test_restore_costs_positive(self):
+        controller = self.make_controller()
+        assert controller.restore_energy_j() > 0
+        assert controller.restore_time_s() >= FERAM.wakeup_time_s
+
+    def test_relaxed_backup_cheaper_than_precise(self):
+        precise = BackupController(NVPConfig(technology=STT_MRAM), data_words=8)
+        relaxed = BackupController(
+            NVPConfig(
+                technology=STT_MRAM,
+                retention_policy=LinearPolicy(1e-3, STT_MRAM.retention_s),
+            ),
+            data_words=8,
+        )
+        assert (
+            relaxed.worst_case_backup_energy_j()
+            < precise.worst_case_backup_energy_j()
+        )

@@ -1,0 +1,126 @@
+"""Unit tests for the forward-progress ledger and NVP configuration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import DEFAULT_STATE_BITS, NVPConfig
+from repro.core.progress import ForwardProgressLedger
+from repro.nvm.retention import LinearPolicy, UniformPolicy
+from repro.nvm.technology import FERAM, SRAM_REFERENCE, STT_MRAM
+
+
+class TestLedger:
+    def test_execute_then_commit(self):
+        ledger = ForwardProgressLedger()
+        ledger.execute(100)
+        assert ledger.volatile == 100
+        assert ledger.commit() == 100
+        assert ledger.persistent == 100
+        assert ledger.volatile == 0
+        assert ledger.commits == 1
+
+    def test_rollback_loses_volatile(self):
+        ledger = ForwardProgressLedger()
+        ledger.execute(50)
+        assert ledger.rollback() == 50
+        assert ledger.lost == 50
+        assert ledger.persistent == 0
+        assert ledger.rollbacks == 1
+
+    def test_interleaved_sequence(self):
+        ledger = ForwardProgressLedger()
+        ledger.execute(10)
+        ledger.commit()
+        ledger.execute(20)
+        ledger.rollback()
+        ledger.execute(30)
+        ledger.commit()
+        assert ledger.persistent == 40
+        assert ledger.lost == 20
+        assert ledger.total_executed == 60
+
+    def test_efficiency(self):
+        ledger = ForwardProgressLedger()
+        assert ledger.efficiency == 0.0
+        ledger.execute(80)
+        ledger.commit()
+        ledger.execute(20)
+        ledger.rollback()
+        assert ledger.efficiency == pytest.approx(0.8)
+
+    def test_negative_execution_rejected(self):
+        with pytest.raises(ValueError):
+            ForwardProgressLedger().execute(-1)
+
+    def test_empty_commit_and_rollback(self):
+        ledger = ForwardProgressLedger()
+        assert ledger.commit() == 0
+        assert ledger.rollback() == 0
+
+    @given(st.lists(st.tuples(st.sampled_from(["x", "c", "r"]), st.integers(0, 1000))))
+    def test_invariants_under_random_ops(self, ops):
+        ledger = ForwardProgressLedger()
+        for op, amount in ops:
+            if op == "x":
+                ledger.execute(amount)
+            elif op == "c":
+                ledger.commit()
+            else:
+                ledger.rollback()
+        assert ledger.persistent >= 0
+        assert ledger.volatile >= 0
+        assert ledger.lost >= 0
+        assert (
+            ledger.total_executed
+            == ledger.persistent + ledger.volatile + ledger.lost
+        )
+
+
+class TestNVPConfig:
+    def test_defaults(self):
+        config = NVPConfig()
+        assert config.technology is FERAM
+        assert config.state_bits == DEFAULT_STATE_BITS
+        assert config.state_words == -(-DEFAULT_STATE_BITS // 16)
+
+    def test_rejects_volatile_technology(self):
+        with pytest.raises(ValueError, match="volatile"):
+            NVPConfig(technology=SRAM_REFERENCE)
+
+    def test_rejects_relaxation_on_unsupporting_technology(self):
+        with pytest.raises(ValueError, match="relaxation"):
+            NVPConfig(
+                technology=FERAM,
+                retention_policy=LinearPolicy(1e-3, FERAM.retention_s),
+            )
+
+    def test_accepts_relaxation_on_supporting_technology(self):
+        NVPConfig(
+            technology=STT_MRAM,
+            retention_policy=LinearPolicy(1e-3, STT_MRAM.retention_s),
+        )
+
+    def test_accepts_uniform_nominal_on_any_technology(self):
+        NVPConfig(technology=FERAM, retention_policy=UniformPolicy(FERAM.retention_s))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"clock_hz": 0},
+            {"state_bits": 0},
+            {"backup_parallelism": 0},
+            {"backup_strategy": "bogus"},
+            {"backup_margin": 0.5},
+            {"run_reserve_ticks": -1},
+            {"controller_overhead_j": -1e-12},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NVPConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "strategy", ["full", "compare_and_write", "incremental"]
+    )
+    def test_known_strategies_accepted(self, strategy):
+        NVPConfig(backup_strategy=strategy)

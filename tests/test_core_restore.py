@@ -1,0 +1,63 @@
+"""Unit tests for the wake-up/restore model."""
+
+import pytest
+
+from repro.core.restore import WakeupModel, wakeup_comparison
+from repro.nvm.technology import FERAM, NOR_FLASH, RERAM, TECHNOLOGIES
+
+
+class TestWakeupModel:
+    def test_wakeup_time_includes_readback(self):
+        model = WakeupModel(FERAM, state_bits=256, parallelism=64)
+        expected = FERAM.wakeup_time_s + 4 * FERAM.read_latency_s
+        assert model.wakeup_time_s() == pytest.approx(expected)
+
+    def test_reram_wakes_faster_than_feram(self):
+        reram = WakeupModel(RERAM, state_bits=360)
+        feram = WakeupModel(FERAM, state_bits=360)
+        assert reram.wakeup_time_s() < feram.wakeup_time_s()
+
+    def test_duty_cycle_decreases_with_outage_rate(self):
+        model = WakeupModel(FERAM, state_bits=360)
+        assert model.effective_duty_cycle(10.0) > model.effective_duty_cycle(100.0)
+
+    def test_duty_cycle_floors_at_zero(self):
+        model = WakeupModel(NOR_FLASH, state_bits=360)
+        assert model.effective_duty_cycle(1e6) == 0.0
+
+    def test_duty_cycle_with_full_supply_and_no_outages(self):
+        model = WakeupModel(FERAM, state_bits=360)
+        assert model.effective_duty_cycle(0.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        model = WakeupModel(FERAM, state_bits=360)
+        with pytest.raises(ValueError):
+            model.effective_duty_cycle(-1.0)
+        with pytest.raises(ValueError):
+            model.effective_duty_cycle(1.0, supply_duty=1.5)
+
+    def test_flash_overhead_dwarfs_feram(self):
+        """Flash wake-up (~100 us) plus slow page writes cost well over
+        an order of magnitude more time per outage cycle than FeRAM."""
+        flash = WakeupModel(NOR_FLASH, state_bits=360)
+        feram = WakeupModel(FERAM, state_bits=360)
+        assert flash.overhead_per_cycle_s() > 20 * feram.overhead_per_cycle_s()
+        rate = 150.0
+        assert feram.effective_duty_cycle(rate) > 0.95
+        assert flash.effective_duty_cycle(rate) < feram.effective_duty_cycle(rate)
+
+
+class TestComparisonTable:
+    def test_covers_all_requested_technologies(self):
+        nonvolatile = [t for t in TECHNOLOGIES if not t.volatile]
+        table = wakeup_comparison(nonvolatile, state_bits=360, outage_rate_hz=150.0)
+        assert set(table) == {t.name for t in nonvolatile}
+        for row in table.values():
+            assert row["wakeup_us"] > 0
+            assert 0.0 <= row["duty_cycle"] <= 1.0
+
+    def test_supply_duty_passthrough(self):
+        table = wakeup_comparison(
+            [FERAM], state_bits=360, outage_rate_hz=0.0, supply_duty=0.4
+        )
+        assert table["FeRAM"]["duty_cycle"] == pytest.approx(0.4)

@@ -1,0 +1,130 @@
+"""Tests for ECC-protected backup images."""
+
+import numpy as np
+import pytest
+
+from repro.core.backup import BackupController
+from repro.core.config import NVPConfig
+from repro.nvm.retention import LinearPolicy, UniformPolicy
+from repro.nvm.technology import STT_MRAM
+
+
+def controller_with(ecc, policy=None, sram=0):
+    config = NVPConfig(
+        technology=STT_MRAM,
+        retention_policy=policy,
+        sram_backup_words=sram,
+        ecc=ecc,
+    )
+    return BackupController(config, data_words=8)
+
+
+class TestCosts:
+    def test_ecc_adds_overhead_bits(self):
+        plain = controller_with(ecc=False)
+        protected = controller_with(ecc=True)
+        assert protected.total_backup_bits > plain.total_backup_bits
+        # 8 data words: +6 bits each.
+        assert protected.total_backup_bits - plain.total_backup_bits == 8 * 6
+
+    def test_ecc_costs_more_energy(self):
+        plain = controller_with(ecc=False)
+        protected = controller_with(ecc=True)
+        assert (
+            protected.worst_case_backup_energy_j()
+            > plain.worst_case_backup_energy_j()
+        )
+
+    def test_ecc_pays_off_only_with_aggressive_relaxation(self):
+        """The pairing economics: ECC's 37.5% bit overhead is only
+        recouped when the relaxation it licenses is aggressive.  With
+        log shaping, relaxed+ECC still undercuts precise backup; with
+        the mild linear shape it does not."""
+        from repro.nvm.retention import LogPolicy
+
+        precise = controller_with(ecc=False, sram=256)
+        log_ecc = controller_with(
+            ecc=True, policy=LogPolicy(10e-3, STT_MRAM.retention_s), sram=256
+        )
+        linear_ecc = controller_with(
+            ecc=True, policy=LinearPolicy(10e-3, STT_MRAM.retention_s), sram=256
+        )
+        assert (
+            log_ecc.worst_case_backup_energy_j()
+            < precise.worst_case_backup_energy_j()
+        )
+        assert (
+            linear_ecc.worst_case_backup_energy_j()
+            > precise.worst_case_backup_energy_j()
+        )
+
+
+class TestRoundtrip:
+    def test_clean_roundtrip(self, rng):
+        controller = controller_with(ecc=True)
+        words = [0xDEAD, 0xBEEF, 0, 1, 2, 3, 0xFFFF, 0x8000]
+        controller.backup(words)
+        restored, _, _ = controller.read_image()
+        assert restored == words
+
+    def test_short_outage_roundtrip_with_relaxation(self, rng):
+        policy = LinearPolicy(10e-3, STT_MRAM.retention_s)
+        controller = controller_with(ecc=True, policy=policy)
+        words = list(range(8))
+        controller.backup(words)
+        controller.age(1e-3, rng)  # well within even the LSB retention
+        restored, _, _ = controller.read_image()
+        assert restored == words
+
+    def test_ecc_corrects_single_bit_relaxations(self):
+        """Statistically: with a mildly relaxed LSB, the protected
+        controller restores exact words far more often than the
+        unprotected one."""
+        policy = LinearPolicy(5e-3, STT_MRAM.retention_s)
+        words = [0xAAAA] * 8
+        outage = 5e-3  # ~63% LSB relaxation probability per cell
+
+        def mismatches(ecc, seed):
+            controller = controller_with(ecc=ecc, policy=policy)
+            rng = np.random.default_rng(seed)
+            wrong = 0
+            for _ in range(40):
+                controller.backup(words)
+                controller.age(outage, rng)
+                restored, _, _ = controller.read_image()
+                wrong += sum(1 for a, b in zip(restored, words) if a != b)
+            return wrong
+
+        unprotected = mismatches(False, 7)
+        protected = mismatches(True, 7)
+        assert unprotected > 30
+        assert protected < unprotected * 0.5
+
+    def test_corrections_counted(self, rng):
+        policy = UniformPolicy(1e-3)
+        config = NVPConfig(technology=STT_MRAM, retention_policy=policy, ecc=True)
+        controller = BackupController(config, data_words=8)
+        controller.backup([0] * 8)
+        controller.age(0.5e-3, rng)
+        controller.read_image()
+        assert controller.ecc_corrected + controller.ecc_detected >= 0
+        # After a half-retention outage, something almost surely relaxed.
+        total_events = controller.ecc_corrected + controller.ecc_detected
+        assert total_events > 0
+
+
+class TestPlatformIntegration:
+    def test_stats_expose_ecc_counters(self):
+        from repro.core.nvp import NVPPlatform
+        from repro.storage.capacitor import Capacitor
+        from repro.workloads.base import AbstractWorkload
+
+        platform = NVPPlatform(
+            AbstractWorkload(),
+            Capacitor(150e-9, v_max_v=3.3),
+            NVPConfig(technology=STT_MRAM, ecc=True),
+        )
+        platform.tick(100e-6, 1e-4)
+        stats = platform.stats()
+        assert "ecc_corrected" in stats
+        assert "ecc_detected" in stats

@@ -1,0 +1,86 @@
+"""Unit tests for outage analytics."""
+
+import numpy as np
+import pytest
+
+from repro.harvest.outage import analyze_outages, outage_intervals
+from repro.harvest.sources import constant_trace, square_trace
+from repro.harvest.traces import PowerTrace
+
+
+def trace_of(values):
+    return PowerTrace(np.asarray(values, dtype=float), 1e-4)
+
+
+class TestIntervals:
+    def test_no_outage(self):
+        assert outage_intervals(trace_of([5, 5, 5]), threshold_w=1.0) == []
+
+    def test_all_outage(self):
+        assert outage_intervals(trace_of([0, 0, 0]), threshold_w=1.0) == [(0, 3)]
+
+    def test_interior_outage(self):
+        intervals = outage_intervals(trace_of([5, 0, 0, 5]), threshold_w=1.0)
+        assert intervals == [(1, 3)]
+
+    def test_leading_and_trailing(self):
+        intervals = outage_intervals(trace_of([0, 5, 0]), threshold_w=1.0)
+        assert intervals == [(0, 1), (2, 3)]
+
+    def test_threshold_is_exclusive_below(self):
+        # A sample exactly at threshold counts as powered.
+        assert outage_intervals(trace_of([1.0, 1.0]), threshold_w=1.0) == []
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            outage_intervals(trace_of([1.0]), threshold_w=-1.0)
+
+
+class TestStats:
+    def test_square_wave_exact_counts(self):
+        # 1 s of 10 ms period at 40% duty -> 100 outages of 6 ms.
+        trace = square_trace(
+            high_w=100e-6, low_w=0.0, period_s=0.01, duty=0.4, duration_s=1.0
+        )
+        stats = analyze_outages(trace, threshold_w=33e-6)
+        assert stats.count == 100
+        assert stats.mean_duration_s == pytest.approx(6e-3, rel=0.02)
+        assert stats.duty_cycle == pytest.approx(0.4, abs=0.01)
+
+    def test_constant_above_threshold(self):
+        stats = analyze_outages(constant_trace(100e-6, 0.1), threshold_w=33e-6)
+        assert stats.count == 0
+        assert stats.duty_cycle == 1.0
+        assert stats.mean_duration_s == 0.0
+        assert stats.max_duration_s == 0.0
+
+    def test_total_below_matches_durations(self):
+        trace = trace_of([0, 5, 0, 0, 5])
+        stats = analyze_outages(trace, threshold_w=1.0)
+        assert stats.total_below_s == pytest.approx(sum(stats.durations_s))
+
+    def test_emergencies_per_second(self):
+        trace = square_trace(
+            high_w=1.0, low_w=0.0, period_s=0.02, duty=0.5, duration_s=2.0
+        )
+        stats = analyze_outages(trace, threshold_w=0.5)
+        assert stats.emergencies_per_second(trace.duration_s) == pytest.approx(
+            50.0, rel=0.05
+        )
+
+    def test_emergencies_rate_rejects_bad_duration(self):
+        stats = analyze_outages(constant_trace(1.0, 0.1), threshold_w=0.5)
+        with pytest.raises(ValueError):
+            stats.emergencies_per_second(0.0)
+
+    def test_histogram(self):
+        trace = trace_of([0, 5, 0, 0, 5, 0, 0, 0, 5])
+        stats = analyze_outages(trace, threshold_w=1.0)
+        counts, edges = stats.histogram(bins=3)
+        assert counts.sum() == stats.count
+        assert len(edges) == 4
+
+    def test_histogram_empty(self):
+        stats = analyze_outages(constant_trace(1.0, 0.01), threshold_w=0.5)
+        counts, _ = stats.histogram(bins=5)
+        assert counts.sum() == 0

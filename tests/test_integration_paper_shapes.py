@@ -1,0 +1,142 @@
+"""Integration tests asserting the paper-level result *shapes*.
+
+These are the claims the DATE'17 tutorial makes (and the experiment
+suite reproduces); each test runs the real stack end-to-end and checks
+the qualitative relationship, not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NVPConfig
+from repro.core.nvp import NVPPlatform
+from repro.harvest.sources import wristwatch_trace
+from repro.nvm.retention import LinearPolicy, LogPolicy, ParabolaPolicy
+from repro.nvm.technology import STT_MRAM
+from repro.system.presets import (
+    build_checkpoint,
+    build_nvp,
+    build_wait_compute,
+    nvp_capacitor,
+    standard_rectifier,
+)
+from repro.system.simulator import SystemSimulator
+from repro.workloads.base import AbstractWorkload
+
+
+@pytest.fixture(scope="module")
+def watch_trace():
+    return wristwatch_trace(8.0, seed=42, mean_power_w=25e-6)
+
+
+def run(trace, platform):
+    return SystemSimulator(
+        trace, platform, rectifier=standard_rectifier(), stop_when_finished=False
+    ).run()
+
+
+class TestPlatformComparison:
+    """NVP vs wait-and-compute vs software checkpointing (the 2.2-5x claim)."""
+
+    @pytest.fixture(scope="class")
+    def results(self, watch_trace):
+        return {
+            "nvp": run(watch_trace, build_nvp(AbstractWorkload())),
+            "wait": run(watch_trace, build_wait_compute(AbstractWorkload())),
+            "checkpoint": run(watch_trace, build_checkpoint(AbstractWorkload())),
+        }
+
+    def test_nvp_beats_wait_compute_by_published_factor(self, results):
+        ratio = results["nvp"].forward_progress / max(
+            1, results["wait"].forward_progress
+        )
+        assert 1.8 <= ratio <= 8.0, f"NVP/wait-compute ratio {ratio:.2f}"
+
+    def test_nvp_beats_software_checkpointing(self, results):
+        assert (
+            results["nvp"].forward_progress
+            > results["checkpoint"].forward_progress
+        )
+
+    def test_nvp_sustains_many_backups_per_second(self, results):
+        rate = results["nvp"].backups / results["nvp"].duration_s
+        assert rate > 50  # hundreds of emergencies need hundreds of backups
+
+    def test_nvp_loses_no_committed_work(self, results):
+        assert results["nvp"].lost_instructions <= (
+            0.05 * results["nvp"].total_executed
+        )
+
+
+class TestBackupEnergyShare:
+    """Backups must consume a visible share (but not all) of income."""
+
+    def test_backup_energy_fraction(self, watch_trace):
+        result = run(watch_trace, build_nvp(AbstractWorkload()))
+        fraction = result.backup_energy_j / max(result.consumed_j, 1e-18)
+        assert 0.0 < fraction < 0.4
+
+
+class TestRetentionRelaxedBackup:
+    """Approximate (retention-relaxed) backup frees energy -> more FP."""
+
+    def make_nvp(self, policy):
+        config = NVPConfig(
+            technology=STT_MRAM,
+            retention_policy=policy,
+            label=f"nvp-{policy.name if policy else 'precise'}",
+        )
+        return NVPPlatform(AbstractWorkload(), nvp_capacitor(), config, seed=0)
+
+    def test_relaxed_backup_reduces_backup_energy(self, watch_trace):
+        precise = run(watch_trace, self.make_nvp(None))
+        relaxed = run(
+            watch_trace,
+            self.make_nvp(LogPolicy(10e-3, STT_MRAM.retention_s)),
+        )
+        per_backup_precise = precise.backup_energy_j / max(1, precise.backups)
+        per_backup_relaxed = relaxed.backup_energy_j / max(1, relaxed.backups)
+        assert per_backup_relaxed < per_backup_precise
+
+    def test_policy_energy_ordering_log_linear_parabola(self, watch_trace):
+        t_max = STT_MRAM.retention_s
+        results = {}
+        for policy in (
+            LogPolicy(10e-3, t_max),
+            LinearPolicy(10e-3, t_max),
+            ParabolaPolicy(10e-3, t_max),
+        ):
+            result = run(watch_trace, self.make_nvp(policy))
+            results[policy.name] = result.backup_energy_j / max(1, result.backups)
+        assert results["log"] < results["linear"]
+        assert results["log"] < results["parabola"]
+
+
+class TestCapacitorSizing:
+    """Forward progress vs capacitor size has an interior maximum:
+    too small cannot cover backups, too large wastes charge time."""
+
+    def test_tiny_cap_fails(self, watch_trace):
+        tiny = build_nvp(AbstractWorkload(), capacitance_f=1e-9)
+        huge = build_nvp(AbstractWorkload(), capacitance_f=150e-9)
+        assert (
+            run(watch_trace, tiny).forward_progress
+            < run(watch_trace, huge).forward_progress
+        )
+
+
+class TestNVMTechnologyChoice:
+    def test_flash_state_storage_is_impractical(self, watch_trace):
+        """NOR-flash backup energy (nJ/bit) collapses forward progress
+        versus FeRAM at wristwatch emergency rates."""
+        from repro.nvm.technology import NOR_FLASH
+
+        feram = run(watch_trace, build_nvp(AbstractWorkload()))
+        flash_nvp = NVPPlatform(
+            AbstractWorkload(),
+            nvp_capacitor(2.2e-6),  # flash needs a far bigger reservoir
+            NVPConfig(technology=NOR_FLASH, label="nvp-flash"),
+            seed=0,
+        )
+        flash = run(watch_trace, flash_nvp)
+        assert feram.forward_progress > 2 * flash.forward_progress

@@ -1,0 +1,54 @@
+"""Disassembler tests, including the assemble/disassemble round-trip."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble, disassemble_program
+from repro.isa.instructions import (
+    IMM_MAX,
+    IMM_MIN,
+    Instruction,
+    Opcode,
+)
+
+
+class TestFormatting:
+    def test_alu(self):
+        assert disassemble(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)) == "add r1, r2, r3"
+
+    def test_load_store(self):
+        assert disassemble(Instruction(Opcode.LD, rd=1, rs1=2, imm=-3)) == "ld r1, -3(r2)"
+        assert disassemble(Instruction(Opcode.ST, rs1=2, rs2=4, imm=5)) == "st r4, 5(r2)"
+
+    def test_nop_halt(self):
+        assert disassemble(Instruction(Opcode.NOP)) == "nop"
+        assert disassemble(Instruction(Opcode.HALT)) == "halt"
+
+    def test_accepts_encoded_word(self):
+        from repro.isa.instructions import encode
+
+        word = encode(Instruction(Opcode.JAL, rd=6, imm=9))
+        assert disassemble(word) == "jal r6, 9"
+
+    def test_program_listing_has_pc(self):
+        lines = disassemble_program(
+            [Instruction(Opcode.NOP), Instruction(Opcode.HALT)]
+        )
+        assert lines[0].startswith("0x0000:")
+        assert lines[1].startswith("0x0001:")
+
+
+@given(
+    op=st.sampled_from(sorted(Opcode)),
+    rd=st.integers(0, 7),
+    rs1=st.integers(0, 7),
+    rs2=st.integers(0, 7),
+    imm=st.integers(IMM_MIN, IMM_MAX),
+)
+def test_disassembly_reassembles_identically(op, rd, rs1, rs2, imm):
+    """Property: assemble(disassemble(i)) reproduces the encoded fields
+    that matter for that opcode."""
+    instr = Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+    text = disassemble(instr)
+    reassembled = assemble(text).instructions[0]
+    assert disassemble(reassembled) == text

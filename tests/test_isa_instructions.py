@@ -1,0 +1,130 @@
+"""Unit tests for the NV16 instruction encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instructions import (
+    IMM_MAX,
+    IMM_MIN,
+    Instruction,
+    Opcode,
+    decode,
+    encode,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestInstructionFields:
+    def test_default_fields_are_zero(self):
+        instr = Instruction(Opcode.ADD)
+        assert (instr.rd, instr.rs1, instr.rs2, instr.imm) == (0, 0, 0, 0)
+
+    @pytest.mark.parametrize("field", ["rd", "rs1", "rs2"])
+    @pytest.mark.parametrize("value", [-1, 8, 100])
+    def test_register_out_of_range_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, **{field: value})
+
+    @pytest.mark.parametrize("imm", [IMM_MIN - 1, IMM_MAX + 1])
+    def test_immediate_out_of_range_rejected(self, imm):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADDI, rd=1, rs1=1, imm=imm)
+
+    def test_immediate_extremes_accepted(self):
+        Instruction(Opcode.ADDI, rd=1, rs1=1, imm=IMM_MIN)
+        Instruction(Opcode.ADDI, rd=1, rs1=1, imm=IMM_MAX)
+
+    def test_imm_max_covers_16bit_addresses(self):
+        # Any 16-bit unsigned address must fit in one immediate.
+        assert IMM_MAX >= 0xFFFF
+
+    def test_instructions_are_frozen(self):
+        instr = Instruction(Opcode.ADD, rd=1)
+        with pytest.raises(AttributeError):
+            instr.rd = 2
+
+
+class TestEncodeDecode:
+    def test_known_encoding(self):
+        instr = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        word = encode(instr)
+        assert word >> 26 == int(Opcode.ADD)
+        assert (word >> 23) & 0x7 == 1
+        assert (word >> 20) & 0x7 == 2
+        assert (word >> 17) & 0x7 == 3
+
+    def test_negative_immediate_roundtrip(self):
+        instr = Instruction(Opcode.ADDI, rd=1, rs1=1, imm=-42)
+        assert decode(encode(instr)) == instr
+
+    def test_decode_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            decode(1 << 32)
+
+    def test_decode_rejects_negative_word(self):
+        with pytest.raises(ValueError):
+            decode(-1)
+
+    def test_decode_rejects_undefined_opcode(self):
+        # 0x20..0x27 region has gaps (0x22 unused).
+        word = 0x22 << 26
+        with pytest.raises(ValueError):
+            decode(word)
+
+    @given(
+        op=st.sampled_from(sorted(Opcode)),
+        rd=st.integers(0, 7),
+        rs1=st.integers(0, 7),
+        rs2=st.integers(0, 7),
+        imm=st.integers(IMM_MIN, IMM_MAX),
+    )
+    def test_roundtrip_property(self, op, rd, rs1, rs2, imm):
+        instr = Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+        assert decode(encode(instr)) == instr
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_decode_never_misparses_fields(self, word):
+        try:
+            instr = decode(word)
+        except ValueError:
+            return  # undefined opcode is fine
+        assert encode(instr) == word
+
+
+class TestOpcodeStability:
+    """The numeric opcode values are part of the binary format."""
+
+    @pytest.mark.parametrize(
+        "name,value",
+        [("ADD", 0x00), ("ADDI", 0x10), ("LD", 0x20), ("ST", 0x21),
+         ("BEQ", 0x28), ("JAL", 0x2E), ("NOP", 0x3E), ("HALT", 0x3F)],
+    )
+    def test_opcode_values(self, name, value):
+        assert int(Opcode[name]) == value
+
+    def test_all_opcodes_fit_in_six_bits(self):
+        assert all(0 <= int(op) < 64 for op in Opcode)
+
+    def test_opcode_values_unique(self):
+        values = [int(op) for op in Opcode]
+        assert len(values) == len(set(values))
+
+
+class TestSignHelpers:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 0), (1, 1), (0x7FFF, 32767), (0x8000, -32768), (0xFFFF, -1)],
+    )
+    def test_to_signed(self, value, expected):
+        assert to_signed(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected", [(-1, 0xFFFF), (65536, 0), (70000, 70000 - 65536)]
+    )
+    def test_to_unsigned(self, value, expected):
+        assert to_unsigned(value) == expected
+
+    @given(st.integers(-100000, 100000))
+    def test_signed_unsigned_consistency(self, value):
+        assert to_unsigned(to_signed(to_unsigned(value))) == to_unsigned(value)

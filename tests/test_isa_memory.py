@@ -1,0 +1,119 @@
+"""Unit tests for the segmented memory map."""
+
+import pytest
+
+from repro.isa.memory import (
+    ADDRESS_SPACE,
+    INPUT_PORT,
+    MMIO_BASE,
+    MemoryMap,
+    NVM_BASE,
+    OUTPUT_PORT,
+    RAM_BASE,
+)
+
+
+class TestRegions:
+    @pytest.mark.parametrize(
+        "address,region",
+        [
+            (RAM_BASE, "ram"),
+            (NVM_BASE - 1, "ram"),
+            (NVM_BASE, "nvm"),
+            (MMIO_BASE - 1, "nvm"),
+            (MMIO_BASE, "mmio"),
+            (ADDRESS_SPACE - 1, "mmio"),
+        ],
+    )
+    def test_region_boundaries(self, address, region):
+        assert MemoryMap.region(address) == region
+
+    @pytest.mark.parametrize("address", [-1, ADDRESS_SPACE])
+    def test_out_of_range_rejected(self, address):
+        with pytest.raises(ValueError):
+            MemoryMap.region(address)
+
+
+class TestReadWrite:
+    def test_values_truncate_to_16_bits(self):
+        mem = MemoryMap()
+        mem.write(0x100, 0x12345)
+        assert mem.read(0x100) == 0x2345
+
+    def test_access_counters_by_region(self):
+        mem = MemoryMap()
+        mem.write(0x10, 1)
+        mem.write(NVM_BASE, 2)
+        mem.read(0x10)
+        mem.read(NVM_BASE)
+        mem.read(NVM_BASE + 1)
+        assert (mem.ram_writes, mem.nvm_writes) == (1, 1)
+        assert (mem.ram_reads, mem.nvm_reads) == (1, 2)
+
+    def test_output_port_appends(self):
+        mem = MemoryMap()
+        mem.write(OUTPUT_PORT, 5)
+        mem.write(OUTPUT_PORT, 6)
+        assert mem.output == [5, 6]
+
+    def test_input_port_pops(self):
+        mem = MemoryMap()
+        mem.input_queue.extend([10, 20])
+        assert mem.read(INPUT_PORT) == 10
+        assert mem.read(INPUT_PORT) == 20
+        assert mem.read(INPUT_PORT) == 0  # empty queue reads as zero
+
+    def test_other_mmio_words_are_plain_storage(self):
+        mem = MemoryMap()
+        mem.write(MMIO_BASE + 5, 77)
+        assert mem.read(MMIO_BASE + 5) == 77
+
+
+class TestBulkOps:
+    def test_load_words_and_dump(self):
+        mem = MemoryMap()
+        mem.load_words(0x8000, [1, 2, 3])
+        assert mem.dump_words(0x8000, 3) == [1, 2, 3]
+
+    def test_load_words_not_charged(self):
+        mem = MemoryMap()
+        mem.load_words(NVM_BASE, [1, 2])
+        assert mem.nvm_writes == 0
+
+    def test_load_words_into_mmio_rejected(self):
+        mem = MemoryMap()
+        with pytest.raises(ValueError):
+            mem.load_words(MMIO_BASE - 1, [1, 2])
+
+    def test_load_image(self):
+        mem = MemoryMap()
+        mem.load_image({0x8000: 9, 0x8002: 11})
+        assert mem.dump_words(0x8000, 3) == [9, 0, 11]
+
+    def test_dump_out_of_range_rejected(self):
+        mem = MemoryMap()
+        with pytest.raises(ValueError):
+            mem.dump_words(ADDRESS_SPACE - 1, 2)
+
+
+class TestVolatility:
+    def test_clear_volatile_wipes_ram_only(self):
+        mem = MemoryMap()
+        mem.write(0x100, 42)
+        mem.write(NVM_BASE + 4, 43)
+        mem.clear_volatile()
+        assert mem.read(0x100) == 0
+        assert mem.read(NVM_BASE + 4) == 43
+
+    def test_ram_snapshot_roundtrip(self):
+        mem = MemoryMap()
+        mem.write(0x20, 5)
+        snap = mem.snapshot_ram()
+        mem.clear_volatile()
+        mem.restore_ram(snap)
+        assert mem.read(0x20) == 5
+
+    def test_restore_ram_rejects_wrong_length(self):
+        mem = MemoryMap()
+        with pytest.raises(ValueError):
+            mem.restore_ram([0, 1, 2])

@@ -1,0 +1,146 @@
+"""break/continue: interpreter semantics and compiled cross-check."""
+
+import pytest
+
+from repro.isa.cpu import CPU
+from repro.lang.codegen import CodegenError, compile_source
+from repro.lang.interp import InterpError, interpret
+
+
+def crosscheck(source):
+    expected = interpret(source).outputs
+    compiled = compile_source(source)
+    cpu = CPU(compiled.program.instructions)
+    cpu.memory.load_image(compiled.program.data_image)
+    cpu.run(max_instructions=200_000)
+    assert cpu.state.halted
+    assert cpu.memory.output == expected
+    return expected
+
+
+class TestInterpreterSemantics:
+    def test_break_leaves_while(self):
+        source = """
+        func main() {
+            int i;
+            i = 0;
+            while (1) {
+                if (i == 3) { break; }
+                out(i);
+                i = i + 1;
+            }
+            out(99);
+        }
+        """
+        assert interpret(source).outputs == [0, 1, 2, 99]
+
+    def test_continue_in_for_runs_step(self):
+        source = """
+        func main() {
+            int i;
+            for (i = 0; i < 5; i = i + 1) {
+                if (i == 2) { continue; }
+                out(i);
+            }
+        }
+        """
+        assert interpret(source).outputs == [0, 1, 3, 4]
+
+    def test_break_only_innermost_loop(self):
+        source = """
+        func main() {
+            int i; int j;
+            for (i = 0; i < 3; i = i + 1) {
+                for (j = 0; j < 10; j = j + 1) {
+                    if (j == 1) { break; }
+                    out(i * 10 + j);
+                }
+            }
+        }
+        """
+        assert interpret(source).outputs == [0, 10, 20]
+
+    def test_continue_in_while_rechecks_condition(self):
+        source = """
+        func main() {
+            int i;
+            i = 0;
+            while (i < 5) {
+                i = i + 1;
+                if (i == 2) { continue; }
+                out(i);
+            }
+        }
+        """
+        assert interpret(source).outputs == [1, 3, 4, 5]
+
+    def test_break_outside_loop_is_error(self):
+        with pytest.raises(InterpError, match="outside a loop"):
+            interpret("func main() { break; }")
+
+    def test_continue_outside_loop_is_error(self):
+        with pytest.raises(InterpError, match="outside a loop"):
+            interpret("func f() { continue; } func main() { f(); }")
+
+
+class TestCompiledCrossCheck:
+    def test_break_in_while(self):
+        crosscheck("""
+        func main() {
+            int i; i = 0;
+            while (1) { if (i == 4) { break; } out(i); i = i + 1; }
+        }
+        """)
+
+    def test_continue_in_for(self):
+        crosscheck("""
+        func main() {
+            int i;
+            for (i = 0; i < 8; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                out(i);
+            }
+        }
+        """)
+
+    def test_nested_loops_with_both(self):
+        crosscheck("""
+        func main() {
+            int i; int j;
+            for (i = 0; i < 4; i = i + 1) {
+                if (i == 1) { continue; }
+                j = 0;
+                while (j < 6) {
+                    j = j + 1;
+                    if (j == 2) { continue; }
+                    if (j == 5) { break; }
+                    out(i * 100 + j);
+                }
+            }
+        }
+        """)
+
+    def test_linear_search_with_break(self):
+        crosscheck("""
+        int data[8] = {4, 9, 1, 7, 3, 8, 2, 6};
+        func find(needle) {
+            int i;
+            for (i = 0; i < 8; i = i + 1) {
+                if (data[i] == needle) { break; }
+            }
+            return i;
+        }
+        func main() { out(find(7)); out(find(4)); out(find(99)); }
+        """)
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(CodegenError, match="outside a loop"):
+            compile_source("func main() { break; }")
+
+    def test_continue_in_called_function_rejected(self):
+        with pytest.raises(CodegenError, match="outside a loop"):
+            compile_source(
+                "func f() { continue; }\n"
+                "func main() { int i;"
+                " for (i = 0; i < 2; i = i + 1) { f(); } }"
+            )

@@ -1,0 +1,287 @@
+"""Compiler correctness: every program must match the interpreter.
+
+The interpreter and the code generator implement the same 16-bit
+semantics independently; cross-checking them over a broad program
+corpus is the compiler's primary correctness argument.
+"""
+
+import pytest
+
+from repro.isa.cpu import CPU
+from repro.lang.codegen import CodegenError, compile_source
+from repro.lang.interp import interpret
+
+
+def run_compiled(source, inputs=None, max_instructions=500_000):
+    compiled = compile_source(source)
+    cpu = CPU(compiled.program.instructions)
+    cpu.memory.load_image(compiled.program.data_image)
+    if inputs:
+        cpu.memory.input_queue.extend(inputs)
+    cpu.run(max_instructions=max_instructions)
+    assert cpu.state.halted, "compiled program did not halt"
+    return cpu.memory.output
+
+
+def crosscheck(source, inputs=None):
+    expected = interpret(source, inputs=list(inputs or [])).outputs
+    actual = run_compiled(source, inputs=list(inputs or []))
+    assert actual == expected, f"compiled {actual} != interpreted {expected}"
+    return actual
+
+
+CORPUS = {
+    "arithmetic": """
+        func main() {
+            out(2 + 3 * 4);
+            out((2 + 3) * 4);
+            out(0xFFFF + 2);
+            out(0 - 7);
+            out(1000 * 1000);
+            out(12345 / 17);
+            out(12345 % 17);
+            out(99 / 0);
+            out(99 % 0);
+        }
+    """,
+    "bitwise": """
+        func main() {
+            out(0xF0F0 & 0x0FF0);
+            out(0xF0F0 | 0x0FF0);
+            out(0xF0F0 ^ 0x0FF0);
+            out(~0x00FF);
+            out(1 << 12);
+            out(3 << 17);
+            out(0x8000 >> 3);
+        }
+    """,
+    "comparisons": """
+        func main() {
+            out(1 < 2); out(2 < 1); out(0xFFFF < 1);
+            out(3 <= 3); out(4 <= 3);
+            out(5 > 2); out(0x8000 > 0);
+            out(6 >= 7); out(7 >= 7);
+            out(8 == 8); out(8 != 8); out(8 != 9);
+        }
+    """,
+    "logicals": """
+        int hits;
+        func bump(v) { hits = hits + 1; return v; }
+        func main() {
+            out(0 && bump(1)); out(hits);
+            out(2 && 3); out(0 || 0);
+            out(1 || bump(1)); out(hits);
+            out(!5); out(!0);
+        }
+    """,
+    "loops": """
+        func main() {
+            int i; int acc;
+            acc = 0;
+            for (i = 0; i < 10; i = i + 1) { acc = acc + i * i; }
+            out(acc);
+            while (acc > 100) { acc = acc - 100; }
+            out(acc);
+        }
+    """,
+    "arrays": """
+        int a[8] = {5, 9, 2, 7};
+        int b[8];
+        func main() {
+            int i;
+            for (i = 0; i < 8; i = i + 1) { b[7 - i] = a[i] * 2; }
+            for (i = 0; i < 8; i = i + 1) { out(b[i]); }
+        }
+    """,
+    "functions": """
+        int scale = 3;
+        func mul_add(a, b, c) { return a * b + c; }
+        func apply(x) { return mul_add(x, scale, 1); }
+        func main() {
+            out(apply(5));
+            out(mul_add(apply(2), apply(3), apply(4)));
+        }
+    """,
+    "deep_expressions": """
+        func main() {
+            out(1 + (2 + (3 + (4 + (5 + (6 + (7 + 8)))))));
+            out(((1 + 2) * (3 + 4)) + ((5 + 6) * (7 + 8)));
+            out((1 | 2) & (3 ^ 4) | (5 << 2) - (6 >> 1));
+        }
+    """,
+    "call_in_deep_expression": """
+        func sq(x) { return x * x; }
+        func main() {
+            out(sq(2) + sq(3) * sq(4) - sq(sq(2)));
+            out(sq(1 + sq(2)) + 1);
+        }
+    """,
+    "inputs": """
+        func main() {
+            int a; int b;
+            a = in(); b = in();
+            out(a * b + in());
+            out(in());
+        }
+    """,
+    "globals_mutation": """
+        int counter;
+        func tick() { counter = counter + 1; return counter; }
+        func main() {
+            out(tick()); out(tick()); out(tick());
+            counter = 100;
+            out(tick());
+        }
+    """,
+    "local_shadowing": """
+        int x = 99;
+        func f() { int x; x = 1; return x; }
+        func main() { out(f()); out(x); x = x + f(); out(x); }
+    """,
+    "if_chains": """
+        func grade(score) {
+            if (score >= 90) { return 4; }
+            else if (score >= 75) { return 3; }
+            else if (score >= 60) { return 2; }
+            else { return 1; }
+        }
+        func main() {
+            out(grade(95)); out(grade(80)); out(grade(61)); out(grade(10));
+        }
+    """,
+    "loop_local_rezero": """
+        func main() {
+            int i;
+            for (i = 0; i < 3; i = i + 1) {
+                int acc;
+                acc = acc + 10;
+                out(acc);
+            }
+        }
+    """,
+    "halt_statement": """
+        func main() { out(1); halt; out(2); }
+    """,
+    "fall_through_returns_zero": """
+        func nothing(a) { a = a + 1; }
+        func main() { out(nothing(5)); }
+    """,
+    "fibonacci_iterative": """
+        func fib(n) {
+            int a; int b; int i; int t;
+            a = 0; b = 1;
+            for (i = 0; i < n; i = i + 1) { t = a + b; a = b; b = t; }
+            return a;
+        }
+        func main() {
+            int i;
+            for (i = 0; i < 12; i = i + 1) { out(fib(i)); }
+        }
+    """,
+    "gcd": """
+        func gcd(a, b) {
+            while (b != 0) { int t; t = b; b = a % b; a = t; }
+            return a;
+        }
+        func main() { out(gcd(252, 105)); out(gcd(17, 5)); out(gcd(0, 9)); }
+    """,
+    "bubble_sort": """
+        int data[10] = {170, 45, 75, 90, 802, 24, 2, 66, 1, 300};
+        func main() {
+            int i; int j;
+            for (i = 0; i < 9; i = i + 1) {
+                for (j = 0; j < 9 - i; j = j + 1) {
+                    if (data[j] > data[j + 1]) {
+                        int t;
+                        t = data[j]; data[j] = data[j + 1]; data[j + 1] = t;
+                    }
+                }
+            }
+            for (i = 0; i < 10; i = i + 1) { out(data[i]); }
+        }
+    """,
+}
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_compiled_matches_interpreter(self, name):
+        inputs = [7, 9, 3, 11] if name == "inputs" else None
+        crosscheck(CORPUS[name], inputs=inputs)
+
+    def test_main_with_explicit_return(self):
+        # The startup stub halts after main returns.
+        assert run_compiled("func main() { out(1); return 5; out(2); }") == [1]
+
+
+class TestCompileErrors:
+    @pytest.mark.parametrize(
+        "source,match",
+        [
+            ("func f() { }", "main"),
+            ("func main(x) { }", "parameters"),
+            ("func main() { out(y); }", "unknown variable"),
+            ("int a[2]; func main() { out(a); }", "scalar"),
+            ("int x; func main() { out(x[0]); }", "not an array"),
+            ("int a[2]; func main() { a = 1; }", "assign to array"),
+            ("func main() { out(f(1)); }", "unknown function"),
+            ("func f(a) { } func main() { f(); }", "expects 1"),
+        ],
+    )
+    def test_semantic_errors(self, source, match):
+        with pytest.raises(CodegenError, match=match):
+            compile_source(source)
+
+    def test_direct_recursion_rejected(self):
+        with pytest.raises(CodegenError, match="recursion"):
+            compile_source("func f(n) { return f(n - 1); } func main() { f(3); }")
+
+    def test_mutual_recursion_rejected(self):
+        source = """
+        func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+        func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+        func main() { out(even(4)); }
+        """
+        with pytest.raises(CodegenError, match="recursion"):
+            compile_source(source)
+
+    def test_calling_function_while_building_its_args_is_fine(self):
+        """f(g(...)) where g also calls f is NOT recursion (f is not
+        active while g runs) — the static-frame scheme must allow it."""
+        source = """
+        func f(a) { return a + 1; }
+        func g(b) { return f(b) * 2; }
+        func main() { out(f(g(3))); }
+        """
+        crosscheck(source)
+
+
+class TestGeneratedCodeProperties:
+    def test_asm_is_reassemblable(self):
+        compiled = compile_source(CORPUS["functions"])
+        from repro.isa.assembler import assemble
+
+        reassembled = assemble(compiled.asm)
+        assert reassembled.words == compiled.program.words
+
+    def test_globals_land_in_nvm(self):
+        compiled = compile_source("int x = 7; func main() { out(x); }")
+        assert all(addr >= 0x8000 for addr in compiled.program.data_image)
+
+    def test_array_initialisers_in_image(self):
+        compiled = compile_source(
+            "int a[4] = {1, 2, 3}; func main() { out(a[0]); }"
+        )
+        values = sorted(compiled.program.data_image.items())[:4]
+        assert [v for _, v in values] == [1, 2, 3, 0]
+
+    def test_compiled_program_runs_as_functional_workload(self):
+        """Compiled NVC integrates with the workload machinery."""
+        from repro.workloads.base import FunctionalWorkload
+
+        compiled = compile_source(CORPUS["fibonacci_iterative"])
+        workload = FunctionalWorkload(compiled.program, total_units=2)
+        while not workload.finished:
+            workload.advance(10e-3)
+        expected = interpret(CORPUS["fibonacci_iterative"]).outputs
+        assert list(workload.outputs) == expected * 2

@@ -1,0 +1,189 @@
+"""Tests for the NVC lexer and parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse
+
+
+class TestLexer:
+    def test_numbers_and_idents(self):
+        tokens = tokenize("foo 42 0x1F _bar9")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert kinds == [
+            ("ident", "foo"), ("num", "42"), ("num", "0x1F"),
+            ("ident", "_bar9"), ("eof", ""),
+        ]
+        assert tokens[2].value == 31
+
+    def test_keywords_recognised(self):
+        tokens = tokenize("int func if else while for return out halt in")
+        assert all(t.kind == "kw" for t in tokens[:-1])
+
+    def test_maximal_munch_operators(self):
+        tokens = tokenize("<<=>>")
+        assert [t.text for t in tokens[:-1]] == ["<<", "=", ">>"]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a // comment with symbols +-*/\nb")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError, match="line 2"):
+            tokenize("ok\n@")
+
+    def test_value_on_non_number_rejected(self):
+        with pytest.raises(ValueError):
+            tokenize("x")[0].value
+
+
+class TestParserTopLevel:
+    def test_scalar_global(self):
+        program = parse("int x;")
+        decl = program.globals[0]
+        assert decl.name == "x"
+        assert decl.size is None
+        assert decl.initializer == ()
+
+    def test_initialised_scalar(self):
+        assert parse("int x = 5;").globals[0].initializer == (5,)
+        assert parse("int x = -3;").globals[0].initializer == (-3,)
+
+    def test_array_with_initialiser(self):
+        decl = parse("int a[4] = {1, 2, 3};").globals[0]
+        assert decl.size == 4
+        assert decl.initializer == (1, 2, 3)
+        assert decl.words == 4
+
+    def test_too_many_initialisers(self):
+        with pytest.raises(ParseError):
+            parse("int a[2] = {1, 2, 3};")
+
+    def test_zero_size_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int a[0];")
+
+    def test_function_params(self):
+        fn = parse("func f(a, b) { return a; }").functions[0]
+        assert fn.params == ("a", "b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse("int x; func x() { }")
+        with pytest.raises(ParseError, match="duplicate"):
+            parse("func f(a, a) { }")
+
+    def test_program_function_lookup(self):
+        program = parse("func f() { } func g() { }")
+        assert program.function("g").name == "g"
+        with pytest.raises(KeyError):
+            program.function("h")
+
+
+class TestParserStatements:
+    def wrap(self, body):
+        return parse(f"func main() {{ {body} }}").functions[0].body
+
+    def test_assignment(self):
+        (stmt,) = self.wrap("x = 1;")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.Var)
+
+    def test_array_assignment(self):
+        (stmt,) = self.wrap("a[i + 1] = 2;")
+        assert isinstance(stmt.target, ast.Index)
+
+    def test_if_else_chain(self):
+        (stmt,) = self.wrap("if (x) { y = 1; } else if (z) { y = 2; } else { y = 3; }")
+        assert isinstance(stmt, ast.If)
+        inner = stmt.else_body[0]
+        assert isinstance(inner, ast.If)
+        assert len(inner.else_body) == 1
+
+    def test_for_with_empty_cond(self):
+        (stmt,) = self.wrap("for (;;) { halt; }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.cond, ast.Num)
+
+    def test_local_decl(self):
+        statements = self.wrap("int i; i = 1;")
+        assert isinstance(statements[0], ast.LocalDecl)
+
+    def test_local_array_rejected(self):
+        with pytest.raises(ParseError, match="local arrays"):
+            self.wrap("int a[4];")
+
+    def test_call_statement(self):
+        (stmt,) = self.wrap("f(1, 2);")
+        assert isinstance(stmt, ast.ExprStatement)
+        assert isinstance(stmt.value, ast.Call)
+
+    def test_return_forms(self):
+        ret_value = self.wrap("return 5;")[0]
+        ret_void = self.wrap("return;")[0]
+        assert ret_value.value is not None
+        assert ret_void.value is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["x = ;", "if x { }", "while () { }", "out 5;", "int;", "5 = x;"],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse(f"func main() {{ {bad} }}")
+
+
+class TestParserExpressions:
+    def expr(self, text):
+        (stmt,) = parse(f"func main() {{ x = {text}; }}").functions[0].body
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        node = self.expr("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        node = self.expr("1 << 2 + 3")
+        assert node.op == "<<"
+        assert node.right.op == "+"
+
+    def test_comparison_below_bitor(self):
+        node = self.expr("1 | 2 == 3")
+        assert node.op == "|"
+
+    def test_logical_lowest(self):
+        node = self.expr("1 + 2 && 3 | 4")
+        assert isinstance(node, ast.Logical)
+
+    def test_parentheses_override(self):
+        node = self.expr("(1 + 2) * 3")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_left_associativity(self):
+        node = self.expr("10 - 4 - 3")
+        assert node.op == "-"
+        assert node.left.op == "-"
+
+    def test_unary_chain(self):
+        node = self.expr("!~-x")
+        assert node.op == "!"
+        assert node.operand.op == "~"
+        assert node.operand.operand.op == "-"
+
+    def test_call_with_args(self):
+        node = self.expr("f(1, g(2), a[3])")
+        assert isinstance(node, ast.Call)
+        assert len(node.args) == 3
+        assert isinstance(node.args[1], ast.Call)
+
+    def test_in_builtin(self):
+        node = self.expr("in()")
+        assert isinstance(node, ast.Call)
+        assert node.name == "in"

@@ -1,0 +1,191 @@
+"""Tests for the NVC interpreter (the semantic oracle)."""
+
+import pytest
+
+from repro.lang.interp import InterpError, interpret
+
+
+def outputs(source, inputs=None):
+    return interpret(source, inputs=inputs).outputs
+
+
+def one(expr, prelude=""):
+    return outputs(f"{prelude}\nfunc main() {{ out({expr}); }}")[0]
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("2 + 3", 5),
+            ("0xFFFF + 2", 1),          # 16-bit wrap
+            ("0 - 1", 0xFFFF),
+            ("300 * 300", (300 * 300) & 0xFFFF),
+            ("100 / 7", 14),
+            ("100 % 7", 2),
+            ("100 / 0", 0xFFFF),        # NV16 division-by-zero semantics
+            ("100 % 0", 100),
+            ("0xF0F0 & 0x0FF0", 0x00F0),
+            ("0xF0F0 | 0x0FF0", 0xFFF0),
+            ("0xF0F0 ^ 0x0FF0", 0xFF00),
+            ("1 << 4", 16),
+            ("3 << 17", 6),             # shift count mod 16
+            ("0x8000 >> 1", 0x4000),    # unsigned shift
+            ("-5", 0xFFFB),
+            ("~0", 0xFFFF),
+            ("!0", 1),
+            ("!7", 0),
+        ],
+    )
+    def test_expression_values(self, expr, expected):
+        assert one(expr) == expected
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 < 2", 1),
+            ("2 < 1", 0),
+            ("0xFFFF < 1", 1),   # signed: -1 < 1
+            ("1 <= 1", 1),
+            ("2 > 1", 1),
+            ("0x8000 > 0", 0),   # signed: -32768 > 0 is false
+            ("3 >= 4", 0),
+            ("5 == 5", 1),
+            ("5 != 5", 0),
+        ],
+    )
+    def test_comparisons(self, expr, expected):
+        assert one(expr) == expected
+
+    def test_short_circuit_and(self):
+        # Division by zero in the right operand must not run.
+        source = """
+        int hits;
+        func boom() { hits = hits + 1; return 1; }
+        func main() { out(0 && boom()); out(hits); }
+        """
+        assert outputs(source) == [0, 0]
+
+    def test_short_circuit_or(self):
+        source = """
+        int hits;
+        func boom() { hits = hits + 1; return 0; }
+        func main() { out(1 || boom()); out(hits); }
+        """
+        assert outputs(source) == [1, 0]
+
+    def test_logical_results_normalised(self):
+        assert one("5 && 9") == 1
+        assert one("0 || 7") == 1
+
+
+class TestStatements:
+    def test_while_loop(self):
+        source = """
+        func main() {
+            int i; int acc;
+            i = 0; acc = 0;
+            while (i < 5) { acc = acc + i; i = i + 1; }
+            out(acc);
+        }
+        """
+        assert outputs(source) == [10]
+
+    def test_for_loop(self):
+        source = """
+        func main() {
+            int i;
+            for (i = 1; i <= 3; i = i + 1) { out(i); }
+        }
+        """
+        assert outputs(source) == [1, 2, 3]
+
+    def test_nested_if(self):
+        source = """
+        func classify(x) {
+            if (x < 10) { return 1; } else if (x < 100) { return 2; }
+            return 3;
+        }
+        func main() { out(classify(5)); out(classify(50)); out(classify(500)); }
+        """
+        assert outputs(source) == [1, 2, 3]
+
+    def test_halt_stops_everything(self):
+        source = "func main() { out(1); halt; out(2); }"
+        assert outputs(source) == [1]
+
+    def test_arrays(self):
+        source = """
+        int a[4] = {10, 20};
+        func main() {
+            a[2] = a[0] + a[1];
+            out(a[2]);
+            out(a[3]);
+        }
+        """
+        assert outputs(source) == [30, 0]
+
+    def test_in_builtin_consumes_queue(self):
+        source = "func main() { out(in() + in()); out(in()); }"
+        assert outputs(source, inputs=[4, 5]) == [9, 0]
+
+    def test_locals_shadow_globals(self):
+        source = """
+        int x = 99;
+        func main() { int x; x = 1; out(x); }
+        """
+        assert outputs(source) == [1]
+
+    def test_local_decl_rezeros_in_loop(self):
+        source = """
+        func main() {
+            int i;
+            for (i = 0; i < 3; i = i + 1) {
+                int acc;
+                acc = acc + 1;
+                out(acc);
+            }
+        }
+        """
+        assert outputs(source) == [1, 1, 1]
+
+    def test_functions_and_return(self):
+        source = """
+        func add(a, b) { return a + b; }
+        func twice(x) { return add(x, x); }
+        func main() { out(twice(21)); }
+        """
+        assert outputs(source) == [42]
+
+    def test_void_return_value_is_zero(self):
+        source = """
+        func nothing() { return; }
+        func main() { out(nothing()); }
+        """
+        assert outputs(source) == [0]
+
+    def test_main_return_value(self):
+        assert interpret("func main() { return 7; }").returned == 7
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source,match",
+        [
+            ("func f() { }", "main"),
+            ("func main(x) { }", "parameters"),
+            ("func main() { out(y); }", "unknown variable"),
+            ("int a[2]; func main() { out(a); }", "scalar"),
+            ("int x; func main() { out(x[0]); }", "not an array"),
+            ("int a[2]; func main() { out(a[5]); }", "out of bounds"),
+            ("func main() { out(f(1)); }", "no function"),
+            ("func f(a) { } func main() { f(); }", "expects 1"),
+        ],
+    )
+    def test_runtime_errors(self, source, match):
+        with pytest.raises(InterpError, match=match):
+            interpret(source)
+
+    def test_infinite_loop_budget(self):
+        with pytest.raises(InterpError, match="budget"):
+            interpret("func main() { while (1) { } }", max_steps=1_000)

@@ -1,0 +1,152 @@
+"""Tests for the NVC constant folder / branch pruner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.cpu import CPU
+from repro.lang import ast
+from repro.lang.codegen import compile_source
+from repro.lang.interp import interpret
+from repro.lang.optimize import fold_expr, optimize
+from repro.lang.parser import parse
+
+
+def run(compiled, inputs=None):
+    cpu = CPU(compiled.program.instructions)
+    cpu.memory.load_image(compiled.program.data_image)
+    if inputs:
+        cpu.memory.input_queue.extend(inputs)
+    cpu.run(max_instructions=300_000)
+    assert cpu.state.halted
+    return cpu.memory.output, cpu.instructions_retired
+
+
+def expr_of(text):
+    (stmt,) = parse(f"func main() {{ x = {text}; }}").functions[0].body
+    return stmt.value
+
+
+class TestExpressionFolding:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("2 + 3 * 4", 14),
+            ("(0xFFFF + 2) * 3", 3),
+            ("100 / 0", 0xFFFF),
+            ("7 % 0", 7),
+            ("1 << 20", 16),          # shift mod 16
+            ("0xFFFF < 1", 1),        # signed compare
+            ("-(5)", 0xFFFB),
+            ("!0 + !7", 1),
+            ("~0xFF00", 0x00FF),
+            ("0 && 1", 0),
+            ("3 || 0", 1),
+        ],
+    )
+    def test_constant_expressions_fold_to_num(self, text, value):
+        folded = fold_expr(expr_of(text))
+        assert isinstance(folded, ast.Num)
+        assert folded.value == value
+
+    def test_partial_folding_keeps_variables(self):
+        folded = fold_expr(expr_of("y + (2 * 8)"))
+        assert isinstance(folded, ast.Binary)
+        assert isinstance(folded.right, ast.Num)
+        assert folded.right.value == 16
+
+    def test_short_circuit_folding_respects_calls(self):
+        """`f() && 0` must NOT fold away the call to f()."""
+        folded = fold_expr(expr_of("f() && 0"))
+        assert isinstance(folded, ast.Logical)
+
+
+class TestStatementPruning:
+    def test_constant_true_if_inlines_then(self):
+        program = optimize(parse("func main() { if (1) { out(7); } else { out(8); } }"))
+        body = program.function("main").body
+        assert len(body) == 1
+        assert isinstance(body[0], ast.Out)
+
+    def test_constant_false_if_inlines_else(self):
+        program = optimize(parse("func main() { if (0) { out(7); } else { out(8); } }"))
+        (stmt,) = program.function("main").body
+        assert isinstance(stmt.value, ast.Num) and stmt.value.value == 8
+
+    def test_while_zero_removed(self):
+        program = optimize(parse("func main() { while (0) { out(1); } out(2); }"))
+        assert len(program.function("main").body) == 1
+
+    def test_for_zero_keeps_init(self):
+        program = optimize(
+            parse("func main() { int i; for (i = 9; 0; i = i + 1) { } out(i); }")
+        )
+        kinds = [type(s).__name__ for s in program.function("main").body]
+        assert kinds == ["LocalDecl", "Assign", "Out"]
+
+    def test_dead_expression_statement_removed(self):
+        # A bare call must stay; a bare constant must go.
+        program = optimize(parse("func f() { } func main() { f(); }"))
+        assert len(program.function("main").body) == 1
+
+
+class TestEndToEnd:
+    SOURCE = """
+    int table[4] = {10, 20, 30, 40};
+    func scale(x) { return x * (1 << 3) / 8; }
+    func main() {
+        int i;
+        if (2 + 2 == 4) { out(scale(table[1 + 1])); }
+        for (i = 0; i < 2 * 2; i = i + 1) { out(table[i] + (100 - 99)); }
+        while (0) { out(12345); }
+    }
+    """
+
+    def test_optimized_output_identical(self):
+        plain = compile_source(self.SOURCE, optimize=False)
+        optimised = compile_source(self.SOURCE, optimize=True)
+        out_plain, n_plain = run(plain)
+        out_opt, n_opt = run(optimised)
+        assert out_plain == out_opt == interpret(self.SOURCE).outputs
+        assert n_opt < n_plain  # folding saved real instructions
+
+    def test_optimizer_shrinks_binary(self):
+        plain = compile_source(self.SOURCE, optimize=False)
+        optimised = compile_source(self.SOURCE, optimize=True)
+        assert len(optimised.program.instructions) < len(plain.program.instructions)
+
+
+_NUMS = st.integers(0, 0xFFFF)
+_OPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+        "==", "!=", "<", "<=", ">", ">=")
+
+
+def _expr_strategy():
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(_OPS), children, children).map(
+                lambda t: f"({t[1]} {t[0]} {t[2]})"
+            ),
+            st.tuples(st.sampled_from(("-", "~", "!")), children).map(
+                lambda t: f"({t[0]}{t[1]})"
+            ),
+        )
+
+    leaves = st.one_of(_NUMS.map(str), st.sampled_from(("g0", "g1")))
+    return st.recursive(leaves, extend, max_leaves=10)
+
+
+@given(expr=_expr_strategy(), g0=_NUMS, g1=_NUMS)
+@settings(max_examples=100, deadline=None)
+def test_differential_optimizer_fuzz(expr, g0, g1):
+    """Property: optimised and unoptimised binaries agree with the
+    interpreter on every generated expression."""
+    source = f"""
+    int g0 = {g0};
+    int g1 = {g1};
+    func main() {{ out({expr}); }}
+    """
+    expected = interpret(source).outputs
+    for optimize_flag in (False, True):
+        compiled = compile_source(source, optimize=optimize_flag)
+        outputs, _ = run(compiled)
+        assert outputs == expected, (optimize_flag, source)

@@ -1,0 +1,123 @@
+"""Tests for the morphology kernels and streaming frame inputs."""
+
+import numpy as np
+import pytest
+
+from repro.isa.cpu import CPU
+from repro.workloads import morphology
+from repro.workloads.images import test_image as make_image
+from repro.workloads.suite import (
+    KERNEL_INPUT_KEYWORD,
+    build_kernel,
+    make_streaming_workload,
+)
+
+
+def execute(build):
+    cpu = CPU(build.program.instructions)
+    cpu.memory.load_image(build.program.data_image)
+    cpu.run(max_instructions=2_000_000)
+    assert cpu.state.halted
+    return np.array(cpu.memory.output, dtype=np.uint16)
+
+
+class TestMorphology:
+    @pytest.mark.parametrize("op", ["erode", "dilate"])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_matches_reference(self, op, seed):
+        build = build_kernel(op, size=10, seed=seed)
+        assert np.array_equal(execute(build), build.expected_output)
+
+    def test_erode_shrinks_dilate_grows(self):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        img[3:5, 3:5] = 200  # a small bright blob
+        eroded = morphology.reference(img, "erode")
+        dilated = morphology.reference(img, "dilate")
+        assert eroded.sum() < dilated.sum()
+        assert eroded.max() == 0       # 2x2 blob fully eroded by 3x3 min
+        assert (dilated == 200).sum() >= 4
+
+    def test_flat_image_unchanged(self):
+        img = np.full((6, 6), 80, dtype=np.uint8)
+        assert np.all(morphology.reference(img, "erode") == 80)
+        assert np.all(morphology.reference(img, "dilate") == 80)
+
+    def test_erode_le_dilate_everywhere(self):
+        img = make_image(10, seed=4)
+        assert np.all(
+            morphology.reference(img, "erode")
+            <= morphology.reference(img, "dilate")
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            morphology.reference(np.zeros((2, 2)), "erode")
+        with pytest.raises(ValueError):
+            morphology.reference(np.zeros((5, 5)), "open")
+        with pytest.raises(ValueError):
+            morphology.assembly(5, 5, op="close")
+
+
+class TestStreamingWorkload:
+    def test_each_frame_gets_its_own_input(self):
+        frames = [make_image(8, seed=s) for s in (1, 2, 3)]
+        workload, expected = make_streaming_workload("sobel", frames)
+        while not workload.finished:
+            workload.advance(50e-3)
+        outputs = np.array(workload.outputs, dtype=np.uint16)
+        assert np.array_equal(outputs, expected)
+        # The frames genuinely differ: per-frame slices are not equal.
+        per_frame = len(expected) // 3
+        assert not np.array_equal(
+            expected[:per_frame], expected[per_frame : 2 * per_frame]
+        )
+
+    def test_streaming_1d_kernel(self):
+        from repro.workloads.images import test_bytes as make_bytes
+
+        buffers = [make_bytes(48, seed=s) for s in (5, 6)]
+        workload, expected = make_streaming_workload("crc", buffers)
+        while not workload.finished:
+            workload.advance(50e-3)
+        assert list(workload.outputs) == list(expected)
+        assert expected[0] != expected[1]  # different buffers, different CRCs
+
+    def test_streaming_under_intermittent_power(self):
+        """Different frames survive power cycling bit-exactly."""
+        from repro.core.config import NVPConfig
+        from repro.core.nvp import NVPPlatform
+        from repro.harvest.sources import square_trace
+        from repro.storage.capacitor import Capacitor, ChargeEfficiency
+        from repro.system.simulator import SystemSimulator
+
+        frames = [make_image(8, seed=s) for s in (7, 8, 9)]
+        workload, expected = make_streaming_workload("sobel", frames)
+        cap = Capacitor(
+            22e-9, v_max_v=3.3, leak_resistance_ohm=1e18,
+            efficiency=ChargeEfficiency(1.0, 1.0, 0.0, 1.0),
+        )
+        platform = NVPPlatform(workload, cap, NVPConfig(), seed=1)
+        trace = square_trace(
+            high_w=800e-6, low_w=0.0, period_s=0.011, duty=0.1, duration_s=10.0
+        )
+        result = SystemSimulator(trace, platform).run()
+        assert result.completed
+        assert result.backups >= 2
+        outputs = np.array(workload.outputs, dtype=np.uint16)
+        assert np.array_equal(outputs, expected)
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            make_streaming_workload("matmul", [np.zeros((4, 4))])
+        with pytest.raises(ValueError):
+            make_streaming_workload("sobel", [])
+        with pytest.raises(ValueError):
+            make_streaming_workload(
+                "sobel", [make_image(8), make_image(10)]
+            )
+
+    def test_every_streamable_kernel_registered(self):
+        for name in KERNEL_INPUT_KEYWORD:
+            assert name in __import__(
+                "repro.workloads.suite", fromlist=["KERNELS"]
+            ).KERNELS

@@ -1,0 +1,99 @@
+"""Unit tests for the analytic STT-MRAM retention/energy model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nvm.sttram import (
+    DEFAULT_STT,
+    STTParameters,
+    TAU0_S,
+    energy_saving_fraction,
+    optimal_pulse_width,
+    required_delta,
+    retention_from_delta,
+    write_current,
+    write_energy,
+    write_energy_at_optimum,
+)
+from repro.nvm.technology import SECONDS_PER_DAY, SECONDS_PER_YEAR
+
+
+class TestDelta:
+    def test_known_values(self):
+        assert required_delta(10e-3) == pytest.approx(math.log(1e7), rel=1e-6)
+        assert required_delta(SECONDS_PER_DAY) == pytest.approx(
+            math.log(SECONDS_PER_DAY / TAU0_S), rel=1e-6
+        )
+
+    def test_clamped_at_min_delta(self):
+        assert required_delta(2e-9) == DEFAULT_STT.min_delta
+
+    def test_rejects_nonpositive_retention(self):
+        with pytest.raises(ValueError):
+            required_delta(0.0)
+
+    def test_inverse_roundtrip(self):
+        delta = required_delta(1.0)
+        assert retention_from_delta(delta) == pytest.approx(1.0, rel=1e-9)
+
+    @given(st.floats(min_value=1e-6, max_value=1e9))
+    def test_delta_monotone_in_retention(self, retention):
+        assert required_delta(retention * 2) >= required_delta(retention)
+
+
+class TestWriteCurrent:
+    def test_shorter_pulses_need_more_current(self):
+        long_pulse = write_current(1.0, 10e-9)
+        short_pulse = write_current(1.0, 1e-9)
+        assert short_pulse > long_pulse
+
+    def test_longer_retention_needs_more_current(self):
+        assert write_current(SECONDS_PER_YEAR, 5e-9) > write_current(1e-3, 5e-9)
+
+    def test_rejects_nonpositive_pulse(self):
+        with pytest.raises(ValueError):
+            write_current(1.0, 0.0)
+
+
+class TestWriteEnergy:
+    def test_optimal_pulse_minimises_energy(self):
+        opt = optimal_pulse_width(1.0)
+        e_opt = write_energy(1.0, opt)
+        for factor in (0.25, 0.5, 2.0, 4.0):
+            assert write_energy(1.0, opt * factor) >= e_opt
+
+    def test_energy_scales_with_delta_squared(self):
+        e1 = write_energy_at_optimum(retention_from_delta(10))
+        e2 = write_energy_at_optimum(retention_from_delta(20))
+        assert e2 / e1 == pytest.approx(4.0, rel=1e-6)
+
+    def test_headline_saving_one_day_to_ten_ms(self):
+        """Relaxing 1 day -> 10 ms should save roughly 75% write energy
+        (the published figure for this tradeoff is 77%)."""
+        saving = energy_saving_fraction(10e-3, SECONDS_PER_DAY)
+        assert 0.70 <= saving <= 0.80
+
+    def test_saving_is_zero_for_equal_retention(self):
+        assert energy_saving_fraction(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_pj_scale_magnitudes(self):
+        """10-year-retention writes should land in the pJ/bit regime."""
+        energy = write_energy_at_optimum(10 * SECONDS_PER_YEAR)
+        assert 0.05e-12 < energy < 50e-12
+
+
+class TestParameters:
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            STTParameters(ic_per_delta_a=0.0)
+        with pytest.raises(ValueError):
+            STTParameters(min_delta=0.0)
+
+    def test_custom_resistance_scales_energy(self):
+        low = STTParameters(resistance_ohm=1000.0)
+        high = STTParameters(resistance_ohm=4000.0)
+        assert write_energy_at_optimum(1.0, high) == pytest.approx(
+            4 * write_energy_at_optimum(1.0, low)
+        )

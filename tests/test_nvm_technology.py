@@ -1,0 +1,117 @@
+"""Unit tests for the NVM technology catalog."""
+
+import pytest
+
+from repro.nvm.technology import (
+    FERAM,
+    FEFET,
+    NOR_FLASH,
+    NVMTechnology,
+    PCM,
+    RERAM,
+    SRAM_REFERENCE,
+    STT_MRAM,
+    TECHNOLOGIES,
+    technology_by_name,
+)
+
+
+class TestCatalog:
+    def test_catalog_contains_seven_rows(self):
+        assert len(TECHNOLOGIES) == 7
+
+    def test_names_unique(self):
+        names = [tech.name for tech in TECHNOLOGIES]
+        assert len(names) == len(set(names))
+
+    def test_only_sram_is_volatile(self):
+        assert SRAM_REFERENCE.volatile
+        assert all(not tech.volatile for tech in TECHNOLOGIES if tech is not SRAM_REFERENCE)
+
+    def test_lookup_case_insensitive(self):
+        assert technology_by_name("feram") is FERAM
+        assert technology_by_name("STT-MRAM") is STT_MRAM
+
+    def test_lookup_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="FeRAM"):
+            technology_by_name("EEPROM")
+
+    def test_relaxation_support_flags(self):
+        assert RERAM.supports_retention_relaxation
+        assert STT_MRAM.supports_retention_relaxation
+        assert not FERAM.supports_retention_relaxation
+        assert not NOR_FLASH.supports_retention_relaxation
+
+
+class TestRelativeOrdering:
+    """The experiments rely on the qualitative ordering being right."""
+
+    def test_flash_writes_are_most_expensive(self):
+        others = [t for t in TECHNOLOGIES if t not in (NOR_FLASH, SRAM_REFERENCE)]
+        assert all(
+            NOR_FLASH.write_energy_j_per_bit > t.write_energy_j_per_bit for t in others
+        )
+
+    def test_fefet_is_cheapest_nonvolatile_write(self):
+        others = [t for t in TECHNOLOGIES if t not in (FEFET, SRAM_REFERENCE)]
+        assert all(
+            FEFET.write_energy_j_per_bit < t.write_energy_j_per_bit for t in others
+        )
+
+    def test_wakeup_ordering_feram_vs_flash(self):
+        assert FERAM.wakeup_time_s < NOR_FLASH.wakeup_time_s
+
+    def test_reram_wakes_faster_than_feram(self):
+        # The ISSCC'16 ReRAM NVP's headline 6x restore-time reduction.
+        assert RERAM.wakeup_time_s < FERAM.wakeup_time_s
+
+    def test_flash_endurance_is_worst(self):
+        others = [t for t in TECHNOLOGIES if t is not NOR_FLASH]
+        assert all(NOR_FLASH.endurance_cycles < t.endurance_cycles for t in others)
+
+
+class TestCostFunctions:
+    def test_backup_energy_scales_linearly(self):
+        assert FERAM.backup_energy_j(200) == pytest.approx(
+            2 * FERAM.backup_energy_j(100)
+        )
+
+    def test_backup_time_uses_parallelism(self):
+        serial = FERAM.backup_time_s(128, parallelism=1)
+        parallel = FERAM.backup_time_s(128, parallelism=64)
+        assert serial == pytest.approx(128 * FERAM.write_latency_s)
+        assert parallel == pytest.approx(2 * FERAM.write_latency_s)
+
+    def test_backup_time_rounds_up(self):
+        assert FERAM.backup_time_s(65, parallelism=64) == pytest.approx(
+            2 * FERAM.write_latency_s
+        )
+
+    def test_restore_time_includes_wakeup(self):
+        assert FERAM.restore_time_s(0) == pytest.approx(FERAM.wakeup_time_s)
+
+    def test_zero_bits_cost_nothing_extra(self):
+        assert FERAM.backup_energy_j(0) == 0.0
+        assert FERAM.restore_energy_j(0) == 0.0
+
+    @pytest.mark.parametrize("method", ["backup_energy_j", "restore_energy_j"])
+    def test_negative_bits_rejected(self, method):
+        with pytest.raises(ValueError):
+            getattr(FERAM, method)(-1)
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(ValueError):
+            FERAM.backup_time_s(10, parallelism=0)
+
+    def test_negative_figures_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            NVMTechnology(
+                name="bad",
+                write_energy_j_per_bit=-1.0,
+                read_energy_j_per_bit=0.0,
+                write_latency_s=0.0,
+                read_latency_s=0.0,
+                retention_s=1.0,
+                endurance_cycles=1.0,
+                wakeup_time_s=0.0,
+            )

@@ -1,0 +1,81 @@
+"""Unit tests for the self-write-termination circuit model."""
+
+import pytest
+
+from repro.nvm.retention import LinearPolicy, LogPolicy, UniformPolicy
+from repro.nvm.writecircuit import SelfTerminatingWriteCircuit
+
+DAY = 86_400.0
+
+
+@pytest.fixture
+def circuit():
+    return SelfTerminatingWriteCircuit()
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelfTerminatingWriteCircuit(current_levels=1)
+        with pytest.raises(ValueError):
+            SelfTerminatingWriteCircuit(counter_bits=0)
+        with pytest.raises(ValueError):
+            SelfTerminatingWriteCircuit(counter_clock_hz=0)
+
+    def test_overhead_under_published_bound(self, circuit):
+        """The published figure is < 200 transistors per sub-array."""
+        assert circuit.overhead_transistors < 200
+
+    def test_pulse_quantum(self, circuit):
+        assert circuit.pulse_quantum_s == pytest.approx(0.5e-9)
+        assert circuit.max_pulse_s == pytest.approx(15 * 0.5e-9)
+
+
+class TestWritePlans:
+    def test_plan_has_one_entry_per_bit(self, circuit):
+        report = circuit.plan_word_write(UniformPolicy(DAY), word_bits=16)
+        assert len(report.bit_current_a) == 16
+        assert len(report.bit_pulse_s) == 16
+
+    def test_pulses_on_counter_grid(self, circuit):
+        report = circuit.plan_word_write(LinearPolicy(1e-3, DAY))
+        for pulse in report.bit_pulse_s:
+            quanta = pulse / circuit.pulse_quantum_s
+            assert quanta == pytest.approx(round(quanta))
+            assert pulse <= circuit.max_pulse_s
+
+    def test_relaxed_policies_cost_less(self, circuit):
+        precise = circuit.plan_word_write(UniformPolicy(DAY))
+        linear = circuit.plan_word_write(LinearPolicy(1e-3, DAY))
+        log = circuit.plan_word_write(LogPolicy(1e-3, DAY))
+        assert log.word_energy_j < linear.word_energy_j < precise.word_energy_j
+
+    def test_uniform_policy_uses_one_current(self, circuit):
+        report = circuit.plan_word_write(UniformPolicy(DAY))
+        assert len(set(report.bit_current_a)) == 1
+
+    def test_msb_current_at_least_lsb_current(self, circuit):
+        report = circuit.plan_word_write(LinearPolicy(1e-3, DAY))
+        assert report.bit_current_a[-1] >= report.bit_current_a[0]
+
+    def test_latency_is_longest_pulse_plus_termination(self, circuit):
+        report = circuit.plan_word_write(LinearPolicy(1e-3, DAY))
+        assert report.word_latency_s == pytest.approx(
+            max(report.bit_pulse_s) + circuit.pulse_quantum_s
+        )
+
+    def test_quantisation_never_undershoots_current(self, circuit):
+        """Quantised currents must meet-or-exceed the ideal requirement
+        (except at the very top level, which is the max by construction)."""
+        from repro.nvm.sttram import write_current
+
+        policy = LinearPolicy(1e-3, DAY)
+        report = circuit.plan_word_write(policy)
+        for bit in range(16):
+            ideal = write_current(policy.retention_s(bit, 16), report.bit_pulse_s[bit])
+            assert report.bit_current_a[bit] >= ideal * 0.999
+
+    def test_more_counter_bits_allow_longer_pulses(self):
+        coarse = SelfTerminatingWriteCircuit(counter_bits=3)
+        fine = SelfTerminatingWriteCircuit(counter_bits=6)
+        assert fine.max_pulse_s > coarse.max_pulse_s

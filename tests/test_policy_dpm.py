@@ -1,0 +1,103 @@
+"""Tests for energy-band dynamic power management."""
+
+import pytest
+
+from repro.core.config import NVPConfig
+from repro.core.nvp import NVPPlatform
+from repro.harvest.sources import wristwatch_trace
+from repro.policy.dpm import EnergyBandGovernor, efficient_band
+from repro.storage.capacitor import Capacitor, ChargeEfficiency
+from repro.system.simulator import SystemSimulator
+from repro.system.thresholds import plan_thresholds
+from repro.workloads.base import AbstractWorkload
+
+
+def peaky_cap(capacitance=150e-9):
+    """A capacitor with a pronounced efficiency peak (DPM's target)."""
+    return Capacitor(
+        capacitance,
+        v_max_v=3.3,
+        leak_resistance_ohm=1e9,
+        efficiency=ChargeEfficiency(
+            eta_peak=0.92, eta_floor=0.35, v_opt_v=2.0, v_span_v=1.4
+        ),
+    )
+
+
+def make_plan():
+    return plan_thresholds(1e-9, 1e-9, 200e-6, 1e-4)
+
+
+class TestEfficientBand:
+    def test_band_around_optimal_voltage(self):
+        cap = peaky_cap()
+        lo, hi = efficient_band(cap, 0.5, 1.2)
+        e_opt = 0.5 * cap.capacitance_f * 4.0
+        assert lo == pytest.approx(0.5 * e_opt)
+        assert hi == pytest.approx(min(1.2 * e_opt, cap.energy_max_j))
+
+    def test_band_clamped_to_capacity(self):
+        cap = peaky_cap()
+        _, hi = efficient_band(cap, 0.5, 100.0)
+        assert hi <= cap.energy_max_j
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            efficient_band(peaky_cap(), 1.0, 0.5)
+
+
+class TestGovernor:
+    def test_full_speed_inside_band(self):
+        governor = EnergyBandGovernor(1e-7, 3e-7, slowdown=0.2)
+        assert governor(2e-7, make_plan(), 1e-4) == 1.0
+        assert governor.full_ticks == 1
+
+    def test_throttles_below_band(self):
+        governor = EnergyBandGovernor(1e-7, 3e-7, slowdown=0.2)
+        assert governor(1e-8, make_plan(), 1e-4) == pytest.approx(0.2)
+        assert governor.throttled_ticks == 1
+
+    def test_never_throttles_below_backup_floor(self):
+        """The floor is max(band_lo, backup threshold): the platform's
+        backup trigger stays reachable."""
+        plan = plan_thresholds(1e-6, 1e-9, 200e-6, 1e-4)
+        governor = EnergyBandGovernor(1e-9, 1e-6, slowdown=0.2)
+        # Above the backup threshold but below band_hi: full speed,
+        # because the effective floor is the (higher) backup threshold.
+        assert governor(plan.backup_threshold_j * 1.1, plan, 1e-4) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyBandGovernor(2.0, 1.0)
+        with pytest.raises(ValueError):
+            EnergyBandGovernor(1.0, 2.0, slowdown=0.0)
+
+    def test_for_capacitor_constructor(self):
+        governor = EnergyBandGovernor.for_capacitor(peaky_cap())
+        assert governor.band_hi_j > governor.band_lo_j > 0
+
+
+class TestDPMEndToEnd:
+    def run_with(self, governor, seed=11):
+        trace = wristwatch_trace(6.0, seed=seed, mean_power_w=30e-6)
+        workload = AbstractWorkload()
+        cap = peaky_cap()
+        platform = NVPPlatform(
+            workload, cap, NVPConfig(), seed=0, governor=governor
+        )
+        return SystemSimulator(trace, platform, stop_when_finished=False).run()
+
+    def test_band_dpm_beats_greedy(self):
+        """Keeping the capacitor in its efficient band must raise net
+        forward progress versus greedy full-speed draining."""
+        greedy = self.run_with(None)
+        cap = peaky_cap()
+        dpm = self.run_with(EnergyBandGovernor.for_capacitor(cap, 0.4, 1.2, 0.25))
+        assert dpm.forward_progress > greedy.forward_progress
+
+    def test_dpm_reports_throttling(self):
+        cap = peaky_cap()
+        governor = EnergyBandGovernor.for_capacitor(cap, 0.4, 1.2, 0.25)
+        self.run_with(governor)
+        assert governor.throttled_ticks > 0
+        assert governor.full_ticks >= 0

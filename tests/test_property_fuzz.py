@@ -1,0 +1,135 @@
+"""Property-based fuzzing across the stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import NVPConfig
+from repro.core.nvp import NVPPlatform
+from repro.harvest.traces import PowerTrace
+from repro.isa.cpu import CPU, ExecutionError
+from repro.isa.instructions import (
+    IMM_MAX,
+    IMM_MIN,
+    Instruction,
+    Opcode,
+)
+from repro.storage.capacitor import Capacitor, ChargeEfficiency
+from repro.workloads.base import AbstractWorkload
+
+instruction_strategy = st.builds(
+    Instruction,
+    opcode=st.sampled_from(sorted(Opcode)),
+    rd=st.integers(0, 7),
+    rs1=st.integers(0, 7),
+    rs2=st.integers(0, 7),
+    imm=st.integers(IMM_MIN, IMM_MAX),
+)
+
+
+class TestCPUFuzz:
+    @given(st.lists(instruction_strategy, min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_random_programs_never_corrupt_invariants(self, program):
+        """Any syntactically valid program executes without unexpected
+        errors; registers stay 16-bit; r0 stays zero; accounting is
+        monotone."""
+        cpu = CPU(program)
+        executed = 0
+        try:
+            while executed < 300 and not cpu.state.halted:
+                cpu.step()
+                executed += 1
+                assert cpu.state.regs[0] == 0
+                assert all(0 <= r <= 0xFFFF for r in cpu.state.regs)
+                assert 0 <= cpu.state.pc <= 0xFFFF
+        except ExecutionError:
+            pass  # PC ran off the program: a defined, clean failure
+        assert cpu.instructions_retired == executed
+        assert cpu.cycles >= executed
+        assert cpu.energy_j > 0 if executed else cpu.energy_j == 0.0
+
+    @given(st.lists(instruction_strategy, min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_snapshot_restore_replays_identically(self, program):
+        """Determinism: restoring a snapshot and re-running produces
+        identical architectural state (memory effects excluded by
+        running from the same memory image)."""
+        first = CPU(program)
+        try:
+            for _ in range(50):
+                if first.state.halted:
+                    break
+                first.step()
+        except ExecutionError:
+            pass
+        snap = first.snapshot()
+        second = CPU(program)
+        second.restore(snap)
+        assert second.state == snap
+
+
+class TestWorkloadProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=5e-3), min_size=1, max_size=30)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_abstract_progress_independent_of_budget_slicing(self, budgets):
+        """Chopping the same total time into arbitrary tick budgets
+        yields the same instruction count (within one instruction)."""
+        total = sum(budgets)
+        sliced = AbstractWorkload()
+        for budget in budgets:
+            sliced.advance(budget)
+        whole = AbstractWorkload()
+        whole.advance(total)
+        assert abs(sliced.progress_instructions - whole.progress_instructions) <= 1
+
+    @given(st.integers(1, 50), st.integers(1, 2000))
+    @settings(max_examples=50, deadline=None)
+    def test_units_completed_consistent(self, units, per_unit):
+        workload = AbstractWorkload(total_units=units, instructions_per_unit=per_unit)
+        result = workload.advance(1e9)
+        assert workload.finished
+        assert result.instructions == units * per_unit
+        assert workload.units_completed == units
+
+
+class TestPlatformEnergyConservation:
+    @given(
+        power_uw=st.floats(min_value=0.0, max_value=500.0),
+        ticks=st.integers(10, 300),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_consumed_never_exceeds_harvested_plus_initial(self, power_uw, ticks):
+        """First law: a platform cannot consume more energy than it was
+        offered plus what its capacitor started with."""
+        cap = Capacitor(
+            1e-6, v_max_v=3.3, leak_resistance_ohm=1e18,
+            efficiency=ChargeEfficiency(1.0, 1.0, 0.0, 1.0),
+        )
+        platform = NVPPlatform(AbstractWorkload(), cap, NVPConfig())
+        dt = 1e-4
+        p_in = power_uw * 1e-6
+        for _ in range(ticks):
+            platform.tick(p_in, dt)
+        harvested = p_in * dt * ticks
+        assert platform.consumed_j <= harvested + 1e-12
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_ledger_conservation_on_random_traces(self, seed):
+        """persistent + volatile + lost == executed, whatever happens."""
+        rng = np.random.default_rng(seed)
+        samples = rng.uniform(0.0, 400e-6, size=2_000)
+        trace = PowerTrace(samples, 1e-4, source="fuzz")
+        cap = Capacitor(100e-9, v_max_v=3.3)
+        platform = NVPPlatform(AbstractWorkload(), cap, NVPConfig(), seed=seed)
+        for p in trace.samples_w:
+            platform.tick(float(p), trace.dt_s)
+        ledger = platform.ledger
+        assert (
+            ledger.persistent + ledger.volatile + ledger.lost
+            == ledger.total_executed
+        )
+        assert platform.storage.energy_j >= 0.0

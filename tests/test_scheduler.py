@@ -1,0 +1,144 @@
+"""Tests for the task-level timeliness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.system.scheduler import (
+    JobRecord,
+    PeriodicTask,
+    ScheduleReport,
+    schedule_replay,
+)
+
+
+def flat_capacity(ticks, per_tick):
+    return [per_tick] * ticks
+
+
+class TestPeriodicTask:
+    def test_defaults_deadline_to_period(self):
+        task = PeriodicTask("t", period_s=0.5, instructions=100)
+        assert task.effective_deadline_s == 0.5
+
+    def test_explicit_deadline(self):
+        task = PeriodicTask("t", period_s=0.5, instructions=100, deadline_s=0.2)
+        assert task.effective_deadline_s == 0.2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"period_s": 0.0, "instructions": 1},
+            {"period_s": 1.0, "instructions": 0},
+            {"period_s": 1.0, "instructions": 1, "deadline_s": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PeriodicTask("t", **kwargs)
+
+
+class TestReplayBasics:
+    def test_ample_capacity_no_misses(self):
+        tasks = [PeriodicTask("t", period_s=0.01, instructions=50)]
+        report = schedule_replay(flat_capacity(100, 100), 1e-3, tasks)
+        assert report.released == 10
+        assert report.completed == 10
+        assert report.miss_rate == 0.0
+
+    def test_response_time_single_job(self):
+        # 100 instructions at 50/tick of 1 ms -> completes at 2 ms.
+        tasks = [PeriodicTask("t", period_s=1.0, instructions=100)]
+        report = schedule_replay(flat_capacity(10, 50), 1e-3, tasks)
+        (job,) = report.jobs
+        assert job.response_s == pytest.approx(2e-3)
+
+    def test_zero_capacity_misses_everything(self):
+        tasks = [PeriodicTask("t", period_s=0.01, instructions=10)]
+        report = schedule_replay(flat_capacity(50, 0), 1e-3, tasks)
+        assert report.completed == 0
+        assert report.miss_rate == 1.0
+        assert report.p95_response_s() == float("inf")
+
+    def test_overload_misses_some(self):
+        # Demand 100 instr / 10 ms; supply 5 instr/ms = 50/10 ms.
+        tasks = [PeriodicTask("t", period_s=0.01, instructions=100)]
+        report = schedule_replay(flat_capacity(100, 5), 1e-3, tasks)
+        assert 0.0 < report.miss_rate <= 1.0
+
+    def test_validation(self):
+        task = [PeriodicTask("t", period_s=1.0, instructions=1)]
+        with pytest.raises(ValueError):
+            schedule_replay([1], 0.0, task)
+        with pytest.raises(ValueError):
+            schedule_replay([1], 1e-3, task, policy="rm")
+        with pytest.raises(ValueError):
+            schedule_replay([1], 1e-3, [])
+
+
+class TestPolicies:
+    def test_edf_prioritises_urgent_task(self):
+        """A tight-deadline task must pre-empt a loose one under EDF."""
+        tasks = [
+            PeriodicTask("loose", period_s=0.1, instructions=80, deadline_s=0.1),
+            PeriodicTask("tight", period_s=0.1, instructions=20, deadline_s=0.004),
+        ]
+        capacity = flat_capacity(100, 10)  # 10 instr / ms
+        edf = schedule_replay(capacity, 1e-3, tasks, policy="edf")
+        tight_jobs = [j for j in edf.jobs if j.task == "tight"]
+        assert all(not j.missed for j in tight_jobs)
+
+    def test_fifo_starves_urgent_task(self):
+        """FIFO serves release order; with simultaneous releases the
+        loose (listed-first) task runs first and the tight one misses."""
+        tasks = [
+            PeriodicTask("loose", period_s=0.1, instructions=80, deadline_s=0.1),
+            PeriodicTask("tight", period_s=0.1, instructions=20, deadline_s=0.004),
+        ]
+        capacity = flat_capacity(100, 10)
+        fifo = schedule_replay(capacity, 1e-3, tasks, policy="fifo")
+        tight_jobs = [j for j in fifo.jobs if j.task == "tight"]
+        assert any(j.missed for j in tight_jobs)
+
+    def test_edf_never_worse_than_fifo_here(self):
+        tasks = [
+            PeriodicTask("a", period_s=0.05, instructions=30, deadline_s=0.01),
+            PeriodicTask("b", period_s=0.02, instructions=10),
+        ]
+        capacity = flat_capacity(200, 6)
+        edf = schedule_replay(capacity, 1e-3, tasks, policy="edf")
+        fifo = schedule_replay(capacity, 1e-3, tasks, policy="fifo")
+        assert edf.misses <= fifo.misses
+
+
+class TestBurstinessEffect:
+    def test_bursty_capacity_misses_more_than_smooth(self):
+        """Equal total capacity, different timeliness — the scheduling
+        argument for per-emergency granularity."""
+        tasks = [PeriodicTask("sense", period_s=0.02, instructions=40)]
+        smooth = flat_capacity(400, 4)  # 4/tick steadily
+        bursty = ([0] * 90 + [40] * 10) * 4  # same total, 90 ms droughts
+        smooth_report = schedule_replay(smooth, 1e-3, tasks)
+        bursty_report = schedule_replay(bursty, 1e-3, tasks)
+        assert sum(smooth) == sum(bursty)
+        assert bursty_report.miss_rate > smooth_report.miss_rate
+
+    def test_platform_telemetry_integration(self):
+        """End-to-end: replay real NVP telemetry against a task set."""
+        from repro.harvest.sources import square_trace
+        from repro.system.presets import build_nvp
+        from repro.system.simulator import SystemSimulator
+        from repro.system.telemetry import Telemetry
+        from repro.workloads.base import AbstractWorkload
+
+        trace = square_trace(
+            high_w=1000e-6, low_w=0.0, period_s=0.1, duty=0.5, duration_s=2.0
+        )
+        telemetry = Telemetry()
+        platform = build_nvp(AbstractWorkload())
+        SystemSimulator(
+            trace, platform, stop_when_finished=False, telemetry=telemetry
+        ).run()
+        tasks = [PeriodicTask("sense", period_s=0.2, instructions=2_000)]
+        report = schedule_replay(telemetry.instructions, trace.dt_s, tasks)
+        assert report.released == 10
+        assert report.completed > 0

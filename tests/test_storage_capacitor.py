@@ -1,0 +1,218 @@
+"""Unit tests for the capacitor model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.capacitor import (
+    Capacitor,
+    ChargeEfficiency,
+    FLAT_EFFICIENCY,
+)
+
+
+def lossless_cap(capacitance=1e-6, v_max=3.3, v_init=0.0):
+    return Capacitor(
+        capacitance,
+        v_max_v=v_max,
+        v_initial_v=v_init,
+        leak_resistance_ohm=1e18,
+        efficiency=ChargeEfficiency(1.0, 1.0, 0.0, 1.0),
+    )
+
+
+class TestEfficiencyCurve:
+    def test_peak_at_optimum(self):
+        curve = ChargeEfficiency(0.9, 0.4, v_opt_v=2.0, v_span_v=2.0)
+        assert curve(2.0) == pytest.approx(0.9)
+
+    def test_floor_far_from_optimum(self):
+        curve = ChargeEfficiency(0.9, 0.4, v_opt_v=2.0, v_span_v=1.0)
+        assert curve(0.0) == pytest.approx(0.4)
+
+    def test_symmetry(self):
+        curve = ChargeEfficiency(0.9, 0.1, v_opt_v=2.0, v_span_v=2.0)
+        assert curve(1.0) == pytest.approx(curve(3.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChargeEfficiency(eta_peak=0.0)
+        with pytest.raises(ValueError):
+            ChargeEfficiency(eta_peak=0.5, eta_floor=0.6)
+        with pytest.raises(ValueError):
+            ChargeEfficiency(v_span_v=0.0)
+        with pytest.raises(ValueError):
+            ChargeEfficiency()(-1.0)
+
+
+class TestStateRelations:
+    def test_energy_voltage_relation(self):
+        cap = lossless_cap(capacitance=2e-6, v_init=2.0)
+        assert cap.energy_j == pytest.approx(0.5 * 2e-6 * 4.0)
+        assert cap.voltage_v == pytest.approx(2.0)
+
+    def test_capacity(self):
+        cap = lossless_cap(capacitance=1e-6, v_max=3.0)
+        assert cap.energy_max_j == pytest.approx(4.5e-6)
+
+    def test_state_of_charge(self):
+        cap = lossless_cap(v_max=2.0, v_init=2.0)
+        assert cap.state_of_charge == pytest.approx(1.0)
+
+    def test_set_energy(self):
+        cap = lossless_cap()
+        cap.set_energy(1e-7)
+        assert cap.energy_j == pytest.approx(1e-7)
+        with pytest.raises(ValueError):
+            cap.set_energy(cap.energy_max_j * 2)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            Capacitor(0.0)
+        with pytest.raises(ValueError):
+            Capacitor(1e-6, v_max_v=0.0)
+        with pytest.raises(ValueError):
+            Capacitor(1e-6, v_initial_v=5.0, v_max_v=3.3)
+        with pytest.raises(ValueError):
+            Capacitor(1e-6, leak_resistance_ohm=0.0)
+
+
+class TestStepDynamics:
+    def test_charging_accumulates(self):
+        cap = lossless_cap()
+        cap.step(p_in_w=1e-3, p_load_w=0.0, dt_s=1e-3)
+        assert cap.energy_j == pytest.approx(1e-6)
+
+    def test_load_draws(self):
+        cap = lossless_cap(v_init=2.0)
+        start = cap.energy_j
+        result = cap.step(p_in_w=0.0, p_load_w=1e-3, dt_s=1e-3)
+        assert result.delivered_j == pytest.approx(1e-6)
+        assert cap.energy_j == pytest.approx(start - 1e-6)
+        assert not result.deficit
+
+    def test_deficit_when_empty(self):
+        cap = lossless_cap()
+        result = cap.step(p_in_w=0.0, p_load_w=1e-3, dt_s=1e-3)
+        assert result.deficit
+        assert result.delivered_j == 0.0
+
+    def test_partial_delivery_flags_deficit(self):
+        cap = lossless_cap()
+        cap.set_energy(0.5e-6)
+        result = cap.step(p_in_w=0.0, p_load_w=1e-3, dt_s=1e-3)
+        assert result.deficit
+        assert result.delivered_j == pytest.approx(0.5e-6)
+
+    def test_overflow_is_wasted(self):
+        cap = lossless_cap(capacitance=1e-9, v_max=1.0)  # 0.5 nJ capacity
+        result = cap.step(p_in_w=1e-3, p_load_w=0.0, dt_s=1e-3)  # 1 uJ in
+        assert cap.energy_j == pytest.approx(cap.energy_max_j)
+        assert result.wasted_j == pytest.approx(1e-6 - 0.5e-9, rel=1e-6)
+
+    def test_leakage_drains(self):
+        cap = Capacitor(
+            1e-6, v_initial_v=2.0, leak_resistance_ohm=1e3,
+            efficiency=ChargeEfficiency(1.0, 1.0, 0.0, 1.0),
+        )
+        start = cap.energy_j
+        result = cap.step(p_in_w=0.0, p_load_w=0.0, dt_s=1e-3)
+        assert result.leaked_j > 0
+        assert cap.energy_j < start
+
+    def test_conversion_loss_counted_as_waste(self):
+        cap = Capacitor(
+            1e-6, leak_resistance_ohm=1e18,
+            efficiency=ChargeEfficiency(0.5, 0.5, 0.0, 1.0),
+        )
+        result = cap.step(p_in_w=1e-3, p_load_w=0.0, dt_s=1e-3)
+        assert result.charged_j == pytest.approx(0.5e-6)
+        assert result.wasted_j == pytest.approx(0.5e-6)
+
+    def test_min_charge_current_blocks_weak_input(self):
+        cap = Capacitor(
+            1e-6, v_initial_v=2.0, leak_resistance_ohm=1e18,
+            efficiency=ChargeEfficiency(1.0, 1.0, 0.0, 1.0),
+            min_charge_current_a=20e-6,
+        )
+        # 10 uW at 2 V is 5 uA < 20 uA: blocked.
+        result = cap.step(p_in_w=10e-6, p_load_w=0.0, dt_s=1e-3)
+        assert result.charged_j == 0.0
+        assert result.wasted_j == pytest.approx(10e-9)
+
+    def test_min_charge_current_allows_strong_input(self):
+        cap = Capacitor(
+            1e-6, v_initial_v=2.0, leak_resistance_ohm=1e18,
+            efficiency=ChargeEfficiency(1.0, 1.0, 0.0, 1.0),
+            min_charge_current_a=20e-6,
+        )
+        result = cap.step(p_in_w=100e-6, p_load_w=0.0, dt_s=1e-3)
+        assert result.charged_j > 0
+
+    def test_empty_capacitor_always_chargeable(self):
+        """At 0 V the min-current check cannot block (V=0)."""
+        cap = Capacitor(
+            1e-6, leak_resistance_ohm=1e18,
+            efficiency=ChargeEfficiency(1.0, 1.0, 0.0, 1.0),
+            min_charge_current_a=20e-6,
+        )
+        result = cap.step(p_in_w=1e-6, p_load_w=0.0, dt_s=1e-3)
+        assert result.charged_j > 0
+
+    def test_argument_validation(self):
+        cap = lossless_cap()
+        with pytest.raises(ValueError):
+            cap.step(-1.0, 0.0, 1e-3)
+        with pytest.raises(ValueError):
+            cap.step(0.0, -1.0, 1e-3)
+        with pytest.raises(ValueError):
+            cap.step(0.0, 0.0, 0.0)
+
+
+class TestDraw:
+    def test_draw_partial(self):
+        cap = lossless_cap()
+        cap.set_energy(1e-6)
+        assert cap.draw(4e-6) == pytest.approx(1e-6)
+        assert cap.energy_j == 0.0
+
+    def test_draw_negative_rejected(self):
+        with pytest.raises(ValueError):
+            lossless_cap().draw(-1.0)
+
+
+class TestCumulativeAccounting:
+    def test_totals_accumulate(self):
+        cap = lossless_cap(v_init=1.0)
+        cap.step(1e-3, 1e-4, 1e-3)
+        cap.step(1e-3, 1e-4, 1e-3)
+        assert cap.total_charged_j == pytest.approx(2e-6)
+        assert cap.total_delivered_j == pytest.approx(2e-7)
+
+
+@given(
+    p_in=st.floats(min_value=0.0, max_value=1e-2),
+    p_load=st.floats(min_value=0.0, max_value=1e-2),
+    dt=st.floats(min_value=1e-6, max_value=1.0),
+    v_init=st.floats(min_value=0.0, max_value=3.3),
+)
+def test_energy_never_negative_nor_above_capacity(p_in, p_load, dt, v_init):
+    cap = Capacitor(1e-6, v_max_v=3.3, v_initial_v=v_init)
+    cap.step(p_in, p_load, dt)
+    assert -1e-18 <= cap.energy_j <= cap.energy_max_j + 1e-18
+
+
+@given(
+    p_in=st.floats(min_value=0.0, max_value=1e-3),
+    dt=st.floats(min_value=1e-6, max_value=1e-1),
+)
+def test_step_energy_balance(p_in, dt):
+    """charged - leaked - delivered == energy delta (exact bookkeeping)."""
+    cap = Capacitor(1e-6, v_initial_v=1.0, efficiency=FLAT_EFFICIENCY)
+    before = cap.energy_j
+    result = cap.step(p_in, 1e-4, dt)
+    delta = cap.energy_j - before
+    assert delta == pytest.approx(
+        result.charged_j - result.leaked_j - result.delivered_j, abs=1e-18
+    )

@@ -1,0 +1,113 @@
+"""Unit tests for the ideal store and the front-end channels."""
+
+import pytest
+
+from repro.storage.capacitor import Capacitor, ChargeEfficiency
+from repro.storage.frontend import DualChannelFrontEnd, SingleChannelFrontEnd
+from repro.storage.ideal import IdealStorage
+
+
+class TestIdealStorage:
+    def test_lossless_roundtrip(self):
+        store = IdealStorage(1e-6)
+        store.step(1e-3, 0.0, 1e-4)
+        assert store.energy_j == pytest.approx(1e-7)
+        result = store.step(0.0, 1e-3, 1e-4)
+        assert result.delivered_j == pytest.approx(1e-7)
+        assert store.energy_j == pytest.approx(0.0, abs=1e-18)
+
+    def test_capacity_bound(self):
+        store = IdealStorage(1e-9)
+        result = store.step(1e-3, 0.0, 1e-3)
+        assert store.energy_j == pytest.approx(1e-9)
+        assert result.wasted_j == pytest.approx(1e-6 - 1e-9, rel=1e-6)
+
+    def test_deficit(self):
+        store = IdealStorage(1e-6)
+        assert store.step(0.0, 1.0, 1e-3).deficit
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IdealStorage(0.0)
+        with pytest.raises(ValueError):
+            IdealStorage(1e-6, initial_j=2e-6)
+        store = IdealStorage(1e-6)
+        with pytest.raises(ValueError):
+            store.step(-1.0, 0.0, 1e-3)
+
+    def test_draw(self):
+        store = IdealStorage(1e-6, initial_j=1e-6)
+        assert store.draw(4e-7) == pytest.approx(4e-7)
+        assert store.energy_j == pytest.approx(6e-7)
+
+
+class TestSingleChannel:
+    def test_pays_conversion_twice_conceptually(self):
+        """All load energy must route through the (lossy) capacitor."""
+        cap = Capacitor(
+            1e-6, v_initial_v=0.0, leak_resistance_ohm=1e18,
+            efficiency=ChargeEfficiency(0.5, 0.5, 0.0, 1.0),
+        )
+        channel = SingleChannelFrontEnd(cap)
+        result = channel.step(p_in_w=100e-6, p_load_w=40e-6, dt_s=1e-3)
+        # 100 uW in at 50% efficiency = 50 uW stored; 40 uW load fits.
+        assert result.delivered_j == pytest.approx(40e-9)
+        assert not result.deficit
+
+    def test_deficit_propagates(self):
+        cap = Capacitor(1e-6, leak_resistance_ohm=1e18)
+        channel = SingleChannelFrontEnd(cap)
+        assert channel.step(0.0, 1e-3, 1e-3).deficit
+
+
+class TestDualChannel:
+    def make_lossy_cap(self):
+        return Capacitor(
+            1e-6, v_initial_v=1.0, leak_resistance_ohm=1e18,
+            efficiency=ChargeEfficiency(0.5, 0.5, 0.0, 1.0),
+        )
+
+    def test_bypass_feeds_load_directly(self):
+        channel = DualChannelFrontEnd(self.make_lossy_cap(), bypass_efficiency=1.0)
+        result = channel.step(p_in_w=100e-6, p_load_w=60e-6, dt_s=1e-3)
+        assert result.bypassed_j == pytest.approx(60e-9)
+        assert result.delivered_j == pytest.approx(60e-9)
+
+    def test_dual_beats_single_for_matched_load(self):
+        """With income ~ load, the bypass avoids the double conversion."""
+        single_cap = self.make_lossy_cap()
+        dual_cap = self.make_lossy_cap()
+        single = SingleChannelFrontEnd(single_cap)
+        dual = DualChannelFrontEnd(dual_cap, bypass_efficiency=0.95)
+        delivered_single = delivered_dual = 0.0
+        for _ in range(200):
+            delivered_single += single.step(50e-6, 50e-6, 1e-4).delivered_j
+            delivered_dual += dual.step(50e-6, 50e-6, 1e-4).delivered_j
+        # Single channel drains its initial store (50% in-efficiency
+        # cannot sustain the load); dual channel sustains it.
+        assert delivered_dual > delivered_single
+        assert dual_cap.energy_j > single_cap.energy_j
+
+    def test_idle_load_charges_storage(self):
+        cap = self.make_lossy_cap()
+        channel = DualChannelFrontEnd(cap)
+        start = cap.energy_j
+        result = channel.step(p_in_w=100e-6, p_load_w=0.0, dt_s=1e-3)
+        assert result.delivered_j == 0.0
+        assert cap.energy_j > start
+
+    def test_shortfall_drawn_from_storage(self):
+        cap = self.make_lossy_cap()
+        channel = DualChannelFrontEnd(cap, bypass_efficiency=1.0)
+        result = channel.step(p_in_w=10e-6, p_load_w=50e-6, dt_s=1e-3)
+        assert result.delivered_j == pytest.approx(50e-9)
+        assert result.bypassed_j == pytest.approx(10e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DualChannelFrontEnd(self.make_lossy_cap(), bypass_efficiency=0.0)
+        channel = DualChannelFrontEnd(self.make_lossy_cap())
+        with pytest.raises(ValueError):
+            channel.step(-1.0, 0.0, 1e-3)
+        with pytest.raises(ValueError):
+            channel.step(0.0, 0.0, 0.0)

@@ -1,0 +1,129 @@
+"""Tests for the telemetry strip renderer and end-to-end determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NVPConfig
+from repro.core.nvp import NVPPlatform
+from repro.harvest.sources import square_trace, wristwatch_trace
+from repro.nvm.array import NVMArray
+from repro.nvm.ecc import CODEWORD_BITS
+from repro.nvm.retention import LinearPolicy, UniformPolicy
+from repro.nvm.technology import STT_MRAM
+from repro.system.presets import build_nvp, standard_rectifier
+from repro.system.simulator import SystemSimulator
+from repro.system.telemetry import Telemetry
+from repro.workloads.base import AbstractWorkload
+
+
+class TestRenderStrip:
+    def make_telemetry(self):
+        trace = square_trace(800e-6, 0.0, 0.05, 0.5, 0.5)
+        telemetry = Telemetry()
+        SystemSimulator(
+            trace, build_nvp(AbstractWorkload()),
+            stop_when_finished=False, telemetry=telemetry,
+        ).run()
+        return telemetry
+
+    def test_strip_shows_the_power_cycle(self):
+        strip = self.make_telemetry().render_strip(60)
+        # The canonical cycle: restore, run, backup, off.
+        assert "R" in strip
+        assert "#" in strip
+        assert "B" in strip
+        assert "." in strip
+        assert "state :" in strip and "energy:" in strip
+
+    def test_strip_width_respected(self):
+        telemetry = self.make_telemetry()
+        strip = telemetry.render_strip(40)
+        state_line = strip.splitlines()[0]
+        assert len(state_line) <= len("state : ") + 40
+
+    def test_empty_telemetry(self):
+        assert "no telemetry" in Telemetry().render_strip()
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            Telemetry().render_strip(1)
+
+
+class TestDeterminism:
+    def run_once(self):
+        trace = wristwatch_trace(2.0, seed=77)
+        platform = NVPPlatform(
+            AbstractWorkload(),
+            build_nvp(AbstractWorkload()).storage.__class__(
+                150e-9, v_max_v=3.3
+            ),
+            NVPConfig(
+                technology=STT_MRAM,
+                retention_policy=LinearPolicy(10e-3, STT_MRAM.retention_s),
+            ),
+            seed=5,
+        )
+        return SystemSimulator(
+            trace, platform, rectifier=standard_rectifier(),
+            stop_when_finished=False,
+        ).run()
+
+    def test_identical_seeds_identical_results(self):
+        """The whole stack — stochastic traces, retention sampling,
+        platform state machine — must be bit-reproducible."""
+        first = self.run_once()
+        second = self.run_once()
+        assert first.forward_progress == second.forward_progress
+        assert first.backups == second.backups
+        assert first.extras == second.extras
+        assert first.consumed_j == second.consumed_j
+
+
+class TestECCArrayAging:
+    def test_22_bit_words_age_like_any_array(self, rng):
+        array = NVMArray(
+            16, STT_MRAM, policy=UniformPolicy(1e-3),
+            word_bits=CODEWORD_BITS,
+        )
+        array.write_block(0, [0] * 16)
+        flips = array.power_outage(1.0, rng)
+        assert flips > 0
+        assert len(array.stats.bit_failures) == CODEWORD_BITS
+
+    def test_shaped_policy_on_codeword_width(self, rng):
+        policy = LinearPolicy(1e-4, STT_MRAM.retention_s)
+        array = NVMArray(
+            32, STT_MRAM, policy=policy, word_bits=CODEWORD_BITS
+        )
+        array.write_block(0, [0] * 32)
+        array.power_outage(0.1, rng)
+        # The top (parity-range) bits carry long retention: no failures.
+        assert array.stats.bit_failures[0] > 0
+        assert array.stats.bit_failures[CODEWORD_BITS - 1] == 0
+
+
+class TestTelemetryWindow:
+    def test_window_slices(self):
+        telemetry = TestRenderStrip().make_telemetry()
+        sliced = telemetry.window(10, 50)
+        assert len(sliced) == 50
+        assert sliced.times_s[0] == telemetry.times_s[10]
+
+    def test_window_clamps_at_end(self):
+        telemetry = TestRenderStrip().make_telemetry()
+        sliced = telemetry.window(len(telemetry) - 5, 50)
+        assert len(sliced) == 5
+
+    def test_window_validation(self):
+        telemetry = TestRenderStrip().make_telemetry()
+        with pytest.raises(ValueError):
+            telemetry.window(0, 0)
+        with pytest.raises(ValueError):
+            telemetry.window(len(telemetry), 10)
+
+    def test_first_index(self):
+        telemetry = TestRenderStrip().make_telemetry()
+        first_run = telemetry.first_index("run")
+        assert first_run >= 0
+        assert telemetry.states[first_run] == 2
+        assert telemetry.first_index("done") == -1

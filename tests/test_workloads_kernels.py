@@ -1,0 +1,236 @@
+"""Correctness tests for every NV16 kernel against its reference."""
+
+import numpy as np
+import pytest
+
+from repro.isa.cpu import CPU
+from repro.workloads import crc, dft, fir, histogram, integral, matmul, median
+from repro.workloads import rle, sobel, strsearch
+from repro.workloads.images import test_bytes as make_bytes
+from repro.workloads.images import test_image as make_image
+from repro.workloads.images import test_signal as make_signal
+from repro.workloads.suite import KERNELS, build_kernel
+
+KERNEL_PARAMS = {
+    "sobel": {"size": 12},
+    "median": {"size": 8},
+    "integral": {"size": 10},
+    "crc": {"length": 48},
+    "fir": {"length": 48},
+    "histogram": {"length": 96},
+    "rle": {"length": 96},
+    "matmul": {"n": 4},
+    "strsearch": {"length": 96},
+    "dft": {"length": 16},
+    "erode": {"size": 8},
+    "dilate": {"size": 8},
+}
+
+
+def execute(build, max_instructions=5_000_000):
+    cpu = CPU(build.program.instructions)
+    cpu.memory.load_image(build.program.data_image)
+    cpu.run(max_instructions=max_instructions)
+    assert cpu.state.halted, f"{build.name} did not halt"
+    return np.array(cpu.memory.output, dtype=np.uint16)
+
+
+class TestAllKernelsBitExact:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_matches_reference(self, name):
+        build = build_kernel(name, **KERNEL_PARAMS[name])
+        outputs = execute(build)
+        assert np.array_equal(outputs, build.expected_output), name
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_reference_across_seeds(self, name, seed):
+        build = build_kernel(name, seed=seed, **KERNEL_PARAMS[name])
+        outputs = execute(build)
+        assert np.array_equal(outputs, build.expected_output), (name, seed)
+
+
+class TestSobel:
+    def test_uniform_image_has_no_edges(self):
+        flat = np.full((8, 8), 100, dtype=np.uint8)
+        assert np.all(sobel.reference(flat) == 0)
+
+    def test_vertical_edge_detected(self):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        img[:, 4:] = 200
+        edges = sobel.reference(img).reshape(6, 6)
+        assert edges[:, 2].max() > 0 or edges[:, 3].max() > 0
+        assert np.all(edges[:, 0] == 0)
+
+    def test_output_clamped_to_255(self):
+        img = make_image(8, kind="edges")
+        assert sobel.reference(img).max() <= 255
+
+    def test_rejects_tiny_images(self):
+        with pytest.raises(ValueError):
+            sobel.reference(np.zeros((2, 5)))
+        with pytest.raises(ValueError):
+            sobel.assembly(2, 5)
+
+
+class TestMedian:
+    def test_uniform_image_unchanged(self):
+        flat = np.full((6, 6), 77, dtype=np.uint8)
+        assert np.all(median.reference(flat) == 77)
+
+    def test_removes_salt_noise(self):
+        img = np.full((6, 6), 50, dtype=np.uint8)
+        img[3, 3] = 255  # single salt pixel
+        out = median.reference(img)
+        assert np.all(out == 50)
+
+
+class TestIntegral:
+    def test_ones_image(self):
+        img = np.ones((4, 4), dtype=np.uint8)
+        table = integral.reference(img).reshape(4, 4)
+        assert table[0, 0] == 1
+        assert table[3, 3] == 16
+        assert table[1, 1] == 4
+
+    def test_wraps_mod_65536(self):
+        img = np.full((32, 32), 255, dtype=np.uint8)
+        table = integral.reference(img)
+        assert table.max() < 65536
+
+
+class TestCRC:
+    def test_known_vector(self):
+        """CRC-16/CCITT-FALSE of '123456789' is 0x29B1."""
+        data = np.frombuffer(b"123456789", dtype=np.uint8)
+        assert crc.crc16(data) == 0x29B1
+
+    def test_empty_is_init(self):
+        assert crc.crc16([]) == crc.INIT
+
+    def test_sensitive_to_single_bit(self):
+        a = make_bytes(32, seed=1)
+        b = a.copy()
+        b[5] ^= 1
+        assert crc.crc16(a) != crc.crc16(b)
+
+
+class TestFIR:
+    def test_constant_signal_passthrough(self):
+        """A DC signal through the (sum=52, >>6) filter attenuates to
+        floor(52x/64)."""
+        signal = np.full(32, 100, dtype=np.uint8)
+        out = fir.reference(signal)
+        assert np.all(out == (52 * 100) >> 6)
+
+    def test_smooths_impulse(self):
+        signal = np.zeros(32, dtype=np.uint8)
+        signal[16] = 255
+        out = fir.reference(signal)
+        assert out.max() < 255  # spread and attenuated
+
+
+class TestHistogram:
+    def test_counts_sum_to_length(self):
+        data = make_bytes(128, seed=2, runs=False)
+        assert histogram.reference(data).sum() == 128
+
+    def test_known_distribution(self):
+        data = np.array([0, 15, 16, 255], dtype=np.uint8)
+        counts = histogram.reference(data)
+        assert counts[0] == 2
+        assert counts[1] == 1
+        assert counts[15] == 1
+
+
+class TestRLE:
+    def test_simple_runs(self):
+        out = rle.reference(np.array([5, 5, 5, 9, 9], dtype=np.uint8))
+        assert list(out) == [5, 3, 9, 2]
+
+    def test_roundtrip_decode(self):
+        data = make_bytes(64, seed=4)
+        pairs = rle.reference(data).reshape(-1, 2)
+        decoded = np.concatenate(
+            [np.full(int(count), value) for value, count in pairs]
+        )
+        assert np.array_equal(decoded, data.astype(np.int64))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            rle.reference(np.array([], dtype=np.uint8))
+
+
+class TestMatmul:
+    def test_identity(self):
+        eye = np.eye(4, dtype=np.int64)
+        a = np.arange(16).reshape(4, 4) % 16
+        assert np.array_equal(
+            matmul.reference(a, eye), a.astype(np.uint16).ravel()
+        )
+
+    def test_asm_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            matmul.assembly(6)
+
+
+class TestStrsearch:
+    def test_counts_planted_patterns(self):
+        buf = strsearch.make_haystack(256, plant=5, seed=11)
+        assert strsearch.reference(buf)[0] >= 5
+
+    def test_no_match(self):
+        buf = np.zeros(64, dtype=np.uint8)
+        assert strsearch.reference(buf)[0] == 0
+
+    def test_overlapping_matches_counted(self):
+        buf = np.array([1, 1, 1, 1, 1], dtype=np.uint8)
+        assert strsearch.reference(buf, pattern=(1, 1, 1, 1))[0] == 2
+
+
+class TestDFT:
+    def test_dc_signal_energy_in_bin_zero(self):
+        signal = np.full(16, 128, dtype=np.uint8)
+        spectrum = dft.reference(signal)
+        assert spectrum[0] == spectrum.max()
+        assert spectrum[0] > 10 * (np.sort(spectrum)[-2] + 1)
+
+    def test_single_tone_peaks_at_its_bin(self):
+        n = 32
+        t = np.arange(n)
+        signal = (128 + 100 * np.cos(2 * np.pi * 4 * t / n)).astype(np.uint8)
+        spectrum = dft.reference(signal).astype(float)
+        # Exclude the DC bin; bins 4 and 28 (conjugate) must dominate.
+        ac = spectrum.copy()
+        ac[0] = 0
+        assert set(np.argsort(ac)[-2:]) == {4, 28}
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            dft.reference(np.zeros(12, dtype=np.uint8))
+
+
+class TestSyntheticInputs:
+    def test_images_deterministic(self):
+        assert np.array_equal(make_image(16, seed=3), make_image(16, seed=3))
+
+    @pytest.mark.parametrize("kind", ["scene", "gradient", "noise", "edges"])
+    def test_image_kinds_in_range(self, kind):
+        img = make_image(16, kind=kind)
+        assert img.dtype == np.uint8
+        assert img.shape == (16, 16)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_image(16, kind="fractal")
+
+    def test_signal_range(self):
+        sig = make_signal(64)
+        assert sig.min() >= 0 and sig.max() <= 255
+
+    def test_bytes_run_structure(self):
+        runs = make_bytes(256, seed=5, runs=True)
+        random = make_bytes(256, seed=5, runs=False)
+        def run_count(a):
+            return 1 + int(np.sum(a[1:] != a[:-1]))
+        assert run_count(runs) < run_count(random)
