@@ -6,7 +6,6 @@ clocks, supply collapses at high clocks), so a power-aware frequency
 policy beats any fixed clock across income levels.
 """
 
-from repro.analysis.report import format_table
 from repro.core.config import NVPConfig
 from repro.core.nvp import NVPPlatform
 from repro.harvest.sources import wristwatch_trace
@@ -15,7 +14,7 @@ from repro.policy.freqscale import PowerAwareFrequencyPolicy, best_frequency, fr
 from repro.system.presets import nvp_capacitor
 from repro.workloads.base import AbstractWorkload
 
-from common import BENCH_SEED, print_header, simulate
+from common import publish_table, BENCH_SEED, print_header, simulate
 
 FREQUENCIES_HZ = [0.25e6, 0.5e6, 1e6, 2e6, 4e6, 8e6]
 INCOMES_W = [8e-6, 25e-6, 80e-6, 250e-6]
@@ -59,7 +58,7 @@ def test_f10_frequency_scaling(benchmark):
     headers = (
         ["income"] + [f"{f / 1e6:g}MHz" for f in FREQUENCIES_HZ] + ["best"]
     )
-    print(format_table(headers, rows))
+    publish_table(headers, rows)
     print("\ntrained income->frequency policy:")
     for income, frequency in policy.table().items():
         print(f"  {income * 1e6:.0f} uW -> {frequency / 1e6:g} MHz")

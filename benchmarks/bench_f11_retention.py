@@ -7,7 +7,6 @@ outage durations cuts backup write energy substantially (log < parabola
 low-order-bit retention failures.
 """
 
-from repro.analysis.report import format_table
 from repro.core.config import NVPConfig
 from repro.core.nvp import NVPPlatform
 from repro.nvm.retention import LinearPolicy, LogPolicy, ParabolaPolicy
@@ -16,7 +15,7 @@ from repro.nvm.technology import SECONDS_PER_DAY, STT_MRAM
 from repro.system.presets import nvp_capacitor
 from repro.workloads.base import AbstractWorkload
 
-from common import print_header, profiles, simulate
+from common import publish_table, print_header, profiles, simulate
 
 T_LSB = 10e-3  # most outages are milliseconds
 T_MSB = STT_MRAM.retention_s
@@ -70,13 +69,13 @@ def test_f11_retention_relaxed_backup(benchmark):
                 int(flips), int(corrected),
             ]
         )
-    print(format_table(
+    publish_table(
         [
             "policy", "FP", "backups", "nJ/backup", "retention failures",
             "ecc corrected",
         ],
         table,
-    ))
+    )
     fp_gain = metrics["log"][1] / metrics["precise"][1]
     print(f"\nlog-policy FP gain over precise backup: {fp_gain:.2f}x")
     benchmark.extra_info["log_fp_gain"] = round(fp_gain, 3)

@@ -6,13 +6,12 @@ supply.  Too little margin loses volatile work to failed backups and
 brownouts; too much margin wastes income on reserve that never runs.
 """
 
-from repro.analysis.report import format_table
 from repro.core.config import NVPConfig
 from repro.core.nvp import NVPPlatform
 from repro.system.presets import nvp_capacitor
 from repro.workloads.base import AbstractWorkload
 
-from common import print_header, profiles, simulate
+from common import publish_table, print_header, profiles, simulate
 
 MARGINS = [1.0, 1.2, 1.5, 2.0, 4.0, 8.0]
 
@@ -63,10 +62,10 @@ def test_f13_backup_margin_ablation(benchmark):
         ]
         for label, result in rows
     ]
-    print(format_table(
+    publish_table(
         ["margin", "FP", "failed backups", "rollbacks", "lost instr", "backups"],
         table,
-    ))
+    )
     static_rows = rows[: len(MARGINS)]
     adaptive_result = rows[-1][1]
     progress = [result.forward_progress for _, result in static_rows]

@@ -7,14 +7,13 @@ shortfall — avoids the double conversion toll and raises forward
 progress on conversion-lossy storage.
 """
 
-from repro.analysis.report import format_table
 from repro.core.config import NVPConfig
 from repro.core.nvp import NVPPlatform
 from repro.storage.capacitor import Capacitor, ChargeEfficiency
 from repro.storage.frontend import DualChannelFrontEnd, SingleChannelFrontEnd
 from repro.workloads.base import AbstractWorkload
 
-from common import print_header, profiles, simulate
+from common import publish_table, print_header, profiles, simulate
 
 
 def lossy_cap():
@@ -65,9 +64,9 @@ def test_f14_dual_channel_frontend(benchmark):
                 frontend.total_bypassed_j * 1e6,
             ]
         )
-    print(format_table(
+    publish_table(
         ["profile", "single FP", "dual FP", "gain", "bypassed uJ"], table
-    ))
+    )
     mean_gain = sum(gains) / len(gains)
     print(f"\nmean dual-channel gain: {mean_gain:.2f}x")
     benchmark.extra_info["mean_gain"] = round(mean_gain, 3)

@@ -6,7 +6,6 @@ front-end, so at wristwatch emergency rates the recurring tax grows
 with peripheral complexity and erodes the NVP's advantage.
 """
 
-from repro.analysis.report import format_table
 from repro.core.config import NVPConfig
 from repro.core.nvp import NVPPlatform
 from repro.system.peripherals import (
@@ -18,7 +17,7 @@ from repro.system.peripherals import (
 from repro.system.presets import nvp_capacitor
 from repro.workloads.base import AbstractWorkload
 
-from common import print_header, profiles, simulate
+from common import publish_table, print_header, profiles, simulate
 
 CONFIGS = [
     ("none", []),
@@ -61,9 +60,9 @@ def test_f15_peripheral_reinit_tax(benchmark):
                 result.restores,
             ]
         )
-    print(format_table(
+    publish_table(
         ["peripherals", "FP", "vs bare", "reinits", "restores"], table
-    ))
+    )
     progress = [result.forward_progress for _, result, _ in rows]
     # Shape: each added peripheral class costs forward progress, and
     # the full stack loses a substantial share.

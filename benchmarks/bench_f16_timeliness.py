@@ -8,14 +8,13 @@ deadlines miss far more often than on an NVP, which executes in
 fine-grained slices whenever power allows.
 """
 
-from repro.analysis.report import format_table
 from repro.system.presets import build_nvp, build_wait_compute
 from repro.system.scheduler import PeriodicTask, schedule_replay
 from repro.system.simulator import SystemSimulator
 from repro.system.telemetry import Telemetry
 from repro.workloads.base import AbstractWorkload
 
-from common import print_header, profiles
+from common import publish_table, print_header, profiles
 
 TASKS = [
     PeriodicTask("sense", period_s=0.25, instructions=3_000),
@@ -69,13 +68,13 @@ def test_f16_task_timeliness(benchmark):
                 f"{wait_report.p95_response_s():.3g}s",
             ]
         )
-    print(format_table(
+    publish_table(
         [
             "profile", "nvp instr", "nvp miss", "nvp p95",
             "wait instr", "wait miss", "wait p95",
         ],
         table,
-    ))
+    )
     nvp_misses = [r[2].miss_rate for r in rows]
     wait_misses = [r[4].miss_rate for r in rows]
     mean_nvp = sum(nvp_misses) / len(nvp_misses)

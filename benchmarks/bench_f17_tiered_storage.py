@@ -10,7 +10,6 @@ shape: *tier gain grows as core power shrinks relative to spike
 power* — storage architecture and operating point must be co-designed.
 """
 
-from repro.analysis.report import format_table
 from repro.core.config import NVPConfig
 from repro.core.nvp import NVPPlatform
 from repro.isa.energy import dvfs_model
@@ -18,7 +17,7 @@ from repro.storage.tiered import TieredStorage
 from repro.system.presets import nvp_capacitor, supercap
 from repro.workloads.base import AbstractWorkload
 
-from common import print_header, profiles, simulate
+from common import publish_table, print_header, profiles, simulate
 
 CLOCKS_HZ = [0.25e6, 1e6]
 PRIMARY_F = 22e-9
@@ -79,10 +78,10 @@ def test_f17_two_tier_storage(benchmark):
                 ]
             )
         mean_gains[clock] = sum(gains) / len(gains)
-    print(format_table(
+    publish_table(
         ["clock", "profile", "primary only", "+reservoir", "gain", "spilled uJ"],
         table,
-    ))
+    )
     slow, fast = mean_gains[CLOCKS_HZ[0]], mean_gains[CLOCKS_HZ[1]]
     print(
         f"\nmean reservoir gain: {slow:.3f}x at "

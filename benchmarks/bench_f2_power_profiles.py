@@ -5,11 +5,10 @@ five 0.1 ms-sampled wristwatch profiles plus one trace per source
 class, characterised by mean/peak power and variability.
 """
 
-from repro.analysis.report import format_table
 from repro.harvest.outage import analyze_outages
 from repro.harvest.sources import SOURCE_GENERATORS
 
-from common import BENCH_DURATION_S, BENCH_SEED, print_header, profiles
+from common import publish_table, BENCH_DURATION_S, BENCH_SEED, print_header, profiles
 
 
 def build_rows():
@@ -43,11 +42,9 @@ def build_rows():
 def test_f2_power_profiles(benchmark):
     rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
     print_header("F2", "harvested power profiles (0.1 ms sampling)")
-    print(
-        format_table(
+    publish_table(
             ["profile", "mean uW", "peak uW", "cv", "emergencies"], rows
         )
-    )
     watch_rows = rows[:5]
     # Published envelope: 10-40 uW mean, swings up to ~2000 uW.
     for row in watch_rows:

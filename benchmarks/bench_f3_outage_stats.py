@@ -6,10 +6,10 @@ and emergency counts at the 33 µW operating threshold, per profile.
 
 import numpy as np
 
-from repro.analysis.report import format_table, series_text
+from repro.analysis.report import series_text
 from repro.harvest.outage import DEFAULT_THRESHOLD_W, analyze_outages
 
-from common import BENCH_DURATION_S, print_header, profiles
+from common import publish_table, BENCH_DURATION_S, print_header, profiles
 
 
 def build_stats():
@@ -31,11 +31,9 @@ def test_f3_outage_statistics(benchmark):
                 s.duty_cycle,
             ]
         )
-    print(
-        format_table(
+    publish_table(
             ["profile", "outages", "per s", "mean ms", "max ms", "duty"], rows
         )
-    )
     # Histogram for profile 1 (the published figure's subject).
     name, s = stats[0]
     counts, edges = s.histogram(bins=10)

@@ -5,7 +5,7 @@ NVP outperforms wait-and-compute by roughly 2-5x (the published band)
 and software checkpointing sits between them; the oracle bounds all.
 """
 
-from repro.analysis.report import format_table, ratio
+from repro.analysis.report import ratio
 from repro.system.presets import (
     build_checkpoint,
     build_nvp,
@@ -14,7 +14,7 @@ from repro.system.presets import (
 )
 from repro.workloads.base import AbstractWorkload
 
-from common import print_header, profiles, simulate
+from common import publish_table, print_header, profiles, simulate
 
 BUILDERS = [
     ("nvp", build_nvp),
@@ -41,7 +41,7 @@ def test_f4_platform_comparison(benchmark):
         fps = [r.forward_progress for r in results]
         rows.append([label] + fps + [sum(fps) / len(fps)])
     headers = ["platform"] + [t.source for t in profiles()] + ["mean"]
-    print(format_table(headers, rows))
+    publish_table(headers, rows)
 
     nvp_mean = sum(r.forward_progress for r in table["nvp"]) / len(profiles())
     wait_mean = sum(

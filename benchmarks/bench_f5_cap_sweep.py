@@ -6,11 +6,10 @@ capacitors waste income on conversion losses and slow first-start.
 Expect an interior plateau around the backup-sized capacitor.
 """
 
-from repro.analysis.report import format_table
 from repro.system.presets import build_nvp
 from repro.workloads.base import AbstractWorkload
 
-from common import print_header, profiles, simulate
+from common import publish_table, print_header, profiles, simulate
 
 CAPACITANCES_F = [4.7e-9, 22e-9, 68e-9, 150e-9, 470e-9, 2.2e-6, 10e-6, 47e-6]
 
@@ -37,7 +36,7 @@ def test_f5_capacitor_sweep(benchmark):
         ]
         for capacitance, r in results
     ]
-    print(format_table(["capacitance", "FP", "backups", "rollbacks", "on-time"], rows))
+    publish_table(["capacitance", "FP", "backups", "rollbacks", "on-time"], rows)
 
     progress = [r.forward_progress for _, r in results]
     best = max(range(len(progress)), key=lambda i: progress[i])

@@ -5,13 +5,12 @@ sweeps the architectural state size: larger state raises both backup
 energy and the reserve threshold, eroding forward progress.
 """
 
-from repro.analysis.report import format_table
 from repro.core.config import NVPConfig
 from repro.core.nvp import NVPPlatform
 from repro.system.presets import nvp_capacitor
 from repro.workloads.base import AbstractWorkload
 
-from common import print_header, profiles, simulate
+from common import publish_table, print_header, profiles, simulate
 
 STRATEGIES = ["full", "compare_and_write", "incremental"]
 STATE_BITS = [168, 360, 1024, 4096]
@@ -58,16 +57,16 @@ def test_f6_backup_strategies(benchmark):
                 result.backup_energy_j * 1e9,
             ]
         )
-    print(format_table(
+    publish_table(
         ["strategy", "FP", "backups", "bits/backup", "backup nJ"], rows
-    ))
+    )
 
     print()
     size_rows = [
         [bits, r.forward_progress, r.backups, r.backup_energy_j * 1e9]
         for bits, r in size_results
     ]
-    print(format_table(["state bits", "FP", "backups", "backup nJ"], size_rows))
+    publish_table(["state bits", "FP", "backups", "backup nJ"], size_rows)
 
     # Shapes: differential strategies write fewer bits than full; a 4 Kb
     # state image costs visibly more progress than a 360 b one.

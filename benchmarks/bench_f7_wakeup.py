@@ -5,13 +5,13 @@ times, and the duty cycle each sustains as the outage rate grows
 (analytic model) — the figure behind "3 µs wake-up" headlines.
 """
 
-from repro.analysis.report import format_table, series_text
+from repro.analysis.report import series_text
 from repro.core.config import DEFAULT_STATE_BITS
 from repro.core.restore import WakeupModel, wakeup_comparison
 from repro.harvest.outage import analyze_outages
 from repro.nvm.technology import FERAM, NOR_FLASH, RERAM, TECHNOLOGIES
 
-from common import BENCH_DURATION_S, print_header, profiles
+from common import publish_table, BENCH_DURATION_S, print_header, profiles
 
 OUTAGE_RATES_HZ = [10, 50, 150, 500, 1500, 5000]
 
@@ -41,9 +41,9 @@ def test_f7_wakeup_duty_cycle(benchmark):
         [name, row["wakeup_us"], row["backup_us"], f"{row['duty_cycle']:.3f}"]
         for name, row in table.items()
     ]
-    print(format_table(
+    publish_table(
         ["tech", "wakeup us", "backup us", "duty@150/s (supply 0.2)"], rows
-    ))
+    )
     print(f"\nmeasured emergency rate on profile-1: {measured_rate:.0f}/s\n")
     for name, duties in curves.items():
         print(series_text(f"duty({name})", OUTAGE_RATES_HZ, duties))

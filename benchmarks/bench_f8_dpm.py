@@ -5,14 +5,13 @@ inside its efficient conversion band yields more net forward progress
 than greedily draining it, despite throttled execution ticks.
 """
 
-from repro.analysis.report import format_table
 from repro.core.config import NVPConfig
 from repro.core.nvp import NVPPlatform
 from repro.policy.dpm import EnergyBandGovernor
 from repro.storage.capacitor import Capacitor, ChargeEfficiency
 from repro.workloads.base import AbstractWorkload
 
-from common import print_header, profiles, simulate
+from common import publish_table, print_header, profiles, simulate
 
 
 def peaky_cap():
@@ -62,9 +61,9 @@ def test_f8_energy_band_dpm(benchmark):
                 governor.throttled_ticks,
             ]
         )
-    print(format_table(
+    publish_table(
         ["profile", "greedy FP", "band-DPM FP", "gain", "throttled ticks"], table
-    ))
+    )
     mean_gain = sum(gains) / len(gains)
     print(f"\nmean DPM gain: {mean_gain:.2f}x")
     benchmark.extra_info["mean_gain"] = round(mean_gain, 3)

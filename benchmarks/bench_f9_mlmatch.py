@@ -6,7 +6,6 @@ progress approaches the per-trace best-static oracle and beats any
 single static configuration.
 """
 
-from repro.analysis.report import format_table
 from repro.core.config import NVPConfig
 from repro.core.nvp import NVPPlatform
 from repro.harvest.sources import rf_trace, thermal_trace, wristwatch_trace
@@ -15,7 +14,7 @@ from repro.policy.mlmatch import train_from_sweeps
 from repro.system.presets import nvp_capacitor
 from repro.workloads.base import AbstractWorkload
 
-from common import BENCH_SEED, print_header, simulate
+from common import publish_table, BENCH_SEED, print_header, simulate
 
 #: Configuration space: (clock Hz, backup margin).
 CONFIGS = [(0.5e6, 3.0), (1e6, 1.5), (4e6, 1.2)]
@@ -74,7 +73,7 @@ def test_f9_ml_config_matching(benchmark):
         run_experiment, rounds=1, iterations=1
     )
     print_header("F9", "ML config matching vs static configurations")
-    print(format_table(["test trace", "picked cfg", "matched FP", "best FP"], rows))
+    publish_table(["test trace", "picked cfg", "matched FP", "best FP"], rows)
     best_static = max(statics)
     print(f"\nmatched total FP : {matched:.0f}")
     print(f"best-static total: {best_static:.0f} (config {statics.index(best_static)})")

@@ -7,11 +7,11 @@ processes frames severalfold faster and both are far from the
 continuously-powered oracle.
 """
 
-from repro.analysis.report import format_table, ratio
+from repro.analysis.report import ratio
 from repro.system.presets import build_nvp, build_oracle, build_wait_compute
 from repro.workloads.suite import build_kernel, make_functional_workload
 
-from common import BENCH_DURATION_S, print_header, profiles, simulate
+from common import publish_table, BENCH_DURATION_S, print_header, profiles, simulate
 
 KERNELS = [
     ("sobel", {"size": 16}),
@@ -65,13 +65,13 @@ def test_t12_application_frame_rates(benchmark):
                 f"{ratio(nvp.units_completed, max(1, wait.units_completed)):.1f}x",
             ]
         )
-    print(format_table(
+    publish_table(
         [
             "kernel", "nvp frames", "nvp s/f", "wait frames", "wait s/f",
             "oracle s/f", "nvp/wait",
         ],
         table,
-    ))
+    )
     for name, nvp, wait, oracle in rows:
         # The NVP must complete frames, and at least as many as
         # wait-and-compute; the oracle bounds both.

@@ -6,11 +6,10 @@ wake-up time, and the derived backup/restore cost of one NVP state
 image (360 bits).
 """
 
-from repro.analysis.report import format_table
 from repro.core.config import DEFAULT_STATE_BITS
 from repro.nvm.technology import TECHNOLOGIES
 
-from common import print_header
+from common import publish_table, print_header
 
 
 def build_table():
@@ -35,15 +34,13 @@ def build_table():
 def test_t1_nvm_technology_table(benchmark):
     rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
     print_header("T1", "NVM technology comparison (360-bit NVP state image)")
-    print(
-        format_table(
+    publish_table(
             [
                 "tech", "Ewr pJ/b", "Erd pJ/b", "tWR ns", "retention s",
                 "endurance", "wakeup us", "backup pJ", "restore us",
             ],
             rows,
         )
-    )
     benchmark.extra_info["technologies"] = len(rows)
     # Shape checks: flash worst writes, FeFET cheapest, ReRAM fastest wake.
     by_name = {row[0]: row for row in rows}

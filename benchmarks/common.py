@@ -12,12 +12,14 @@ trace length if you want quicker smoke runs or longer, smoother stats.
 
 from __future__ import annotations
 
+import json
 import os
 from functools import lru_cache
-from typing import List
+from typing import Dict, List, Optional, Sequence
 
 from repro.harvest.sources import standard_profiles
 from repro.harvest.traces import PowerTrace
+from repro.obs.manifest import RunManifest
 from repro.system.presets import standard_rectifier
 from repro.system.simulator import SystemSimulator
 
@@ -26,6 +28,17 @@ BENCH_DURATION_S = float(os.environ.get("NVPSIM_BENCH_DURATION", "6"))
 
 #: Seed shared by every benchmark for reproducibility.
 BENCH_SEED = 2017
+
+#: Where machine-readable benchmark results land (one JSON per
+#: experiment, rows + run manifest) — the benchmark trajectory.
+RESULTS_DIR = os.environ.get(
+    "NVPSIM_BENCH_RESULTS",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+)
+
+#: Per-process accumulation: experiment id -> result payload.
+_RESULTS: Dict[str, Dict] = {}
+_CURRENT: List[str] = []
 
 
 @lru_cache(maxsize=1)
@@ -45,8 +58,77 @@ def simulate(trace: PowerTrace, platform, stop_when_finished=False):
 
 
 def print_header(experiment: str, description: str) -> None:
-    """Banner so ``-s`` output reads like the paper's figure list."""
+    """Banner so ``-s`` output reads like the paper's figure list.
+
+    Also opens the experiment's machine-readable result: subsequent
+    :func:`publish_table` calls attach their rows to it.
+    """
     print()
     print("=" * 72)
     print(f"{experiment}: {description}")
     print("=" * 72)
+    _CURRENT[:] = [experiment]
+    manifest = RunManifest.collect(
+        command=f"benchmark:{experiment}",
+        seed=BENCH_SEED,
+        config={"duration_s": BENCH_DURATION_S},
+    )
+    _RESULTS[experiment] = {
+        "experiment": experiment,
+        "description": description,
+        "tables": [],
+        "manifest": manifest.to_dict(),
+    }
+
+
+def _plain(value):
+    """Coerce numpy scalars (and anything else) to JSON-safe values."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (ValueError, TypeError):
+            pass
+    return str(value)
+
+
+def publish_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Print a table and record it in the experiment's JSON result.
+
+    Drop-in replacement for ``print(format_table(headers, rows))``:
+    returns the rendered text after printing it, and appends
+    ``{columns, rows}`` to the result opened by the enclosing
+    :func:`print_header` call, then (re)writes
+    ``<RESULTS_DIR>/<experiment>.json`` with a completed manifest.
+    """
+    from repro.analysis.report import format_table
+
+    text = format_table(list(headers), [list(row) for row in rows])
+    print(text)
+    if not _CURRENT:
+        return text
+    experiment = _CURRENT[0]
+    payload = _RESULTS[experiment]
+    payload["tables"].append(
+        {
+            "title": title,
+            "columns": [str(h) for h in headers],
+            "rows": [[_plain(cell) for cell in row] for row in rows],
+        }
+    )
+    manifest = RunManifest(**{
+        k: v for k, v in payload["manifest"].items()
+    })
+    payload["manifest"] = manifest.finish().to_dict()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return text

@@ -51,17 +51,54 @@ class Profile:
     total_cycles: int = 0
     total_energy_j: float = 0.0
     halted: bool = False
+    _index: Optional[Dict[str, ProfileEntry]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def entry(self, label: str) -> ProfileEntry:
-        """Look up a label's entry.
+        """Look up a label's entry (O(1); the index is built once).
 
         Raises:
             KeyError: if the label attracted no cost.
         """
-        for item in self.entries:
-            if item.label == label:
-                return item
-        raise KeyError(f"no profile entry for {label!r}")
+        if self._index is None or len(self._index) != len(self.entries):
+            self._index = {item.label: item for item in self.entries}
+        found = self._index.get(label)
+        if found is None:
+            raise KeyError(f"no profile entry for {label!r}")
+        return found
+
+    def to_metrics(self, registry, program: str = "program") -> None:
+        """Publish the attribution into a metrics registry.
+
+        Creates ``profile_instructions`` / ``profile_cycles`` /
+        ``profile_energy_joules`` counters labeled by program and code
+        label (plus an instruction-class breakdown), so profiles flow
+        through the same export pipeline as simulation metrics.
+        """
+        per_label = {
+            "profile_instructions": lambda e: e.instructions,
+            "profile_cycles": lambda e: e.cycles,
+            "profile_energy_joules": lambda e: e.energy_j,
+        }
+        for name, getter in per_label.items():
+            counter = registry.counter(
+                name, f"{name} attributed to code labels",
+                labels=("program", "label"),
+            )
+            for item in self.entries:
+                counter.labels(program=program, label=item.label).inc(
+                    getter(item)
+                )
+        by_class = registry.counter(
+            "profile_class_instructions", "instructions per instruction class",
+            labels=("program", "instr_class"),
+        )
+        for cls, item in self.by_class.items():
+            by_class.labels(
+                program=program,
+                instr_class=cls.value if hasattr(cls, "value") else str(cls),
+            ).inc(item.instructions)
 
     def report(self, top: int = 10) -> str:
         """Human-readable table of the hottest regions."""
@@ -109,6 +146,8 @@ def profile_program(
     energy_model: Optional[EnergyModel] = None,
     max_instructions: int = 5_000_000,
     inputs: Optional[List[int]] = None,
+    metrics=None,
+    label: str = "program",
 ) -> Profile:
     """Execute a program and attribute its cost to labels.
 
@@ -117,6 +156,10 @@ def profile_program(
         energy_model: optional operating point.
         max_instructions: execution budget.
         inputs: values for the MMIO input port.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            the attribution is published into it (see
+            :meth:`Profile.to_metrics`).
+        label: program name used for the metrics ``program`` label.
     """
     cpu = CPU(program.instructions, MemoryMap(), energy_model)
     cpu.memory.load_image(program.data_image)
@@ -130,8 +173,8 @@ def profile_program(
     while not cpu.state.halted and executed < max_instructions:
         info = cpu.step()
         executed += 1
-        label = _owner(pairs, info.pc_before)
-        entry = label_entries.setdefault(label, ProfileEntry(label))
+        owner = _owner(pairs, info.pc_before)
+        entry = label_entries.setdefault(owner, ProfileEntry(owner))
         entry.instructions += 1
         entry.cycles += info.cycles
         entry.energy_j += info.energy_j
@@ -145,11 +188,15 @@ def profile_program(
     entries = sorted(
         label_entries.values(), key=lambda item: item.energy_j, reverse=True
     )
-    return Profile(
+    profile = Profile(
         entries=entries,
         by_class=class_entries,
         total_instructions=cpu.instructions_retired,
         total_cycles=cpu.cycles,
         total_energy_j=cpu.energy_j,
         halted=cpu.state.halted,
+        _index={item.label: item for item in entries},
     )
+    if metrics is not None:
+        profile.to_metrics(metrics, program=label)
+    return profile

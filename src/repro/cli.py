@@ -4,6 +4,8 @@ Examples::
 
     python -m repro simulate --platform nvp --source wristwatch --duration 5
     python -m repro simulate --platform nvp --kernel sobel --frames 10
+    python -m repro simulate --duration 5 --trace out.json --metrics out.csv
+    python -m repro observe --duration 5 --interval 1
     python -m repro compare --duration 5 --seed 3
     python -m repro outages --source wristwatch --duration 10
     python -m repro kernels --verify
@@ -59,23 +61,89 @@ def _make_workload(args):
     return AbstractWorkload(), None
 
 
+def _make_observability(args):
+    """Build (bus, log, metrics) from the exporter flags (or Nones)."""
+    from repro.obs import EventBus, MetricsRegistry
+
+    wants_events = bool(
+        getattr(args, "trace", None) or getattr(args, "events", None)
+    )
+    wants_metrics = bool(getattr(args, "metrics", None))
+    if not wants_events and not wants_metrics and not getattr(
+        args, "manifest", None
+    ):
+        return None, None, None
+    bus = EventBus() if wants_events else None
+    log = bus.record() if bus is not None else None
+    metrics = MetricsRegistry() if wants_metrics else None
+    return bus, log, metrics
+
+
+def _write_observability(args, log, metrics, manifest) -> None:
+    """Write whichever artifacts the exporter flags requested.
+
+    Raises SystemExit(1) with a clean message on unwritable paths so a
+    bad ``--trace``/``--metrics`` destination does not traceback.
+    """
+    from repro.obs import write_chrome_trace, write_events_jsonl, write_metrics_csv
+
+    try:
+        if getattr(args, "trace", None):
+            count = write_chrome_trace(log, args.trace)
+            print(f"trace   : {args.trace} ({count} trace events)")
+        if getattr(args, "events", None):
+            count = write_events_jsonl(log, args.events)
+            print(f"events  : {args.events} ({count} lines)")
+        if getattr(args, "metrics", None):
+            count = write_metrics_csv(metrics, args.metrics)
+            print(f"metrics : {args.metrics} ({count} series rows)")
+        if getattr(args, "manifest", None):
+            manifest.finish().write(args.manifest)
+            print(f"manifest: {args.manifest}")
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write artifact: {exc}")
+
+
 def cmd_simulate(args) -> int:
+    from repro.obs import RunManifest
+
+    manifest = RunManifest.collect(
+        command="simulate",
+        seed=args.seed,
+        config={
+            "platform": args.platform,
+            "source": args.source,
+            "duration_s": args.duration,
+            "kernel": args.kernel,
+        },
+    )
     trace = _make_trace(args)
     workload, build = _make_workload(args)
     platform = PLATFORM_BUILDERS[args.platform](workload)
+    bus, log, metrics = _make_observability(args)
     result = SystemSimulator(
         trace,
         platform,
         rectifier=standard_rectifier(),
         stop_when_finished=args.kernel is not None,
+        bus=bus,
+        metrics=metrics,
     ).run()
     if args.json:
         import json
 
+        if log is not None or metrics is not None or args.manifest:
+            # Write requested artifacts without polluting the JSON.
+            import contextlib
+            import io
+
+            with contextlib.redirect_stdout(io.StringIO()):
+                _write_observability(args, log, metrics, manifest)
         print(json.dumps(result.to_dict(), indent=2))
         return 0
     print(f"trace   : {trace}")
     print(f"result  : {result.summary()}")
+    _write_observability(args, log, metrics, manifest)
     if build is not None:
         outputs = np.array(workload.outputs, dtype=np.uint16)
         per_frame = len(build.expected_output)
@@ -87,6 +155,46 @@ def cmd_simulate(args) -> int:
                   f"{'bit-exact' if exact else 'MISMATCH'}")
         else:
             print("outputs : no complete frame")
+    return 0
+
+
+def cmd_observe(args) -> int:
+    """Run one simulation fully instrumented and render a live summary."""
+    from repro.obs import EventBus, LiveSummary, MetricsRegistry, RunManifest
+
+    manifest = RunManifest.collect(
+        command="observe",
+        seed=args.seed,
+        config={
+            "platform": args.platform,
+            "source": args.source,
+            "duration_s": args.duration,
+            "kernel": args.kernel,
+        },
+    )
+    if args.interval is not None and args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 2
+    trace = _make_trace(args)
+    workload, _build = _make_workload(args)
+    platform = PLATFORM_BUILDERS[args.platform](workload)
+    bus = EventBus()
+    summary = LiveSummary(interval_s=args.interval).attach(bus)
+    log = bus.record() if (args.trace or args.events) else None
+    metrics = MetricsRegistry()
+    result = SystemSimulator(
+        trace,
+        platform,
+        rectifier=standard_rectifier(),
+        stop_when_finished=args.kernel is not None,
+        bus=bus,
+        metrics=metrics,
+    ).run()
+    print(f"trace   : {trace}")
+    print(f"result  : {result.summary()}")
+    print()
+    print(summary.render())
+    _write_observability(args, log, metrics, manifest)
     return 0
 
 
@@ -204,9 +312,24 @@ def cmd_profile(args) -> int:
         with open(args.file) as handle:
             program = compile_source(handle.read()).program
         label = args.file
-    profile = profile_program(program, max_instructions=args.max_instructions)
+    metrics = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    profile = profile_program(
+        program,
+        max_instructions=args.max_instructions,
+        metrics=metrics,
+        label=label,
+    )
     print(f"profile of {label}:")
     print(profile.report(top=args.top))
+    if metrics is not None:
+        from repro.obs import write_metrics_csv
+
+        count = write_metrics_csv(metrics, args.metrics)
+        print(f"metrics : {args.metrics} ({count} series rows)")
     return 0
 
 
@@ -243,6 +366,19 @@ def _add_trace_arguments(parser) -> None:
                         help="rescale the trace to this mean power (uW)")
 
 
+def _add_export_arguments(parser) -> None:
+    parser.add_argument("--trace", default=None, metavar="OUT.json",
+                        help="write a Chrome trace-event JSON "
+                             "(open in Perfetto / chrome://tracing)")
+    parser.add_argument("--events", default=None, metavar="OUT.jsonl",
+                        help="write the raw event log as JSON lines")
+    parser.add_argument("--metrics", default=None, metavar="OUT.csv",
+                        help="write the metrics registry as CSV")
+    parser.add_argument("--manifest", default=None, metavar="OUT.json",
+                        help="write a reproducibility manifest "
+                             "(seed, config, git SHA, durations)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -260,7 +396,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="frames for --kernel workloads")
     p_sim.add_argument("--json", action="store_true",
                        help="emit the full result as JSON")
+    _add_export_arguments(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_obs = sub.add_parser(
+        "observe",
+        help="run one platform fully instrumented and summarise its events",
+    )
+    _add_trace_arguments(p_obs)
+    p_obs.add_argument("--platform", choices=sorted(PLATFORM_BUILDERS),
+                       default="nvp")
+    p_obs.add_argument("--kernel", choices=sorted(KERNELS), default=None,
+                       help="run a real NV16 kernel instead of the abstract mix")
+    p_obs.add_argument("--frames", type=int, default=5,
+                       help="frames for --kernel workloads")
+    p_obs.add_argument("--interval", type=float, default=None,
+                       help="print a progress line every N simulated seconds")
+    _add_export_arguments(p_obs)
+    p_obs.set_defaults(func=cmd_observe)
 
     p_cmp = sub.add_parser("compare", help="compare all platforms on one trace")
     _add_trace_arguments(p_cmp)
@@ -298,6 +451,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--file", default=None, help="NVC source file")
     p_profile.add_argument("--top", type=int, default=10)
     p_profile.add_argument("--max-instructions", type=int, default=5_000_000)
+    p_profile.add_argument("--metrics", default=None, metavar="OUT.csv",
+                           help="write the attribution as metrics CSV")
     p_profile.set_defaults(func=cmd_profile)
 
     return parser

@@ -25,6 +25,8 @@ import numpy as np
 from repro.core.backup import BackupController
 from repro.core.config import NVPConfig
 from repro.core.progress import ForwardProgressLedger
+from repro.obs import events as ev
+from repro.obs.events import EventBus
 from repro.system.simulator import TickReport
 from repro.system.thresholds import ThresholdPlan, plan_thresholds
 from repro.workloads.base import Workload
@@ -48,6 +50,11 @@ class NVPPlatform:
             re-initialised (energy + stall) on every wake-up and add
             their active power to the run load — the peripheral-state
             tax NVFF backup cannot remove.
+        bus: optional observability
+            :class:`~repro.obs.events.EventBus`; the platform publishes
+            backup/restore lifecycle, wake, power-collapse, margin, and
+            threshold events.  The simulator attaches its bus here
+            automatically when the platform was built without one.
     """
 
     def __init__(
@@ -59,11 +66,13 @@ class NVPPlatform:
         governor: Optional[Governor] = None,
         peripherals=None,
         adaptive_margin: bool = False,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.workload = workload
         self.storage = storage
         self.peripherals = peripherals
         self.adaptive_margin = adaptive_margin
+        self.bus = bus
         self.config = config if config is not None else NVPConfig()
         self.rng = (
             seed
@@ -117,6 +126,13 @@ class NVPPlatform:
                 backup_margin=self._margin,
                 run_reserve_ticks=self.config.run_reserve_ticks,
             )
+            if self.bus is not None:
+                self.bus.emit(
+                    ev.THRESHOLD_RECOMPUTE,
+                    backup_threshold_j=self._plan.backup_threshold_j,
+                    start_threshold_j=self._plan.start_threshold_j,
+                    margin=self._margin,
+                )
         return self._plan
 
     # -- adaptive margin control -----------------------------------------
@@ -142,6 +158,10 @@ class NVPPlatform:
         if lost_work:
             new_margin = min(self._MARGIN_MAX, self._margin * self._MARGIN_RAISE)
             if new_margin != self._margin:
+                if self.bus is not None:
+                    self.bus.emit(
+                        ev.MARGIN_RAISE, old=self._margin, new=new_margin
+                    )
                 self._margin = new_margin
                 self.margin_raises += 1
                 self._plan = None  # re-plan with the new reserve
@@ -152,9 +172,12 @@ class NVPPlatform:
             self._clean_backups_in_a_row >= self._CLEAN_STREAK
             and self._margin > self.config.backup_margin
         ):
-            self._margin = max(
+            new_margin = max(
                 self.config.backup_margin, self._margin * self._MARGIN_DECAY
             )
+            if self.bus is not None:
+                self.bus.emit(ev.MARGIN_DECAY, old=self._margin, new=new_margin)
+            self._margin = new_margin
             self._clean_backups_in_a_row = 0
             self._plan = None
 
@@ -201,6 +224,10 @@ class NVPPlatform:
         if step.deficit:
             # Power collapsed before a backup could run: volatile work
             # (since the last backup) is lost.
+            if self.bus is not None:
+                self.bus.emit(
+                    ev.POWER_COLLAPSE, lost_instructions=self.ledger.volatile
+                )
             self.ledger.rollback()
             self.workload.clear_volatile()
             self._margin_feedback(lost_work=True)
@@ -212,12 +239,18 @@ class NVPPlatform:
 
     def _wake(self) -> TickReport:
         """Attempt to power up: restore (or cold-start) and go on."""
+        bus = self.bus
+        cold = not self.controller.has_image
         if self.controller.has_image:
             needed = self.controller.restore_energy_j()
+            if bus is not None:
+                bus.emit(ev.RESTORE_START, energy_j=needed)
             drawn = self.storage.draw(needed)
             self.consumed_j += drawn
             if drawn < needed:
                 self.failed_restores += 1
+                if bus is not None:
+                    bus.emit(ev.RESTORE_FAIL, needed_j=needed, drawn_j=drawn)
                 return TickReport("off")
             flips = self.controller.age(self._off_elapsed_s, self.rng)
             words, _energy, time_s = self.controller.read_image()
@@ -234,6 +267,13 @@ class NVPPlatform:
             snapshot = self.workload.apply_snapshot_words(self._last_snapshot, words)
             self.workload.restore(snapshot)
             self._stall_s += time_s
+            if bus is not None:
+                bus.emit(
+                    ev.RESTORE_COMMIT,
+                    time_s=time_s,
+                    flipped_bits=flips,
+                    off_s=self._off_elapsed_s,
+                )
             del flips  # already recorded in controller stats
         else:
             # Cold start: nothing to restore, begin the current unit anew.
@@ -251,25 +291,49 @@ class NVPPlatform:
             self.peripherals.record_reinit()
         self._state = "on"
         self._off_elapsed_s = 0.0
+        if bus is not None:
+            bus.emit(ev.WAKE, cold=cold, stall_s=self._stall_s)
         return TickReport("restore")
 
     def _power_down_with_backup(self, p_in_w: float, dt_s: float) -> TickReport:
         """Back up state, then power down for the rest of the tick."""
+        bus = self.bus
         snapshot = self.workload.snapshot()
         words = self.workload.snapshot_words(snapshot)
         plan = self.controller.plan_backup(words)
+        if bus is not None:
+            bus.emit(
+                ev.BACKUP_START,
+                energy_j=plan.energy_j,
+                bits=plan.bits_written,
+                time_s=plan.time_s,
+            )
         drawn = self.storage.draw(plan.energy_j)
         self.consumed_j += drawn
         if drawn < plan.energy_j:
             # Backup ran out of energy mid-way; the double-buffered
             # previous image survives, but volatile work is lost.
             self.failed_backups += 1
+            if bus is not None:
+                bus.emit(
+                    ev.BACKUP_FAIL,
+                    needed_j=plan.energy_j,
+                    drawn_j=drawn,
+                    lost_instructions=self.ledger.volatile,
+                )
             self.ledger.rollback()
             self._margin_feedback(lost_work=True)
         else:
             self.controller.commit_backup(words, plan)
             self.ledger.commit()
             self._last_snapshot = snapshot
+            if bus is not None:
+                bus.emit(
+                    ev.BACKUP_COMMIT,
+                    energy_j=plan.energy_j,
+                    bits=plan.bits_written,
+                    time_s=plan.time_s,
+                )
             self._margin_feedback(lost_work=False)
         self.workload.clear_volatile()
         self._go_off()

@@ -1,0 +1,50 @@
+"""Observability layer: event bus, metrics, exporters, run manifests.
+
+The simulation stack is instrumented with a single lightweight
+:class:`~repro.obs.events.EventBus`; everything else in this package
+is a consumer of that bus:
+
+* :mod:`repro.obs.events` — typed events (outages, state transitions,
+  backup/restore lifecycle, policy decisions) and the bus itself;
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram registry with
+  labeled series;
+* :mod:`repro.obs.export` — JSONL event logs, Chrome trace-event JSON
+  (openable in Perfetto / ``chrome://tracing``), CSV metrics dumps;
+* :mod:`repro.obs.manifest` — reproducibility manifest (seed, config,
+  git SHA, durations);
+* :mod:`repro.obs.summary` — live textual run summary for the
+  ``repro observe`` CLI subcommand.
+
+When no bus is attached the instrumented code paths reduce to a
+single ``is not None`` test per tick — simulations without observers
+pay (near) nothing.
+"""
+
+from repro.obs.events import Event, EventBus, EventLog
+from repro.obs.export import (
+    chrome_trace,
+    load_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_csv,
+)
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.summary import LiveSummary
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EventLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunManifest",
+    "LiveSummary",
+    "chrome_trace",
+    "load_chrome_trace",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_metrics_csv",
+]

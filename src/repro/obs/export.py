@@ -1,0 +1,285 @@
+"""Exporters: JSONL event logs, Chrome trace JSON, CSV metrics dumps.
+
+The Chrome exporter emits the Trace Event Format understood by
+Perfetto and ``chrome://tracing``: platform state spans and
+backup/restore operations become duration events (``ph: "X"``),
+one-shot happenings (failures, wakes, policy decisions) become
+instants (``ph: "i"``), and the stored-energy samples become counter
+events (``ph: "C"``).  Simulation seconds map to trace microseconds,
+so one 0.1 ms tick renders as 100 trace units.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs import events as ev
+from repro.obs.events import Event, EventLog
+from repro.obs.metrics import MetricsRegistry
+
+#: Thread ids used in exported traces.
+TID_STATE = 0
+TID_OPS = 1
+TID_OUTAGE = 2
+TID_POLICY = 3
+
+_THREAD_NAMES = {
+    TID_STATE: "platform state",
+    TID_OPS: "backup/restore",
+    TID_OUTAGE: "supply outages",
+    TID_POLICY: "policy/margin",
+}
+
+#: Events rendered as instants on the policy/margin thread.
+_INSTANT_EVENTS = {
+    ev.WAKE,
+    ev.POWER_COLLAPSE,
+    ev.MARGIN_RAISE,
+    ev.MARGIN_DECAY,
+    ev.THRESHOLD_RECOMPUTE,
+    ev.POLICY_DECISION,
+    ev.BACKUP_FAIL,
+    ev.RESTORE_FAIL,
+}
+
+
+def _us(t_s: float) -> float:
+    return t_s * 1e6
+
+
+def chrome_trace(
+    log: Iterable[Event],
+    process_name: str = "nvpsim",
+    pid: int = 0,
+    counter_decimation: int = 10,
+) -> List[Dict]:
+    """Convert an event log to a list of Chrome trace events.
+
+    Args:
+        log: the events (an :class:`~repro.obs.events.EventLog` or any
+            iterable), in sequence order.
+        process_name: trace process name shown by the viewer.
+        pid: trace process id (use distinct pids to overlay platforms).
+        counter_decimation: keep every N-th stored-energy counter
+            sample (per-tick counters dominate file size otherwise).
+    """
+    if counter_decimation < 1:
+        raise ValueError("counter_decimation must be >= 1")
+    out: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for tid, name in _THREAD_NAMES.items():
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    state_open: Optional[Event] = None
+    op_open: Dict[str, Event] = {}
+    outage_open: Optional[Event] = None
+    last_t = 0.0
+    tick_index = 0
+
+    def close_state(until_s: float) -> None:
+        nonlocal state_open
+        if state_open is None:
+            return
+        out.append(
+            {
+                "name": state_open.data.get("state", "?"),
+                "cat": "state",
+                "ph": "X",
+                "ts": _us(state_open.t_s),
+                "dur": max(0.0, _us(until_s) - _us(state_open.t_s)),
+                "pid": pid,
+                "tid": TID_STATE,
+                "args": {},
+            }
+        )
+        state_open = None
+
+    for event in log:
+        last_t = max(last_t, event.t_s)
+        name = event.name
+        if name == ev.STATE_TRANSITION:
+            close_state(event.t_s)
+            state_open = event
+        elif name in (ev.BACKUP_START, ev.RESTORE_START):
+            op_open[name.split(".", 1)[0]] = event
+        elif name in (ev.BACKUP_COMMIT, ev.BACKUP_FAIL,
+                      ev.RESTORE_COMMIT, ev.RESTORE_FAIL):
+            kind = name.split(".", 1)[0]
+            start = op_open.pop(kind, event)
+            out.append(
+                {
+                    "name": kind,
+                    "cat": "ops",
+                    "ph": "X",
+                    "ts": _us(start.t_s),
+                    "dur": max(_us(event.t_s) - _us(start.t_s),
+                               _us(event.data.get("time_s", 0.0))),
+                    "pid": pid,
+                    "tid": TID_OPS,
+                    "args": {**event.data, "outcome": name.split(".", 1)[1]},
+                }
+            )
+        elif name == ev.OUTAGE_BEGIN:
+            outage_open = event
+        elif name == ev.OUTAGE_END:
+            start_s = outage_open.t_s if outage_open is not None else event.t_s
+            outage_open = None
+            out.append(
+                {
+                    "name": "outage",
+                    "cat": "supply",
+                    "ph": "X",
+                    "ts": _us(start_s),
+                    "dur": max(0.0, _us(event.t_s) - _us(start_s)),
+                    "pid": pid,
+                    "tid": TID_OUTAGE,
+                    "args": event.data,
+                }
+            )
+        elif name == ev.TICK:
+            if "energy_j" in event.data and tick_index % counter_decimation == 0:
+                out.append(
+                    {
+                        "name": "stored energy",
+                        "cat": "energy",
+                        "ph": "C",
+                        "ts": _us(event.t_s),
+                        "pid": pid,
+                        "tid": TID_STATE,
+                        "args": {"energy_j": event.data["energy_j"]},
+                    }
+                )
+            tick_index += 1
+        if name in _INSTANT_EVENTS:
+            out.append(
+                {
+                    "name": name,
+                    "cat": "event",
+                    "ph": "i",
+                    "ts": _us(event.t_s),
+                    "pid": pid,
+                    "tid": TID_POLICY,
+                    "s": "t",
+                    "args": event.data,
+                }
+            )
+
+    # Close any span still open at the end of the recording.
+    close_state(last_t)
+    if outage_open is not None:
+        out.append(
+            {
+                "name": "outage",
+                "cat": "supply",
+                "ph": "X",
+                "ts": _us(outage_open.t_s),
+                "dur": max(0.0, _us(last_t) - _us(outage_open.t_s)),
+                "pid": pid,
+                "tid": TID_OUTAGE,
+                "args": {},
+            }
+        )
+    return out
+
+
+def write_chrome_trace(
+    log: Iterable[Event],
+    path: str,
+    process_name: str = "nvpsim",
+    counter_decimation: int = 10,
+) -> int:
+    """Write a Chrome trace JSON file; returns the trace-event count."""
+    trace = chrome_trace(
+        log, process_name=process_name, counter_decimation=counter_decimation
+    )
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": trace, "displayTimeUnit": "ms"}, handle)
+    return len(trace)
+
+
+#: Keys every Chrome trace event must carry.
+REQUIRED_TRACE_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def load_chrome_trace(path: str) -> List[Dict]:
+    """Load and schema-check a Chrome trace JSON file.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) and the
+    bare-array form.
+
+    Raises:
+        ValueError: if an event is missing a required key, a duration
+            event lacks ``dur``, or timestamps are negative.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    trace = payload["traceEvents"] if isinstance(payload, dict) else payload
+    for index, event in enumerate(trace):
+        for key in REQUIRED_TRACE_KEYS:
+            if key == "ts" and event.get("ph") == "M":
+                continue
+            if key not in event:
+                raise ValueError(f"trace event {index} missing {key!r}: {event}")
+        if event["ph"] == "X":
+            if "dur" not in event:
+                raise ValueError(f"duration event {index} missing 'dur'")
+            if event["dur"] < 0:
+                raise ValueError(f"duration event {index} has negative dur")
+        if event.get("ts", 0) < 0:
+            raise ValueError(f"trace event {index} has negative ts")
+    return trace
+
+
+def write_events_jsonl(log: Iterable[Event], path: str) -> int:
+    """Write one JSON object per event; returns the line count."""
+    count = 0
+    with open(path, "w") as handle:
+        for event in log:
+            handle.write(json.dumps(event.to_dict()))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_events_jsonl(path: str) -> EventLog:
+    """Load a JSONL event file back into an :class:`EventLog`."""
+    log = EventLog()
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            name = record.pop("name")
+            t_s = record.pop("t_s")
+            seq = record.pop("seq")
+            log.append(Event(name, t_s, seq, record))
+    return log
+
+
+def write_metrics_csv(registry: MetricsRegistry, path: str) -> int:
+    """Dump every metric series to CSV; returns the data-row count."""
+    rows = registry.rows()
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["kind", "name", "labels", "field", "value"])
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)

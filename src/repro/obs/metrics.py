@@ -1,0 +1,326 @@
+"""Metrics registry: counters, gauges, histograms with labeled series.
+
+Prometheus-flavoured but dependency-free.  A metric is registered once
+on a :class:`MetricsRegistry` with a fixed label-name tuple; each
+distinct label-value combination owns an independent series::
+
+    registry = MetricsRegistry()
+    backups = registry.counter("backups", "committed backups", labels=("platform",))
+    backups.labels(platform="nvp").inc()
+
+Gauges may wrap a callback so live values (stored energy, capacitor
+voltage) are sampled only when the registry is read, keeping the
+simulation hot path untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+LabelValues = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets (seconds-ish / generic magnitudes).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, math.inf
+)
+
+
+def _label_key(label_names: Tuple[str, ...], values: Dict[str, str]) -> LabelValues:
+    if set(values) != set(label_names):
+        raise ValueError(
+            f"expected labels {label_names}, got {tuple(sorted(values))}"
+        )
+    return tuple((name, str(values[name])) for name in label_names)
+
+
+class _Metric:
+    """Shared series bookkeeping for all metric kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str, label_names: Tuple[str, ...]) -> None:
+        if not name or not name.replace("_", "").replace(".", "").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._series: Dict[LabelValues, object] = {}
+
+    def labels(self, **values: str):
+        """The child series for one label-value combination."""
+        if not self.label_names:
+            raise ValueError(f"metric {self.name!r} takes no labels")
+        key = _label_key(self.label_names, values)
+        child = self._series.get(key)
+        if child is None:
+            child = self._new_child()
+            self._series[key] = child
+        return child
+
+    def _default_child(self):
+        """The implicit unlabeled series."""
+        if self.label_names:
+            raise ValueError(f"metric {self.name!r} requires labels {self.label_names}")
+        child = self._series.get(())
+        if child is None:
+            child = self._new_child()
+            self._series[()] = child
+        return child
+
+    def _new_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def series(self) -> Dict[LabelValues, object]:
+        """All label combinations and their series objects."""
+        return dict(self._series)
+
+    def rows(self) -> List[Tuple[str, str, str, str, float]]:
+        """Flat ``(kind, name, labels, field, value)`` rows."""
+        out: List[Tuple[str, str, str, str, float]] = []
+        for key, child in sorted(self._series.items()):
+            label_text = ",".join(f"{k}={v}" for k, v in key)
+            for field, value in child.fields():
+                out.append((self.kind, self.name, label_text, field, value))
+        return out
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def fields(self) -> List[Tuple[str, float]]:
+        return [("value", self.value)]
+
+
+class Counter(_Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _GaugeChild:
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self, fn: Optional[Callable[[], float]] = None) -> None:
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError("callback gauge cannot be set directly")
+        self._value = float(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+    def fields(self) -> List[Tuple[str, float]]:
+        return [("value", self.value)]
+
+
+class Gauge(_Metric):
+    """Point-in-time value; optionally computed by a callback."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        self._fn = fn
+        if fn is not None and not label_names:
+            self._series[()] = _GaugeChild(fn)
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._default_child().set_function(fn)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _HistogramChild:
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket upper bounds."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, n in enumerate(self.counts):
+            seen += n
+            if seen >= target:
+                bound = self.buckets[index]
+                return bound if math.isfinite(bound) else self.sum / self.count
+        return self.buckets[-2] if len(self.buckets) > 1 else 0.0
+
+    def fields(self) -> List[Tuple[str, float]]:
+        rows: List[Tuple[str, float]] = [("sum", self.sum), ("count", self.count)]
+        cumulative = 0
+        for bound, n in zip(self.buckets, self.counts):
+            cumulative += n
+            label = "le_inf" if math.isinf(bound) else f"le_{bound:g}"
+            rows.append((label, cumulative))
+        return rows
+
+
+class Histogram(_Metric):
+    """Bucketed distribution of observed values."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("need at least one bucket")
+        if not math.isinf(bounds[-1]):
+            bounds = bounds + (math.inf,)
+        self.buckets = bounds
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._default_child().count
+
+    @property
+    def sum(self) -> float:
+        return self._default_child().sum
+
+
+class MetricsRegistry:
+    """Owns every metric of one run; the unit the exporters consume.
+
+    Re-registering a name returns the existing metric when the kind
+    and labels match (so independent components can share a metric)
+    and raises otherwise.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if (
+                existing.kind != metric.kind
+                or existing.label_names != metric.label_names
+            ):
+                raise ValueError(
+                    f"metric {metric.name!r} already registered as "
+                    f"{existing.kind}{existing.label_names}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help, tuple(labels)))  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        return self._register(Gauge(name, help, tuple(labels), fn=fn))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help, tuple(labels), buckets))  # type: ignore[return-value]
+
+    def get(self, name: str) -> _Metric:
+        """Look up a registered metric.
+
+        Raises:
+            KeyError: for an unknown name.
+        """
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def rows(self) -> List[Tuple[str, str, str, str, float]]:
+        """Every series of every metric as flat CSV-ready rows."""
+        out: List[Tuple[str, str, str, str, float]] = []
+        for name in sorted(self._metrics):
+            out.extend(self._metrics[name].rows())
+        return out
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """``{metric: {"labels|field": value}}`` view for assertions."""
+        view: Dict[str, Dict[str, float]] = {}
+        for kind, name, labels, field, value in self.rows():
+            del kind
+            view.setdefault(name, {})[f"{labels}|{field}" if labels else field] = value
+        return view

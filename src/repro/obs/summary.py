@@ -1,0 +1,124 @@
+"""Live run summary: the subscriber behind ``repro observe``.
+
+Tallies the event stream as it happens — event counts, per-state tick
+counts (duty cycle), backup/restore success rates — and can print
+interim progress lines at a fixed simulated-time interval, so a long
+run shows signs of life before the final table.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional, TextIO
+
+from repro.obs import events as ev
+from repro.obs.events import Event, EventBus
+
+
+class LiveSummary:
+    """Streaming aggregation of one simulation's event feed.
+
+    Args:
+        interval_s: print a progress line every N simulated seconds
+            (None disables interim output).
+        stream: where progress lines go (default stdout).
+    """
+
+    def __init__(
+        self,
+        interval_s: Optional[float] = None,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        if interval_s is not None and interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.interval_s = interval_s
+        self.stream = stream if stream is not None else sys.stdout
+        self.counts: Dict[str, int] = {}
+        self.state_ticks: Dict[str, int] = {}
+        self.instructions = 0
+        self.last_t_s = 0.0
+        self._next_report_s = interval_s
+
+    # -- subscription -------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "LiveSummary":
+        """Subscribe to everything on ``bus``; returns self."""
+        bus.subscribe(self.on_event)
+        return self
+
+    def on_event(self, event: Event) -> None:
+        self.counts[event.name] = self.counts.get(event.name, 0) + 1
+        self.last_t_s = max(self.last_t_s, event.t_s)
+        if event.name == ev.TICK:
+            state = event.data.get("state", "?")
+            self.state_ticks[state] = self.state_ticks.get(state, 0) + 1
+            self.instructions += event.data.get("instructions", 0)
+            if (
+                self._next_report_s is not None
+                and event.t_s >= self._next_report_s
+            ):
+                self._next_report_s += self.interval_s
+                print(self.progress_line(), file=self.stream)
+
+    # -- derived statistics -------------------------------------------------
+
+    @property
+    def total_ticks(self) -> int:
+        return sum(self.state_ticks.values())
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of observed ticks spent executing."""
+        total = self.total_ticks
+        return self.state_ticks.get("run", 0) / total if total else 0.0
+
+    @property
+    def backup_success_rate(self) -> float:
+        """Committed / attempted backups (1.0 when none attempted)."""
+        ok = self.counts.get(ev.BACKUP_COMMIT, 0)
+        fail = self.counts.get(ev.BACKUP_FAIL, 0)
+        return ok / (ok + fail) if (ok + fail) else 1.0
+
+    @property
+    def restore_success_rate(self) -> float:
+        """Committed / attempted restores (1.0 when none attempted)."""
+        ok = self.counts.get(ev.RESTORE_COMMIT, 0)
+        fail = self.counts.get(ev.RESTORE_FAIL, 0)
+        return ok / (ok + fail) if (ok + fail) else 1.0
+
+    @property
+    def outages(self) -> int:
+        return self.counts.get(ev.OUTAGE_BEGIN, 0)
+
+    # -- rendering ----------------------------------------------------------
+
+    def progress_line(self) -> str:
+        """One-line interim status."""
+        return (
+            f"[{self.last_t_s:7.3f}s] duty={self.duty_cycle:.1%} "
+            f"backups={self.counts.get(ev.BACKUP_COMMIT, 0)} "
+            f"restores={self.counts.get(ev.RESTORE_COMMIT, 0)} "
+            f"outages={self.outages} "
+            f"instr={self.instructions}"
+        )
+
+    def render(self) -> str:
+        """The final summary table."""
+        lines = [
+            f"simulated time     : {self.last_t_s:.3f} s",
+            f"duty cycle         : {self.duty_cycle:.1%}",
+            f"backup success     : {self.backup_success_rate:.1%} "
+            f"({self.counts.get(ev.BACKUP_COMMIT, 0)} ok, "
+            f"{self.counts.get(ev.BACKUP_FAIL, 0)} failed)",
+            f"restore success    : {self.restore_success_rate:.1%} "
+            f"({self.counts.get(ev.RESTORE_COMMIT, 0)} ok, "
+            f"{self.counts.get(ev.RESTORE_FAIL, 0)} failed)",
+            f"outages observed   : {self.outages}",
+            f"instructions       : {self.instructions}",
+            "event counts       :",
+        ]
+        for name in sorted(self.counts):
+            if name == ev.TICK:
+                continue
+            lines.append(f"  {name:22s} {self.counts[name]:>8d}")
+        return "\n".join(lines)

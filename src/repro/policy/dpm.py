@@ -56,7 +56,11 @@ class EnergyBandGovernor:
     """
 
     def __init__(
-        self, band_lo_j: float, band_hi_j: float, slowdown: float = 0.2
+        self,
+        band_lo_j: float,
+        band_hi_j: float,
+        slowdown: float = 0.2,
+        bus=None,
     ) -> None:
         if band_lo_j < 0 or band_hi_j <= band_lo_j:
             raise ValueError("need 0 <= band_lo < band_hi")
@@ -65,8 +69,10 @@ class EnergyBandGovernor:
         self.band_lo_j = band_lo_j
         self.band_hi_j = band_hi_j
         self.slowdown = slowdown
+        self.bus = bus
         self.throttled_ticks = 0
         self.full_ticks = 0
+        self._throttling = False
 
     @classmethod
     def for_capacitor(
@@ -75,17 +81,30 @@ class EnergyBandGovernor:
         lo_frac: float = 0.5,
         hi_frac: float = 1.2,
         slowdown: float = 0.2,
+        bus=None,
     ) -> "EnergyBandGovernor":
         """Build a governor from a capacitor's efficiency curve."""
         lo, hi = efficient_band(capacitor, lo_frac, hi_frac)
-        return cls(lo, hi, slowdown)
+        return cls(lo, hi, slowdown, bus=bus)
 
     def __call__(self, energy_j: float, plan: ThresholdPlan, dt_s: float) -> float:
         del dt_s
         # Never throttle below the operational floor: the NVP must be
         # able to reach its backup threshold normally.
         floor = max(self.band_lo_j, plan.backup_threshold_j)
-        if energy_j < floor:
+        throttle = energy_j < floor
+        if throttle != self._throttling:
+            # Decision events fire on state changes, not per tick.
+            self._throttling = throttle
+            if self.bus is not None:
+                self.bus.emit(
+                    "policy.decision",
+                    policy="energy-band",
+                    action="throttle" if throttle else "full-speed",
+                    fraction=self.slowdown if throttle else 1.0,
+                    energy_j=energy_j,
+                )
+        if throttle:
             self.throttled_ticks += 1
             return self.slowdown
         self.full_ticks += 1

@@ -55,7 +55,8 @@ class PowerAwareFrequencyPolicy:
     income is nearest (log-scale) to the sample.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, bus=None) -> None:
+        self.bus = bus
         self._incomes_w: List[float] = []
         self._frequencies_hz: List[float] = []
 
@@ -83,7 +84,15 @@ class PowerAwareFrequencyPolicy:
             raise ValueError("income must be positive")
         log_incomes = np.log(np.asarray(self._incomes_w))
         index = int(np.argmin(np.abs(log_incomes - np.log(income_w))))
-        return self._frequencies_hz[index]
+        chosen = self._frequencies_hz[index]
+        if self.bus is not None:
+            self.bus.emit(
+                "policy.decision",
+                policy="freq-scale",
+                income_w=income_w,
+                frequency_hz=chosen,
+            )
+        return chosen
 
     def recommend_for_trace(self, trace: PowerTrace) -> float:
         """Recommended clock for a trace (uses its mean power)."""

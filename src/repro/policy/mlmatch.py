@@ -55,10 +55,11 @@ class ConfigMatcher:
         k: neighbours consulted per prediction.
     """
 
-    def __init__(self, k: int = 3) -> None:
+    def __init__(self, k: int = 3, bus=None) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
         self.k = k
+        self.bus = bus
         self._features: np.ndarray | None = None
         self._labels: np.ndarray | None = None
         self._scale: np.ndarray | None = None
@@ -92,7 +93,15 @@ class ConfigMatcher:
         k = min(self.k, len(distances))
         nearest = np.argsort(distances)[:k]
         votes = np.bincount(self._labels[nearest])
-        return int(np.argmax(votes))
+        chosen = int(np.argmax(votes))
+        if self.bus is not None:
+            self.bus.emit(
+                "policy.decision",
+                policy="ml-match",
+                config_index=chosen,
+                neighbours=int(k),
+            )
+        return chosen
 
     def predict_trace(
         self, trace: PowerTrace, threshold_w: float = DEFAULT_THRESHOLD_W

@@ -224,6 +224,31 @@ class Capacitor:
         self.total_delivered_j += drawn
         return drawn
 
+    # -- observability -------------------------------------------------------
+
+    def bind_gauges(self, registry, platform: str = "storage") -> None:
+        """Register callback gauges on a metrics registry.
+
+        The gauges sample this capacitor lazily when the registry is
+        read — the simulation hot path is untouched.  Covers the live
+        state (energy, voltage, state of charge) and the cumulative
+        energy ledger (charged / delivered / leaked / wasted).
+        """
+        live = {
+            "storage_energy_j": lambda: self._energy_j,
+            "storage_voltage_v": lambda: self.voltage_v,
+            "storage_state_of_charge": lambda: self.state_of_charge,
+            "storage_charged_total_j": lambda: self.total_charged_j,
+            "storage_delivered_total_j": lambda: self.total_delivered_j,
+            "storage_leaked_total_j": lambda: self.total_leaked_j,
+            "storage_wasted_total_j": lambda: self.total_wasted_j,
+        }
+        for name, fn in live.items():
+            gauge = registry.gauge(
+                name, f"capacitor {name}", labels=("platform",)
+            )
+            gauge.labels(platform=platform).set_function(fn)
+
     def __repr__(self) -> str:
         return (
             f"Capacitor(C={self.capacitance_f * 1e6:.3g}uF, "

@@ -16,8 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Protocol, runtime_checkable
 
+from repro.harvest.outage import DEFAULT_THRESHOLD_W, OutageTracker
 from repro.harvest.rectifier import Rectifier
 from repro.harvest.traces import PowerTrace
+from repro.obs import events as ev
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
 from repro.system.result import SimulationResult
 
 
@@ -62,7 +66,18 @@ class SystemSimulator:
         stop_when_finished: end the simulation as soon as the workload
             completes.
         telemetry: optional :class:`~repro.system.telemetry.Telemetry`
-            recorder capturing the per-tick time series.
+            recorder capturing the per-tick time series (subscribed to
+            the event bus; one is created when none was given).
+        bus: optional :class:`~repro.obs.events.EventBus`.  The
+            simulator stamps the bus clock each tick and publishes
+            lifecycle, state-transition, outage, and per-tick events;
+            the platform (if it exposes a ``bus`` attribute) publishes
+            its own backup/restore/policy events on the same bus.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            run aggregates (state seconds, energy, platform counters)
+            are published into it after the run, labeled by platform.
+        outage_threshold_w: operating threshold for live outage events
+            (only used when a bus is attached).
     """
 
     def __init__(
@@ -72,12 +87,29 @@ class SystemSimulator:
         rectifier: Optional[Rectifier] = None,
         stop_when_finished: bool = True,
         telemetry=None,
+        bus: Optional[EventBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        outage_threshold_w: float = DEFAULT_THRESHOLD_W,
     ) -> None:
         self.trace = trace
         self.platform = platform
         self.rectifier = rectifier
         self.stop_when_finished = stop_when_finished
+        if telemetry is not None and bus is None:
+            bus = EventBus()
+        self.bus = bus
+        self.metrics = metrics
+        self.outage_threshold_w = outage_threshold_w
         self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.subscribe_to(bus)
+        if bus is not None and getattr(platform, "bus", None) is None:
+            # Platforms that know the bus protocol pick it up here, so
+            # presets and call sites need no extra plumbing.
+            try:
+                platform.bus = bus  # type: ignore[attr-defined]
+            except AttributeError:  # pragma: no cover - frozen platforms
+                pass
 
     def run(self) -> SimulationResult:
         """Execute the full trace (or until completion) and aggregate."""
@@ -87,6 +119,22 @@ class SystemSimulator:
         ticks_run = 0
         completion_time: Optional[float] = None
 
+        bus = self.bus
+        platform = self.platform
+        outages: Optional[OutageTracker] = None
+        storage = getattr(platform, "storage", None)
+        last_state: Optional[str] = None
+        if bus is not None:
+            outages = OutageTracker(self.outage_threshold_w, bus)
+            bus.emit(
+                ev.SIM_BEGIN,
+                0.0,
+                label=platform.label,
+                ticks=len(self.trace.samples_w),
+                dt_s=dt,
+            )
+        want_ticks = bus is not None and bus.wants(ev.TICK)
+
         for index, p_raw in enumerate(self.trace.samples_w):
             p_in = (
                 self.rectifier.output_power(float(p_raw))
@@ -94,15 +142,45 @@ class SystemSimulator:
                 else float(p_raw)
             )
             harvested += p_in * dt
-            report = self.platform.tick(p_in, dt)
+            if bus is not None:
+                t_now = index * dt
+                bus.now_s = t_now
+                outages.update(p_in, t_now)
+            report = platform.tick(p_in, dt)
             state_time[report.state] = state_time.get(report.state, 0.0) + dt
             ticks_run = index + 1
-            if self.telemetry is not None:
-                self.telemetry.record(index * dt, report, self.platform)
-            if self.platform.finished and completion_time is None:
+            if bus is not None:
+                if report.state != last_state:
+                    bus.emit(
+                        ev.STATE_TRANSITION, state=report.state, prev=last_state
+                    )
+                    last_state = report.state
+                if want_ticks:
+                    bus.emit(
+                        ev.TICK,
+                        state=report.state,
+                        instructions=report.instructions,
+                        energy_j=(
+                            float(storage.energy_j)
+                            if storage is not None
+                            else 0.0
+                        ),
+                    )
+            if platform.finished and completion_time is None:
                 completion_time = ticks_run * dt
                 if self.stop_when_finished:
                     break
+
+        if bus is not None:
+            end_t = ticks_run * dt
+            bus.now_s = end_t
+            outages.finish(end_t)
+            bus.emit(
+                ev.SIM_END,
+                end_t,
+                completed=platform.finished,
+                ticks=ticks_run,
+            )
 
         stats = self.platform.stats()
         result = SimulationResult(
@@ -130,4 +208,50 @@ class SystemSimulator:
             if key in stats:
                 setattr(result, key, float(stats.pop(key)))
         result.extras = {k: float(v) for k, v in stats.items()}
+        if self.metrics is not None:
+            self._publish_metrics(result)
         return result
+
+    def _publish_metrics(self, result: SimulationResult) -> None:
+        """Push run aggregates into the attached metrics registry."""
+        registry = self.metrics
+        label = result.label
+        state_time = registry.counter(
+            "sim_state_seconds", "seconds per platform state",
+            labels=("platform", "state"),
+        )
+        for state, seconds in result.state_time_s.items():
+            state_time.labels(platform=label, state=state).inc(seconds)
+        energy = registry.counter(
+            "sim_energy_joules", "energy by flow",
+            labels=("platform", "flow"),
+        )
+        for flow, joules in (
+            ("harvested", result.harvested_j),
+            ("consumed", result.consumed_j),
+            ("backup", result.backup_energy_j),
+            ("restore", result.restore_energy_j),
+        ):
+            energy.labels(platform=label, flow=flow).inc(joules)
+        ops = registry.counter(
+            "sim_operations", "platform operation counts",
+            labels=("platform", "op"),
+        )
+        for op in (
+            "backups", "restores", "failed_backups", "failed_restores",
+            "rollbacks",
+        ):
+            ops.labels(platform=label, op=op).inc(getattr(result, op))
+        progress = registry.counter(
+            "sim_instructions", "instruction accounting",
+            labels=("platform", "kind"),
+        )
+        for kind, value in (
+            ("forward_progress", result.forward_progress),
+            ("total_executed", result.total_executed),
+            ("lost", result.lost_instructions),
+        ):
+            progress.labels(platform=label, kind=kind).inc(value)
+        storage = getattr(self.platform, "storage", None)
+        if storage is not None and hasattr(storage, "bind_gauges"):
+            storage.bind_gauges(registry, platform=label)

@@ -1,10 +1,15 @@
 """Per-tick telemetry recording for simulations.
 
-A :class:`Telemetry` object plugged into
-:class:`~repro.system.simulator.SystemSimulator` captures the time
-series behind the summary numbers — platform state, stored energy,
-instructions per tick — optionally decimated.  This is what you plot
-to reproduce the "timing-based behaviour" strips NVP papers show.
+A :class:`Telemetry` object captures the time series behind the
+summary numbers — platform state, stored energy, instructions per
+tick — optionally decimated.  This is what you plot to reproduce the
+"timing-based behaviour" strips NVP papers show.
+
+Telemetry is an ordinary subscriber of the observability event bus:
+:class:`~repro.system.simulator.SystemSimulator` publishes one
+``sim.tick`` event per tick and the recorder listens
+(:meth:`Telemetry.subscribe_to`).  Passing ``telemetry=`` to the
+simulator still works and wires the subscription up internally.
 """
 
 from __future__ import annotations
@@ -14,14 +19,16 @@ from typing import Dict, List
 
 import numpy as np
 
-#: Compact state encoding for the recorded series.
+#: Compact state encoding for the recorded series.  ``charge`` (a
+#: volatile baseline trickle-charging its reservoir) is distinct from
+#: ``off`` (dead) so duty-cycle strips can tell the two apart.
 STATE_CODES: Dict[str, int] = {
     "off": 0,
-    "charge": 0,
     "restore": 1,
     "run": 2,
     "backup": 3,
     "done": 4,
+    "charge": 5,
 }
 
 
@@ -45,17 +52,42 @@ class Telemetry:
             raise ValueError("decimation must be >= 1")
 
     def record(self, time_s: float, report, platform) -> None:
-        """Capture one tick (called by the simulator)."""
+        """Capture one tick directly (legacy entry point)."""
+        storage = getattr(platform, "storage", None)
+        self._sample(
+            time_s,
+            report.state,
+            float(storage.energy_j) if storage is not None else 0.0,
+            report.instructions,
+        )
+
+    def subscribe_to(self, bus) -> "Telemetry":
+        """Listen for ``sim.tick`` events on a bus; returns self."""
+        from repro.obs import events as ev
+
+        bus.subscribe(self.on_event, names=(ev.TICK,))
+        return self
+
+    def on_event(self, event) -> None:
+        """Bus subscriber: capture one ``sim.tick`` event."""
+        data = event.data
+        self._sample(
+            event.t_s,
+            data.get("state", "?"),
+            data.get("energy_j", 0.0),
+            data.get("instructions", 0),
+        )
+
+    def _sample(
+        self, time_s: float, state: str, energy_j: float, instructions: int
+    ) -> None:
         self._tick += 1
         if (self._tick - 1) % self.decimation != 0:
             return
         self.times_s.append(time_s)
-        self.states.append(STATE_CODES.get(report.state, -1))
-        storage = getattr(platform, "storage", None)
-        self.energies_j.append(
-            float(storage.energy_j) if storage is not None else 0.0
-        )
-        self.instructions.append(report.instructions)
+        self.states.append(STATE_CODES.get(state, -1))
+        self.energies_j.append(energy_j)
+        self.instructions.append(instructions)
 
     # -- analysis helpers ----------------------------------------------------
 
@@ -115,16 +147,17 @@ class Telemetry:
     def render_strip(self, width: int = 72) -> str:
         """ASCII timing strip of the recorded behaviour.
 
-        Renders the state sequence (``.`` off/charging, ``R`` restore,
-        ``#`` run, ``B`` backup, ``=`` done) and a stored-energy
-        sparkline, both resampled to ``width`` columns — the textual
-        equivalent of the timing-behaviour strips NVP papers plot.
+        Renders the state sequence (``.`` off, ``~`` charging, ``R``
+        restore, ``#`` run, ``B`` backup, ``=`` done) and a
+        stored-energy sparkline, both resampled to ``width`` columns —
+        the textual equivalent of the timing-behaviour strips NVP
+        papers plot.
         """
         if width < 2:
             raise ValueError("width must be at least 2")
         if not self.states:
             return "(no telemetry recorded)"
-        glyphs = {0: ".", 1: "R", 2: "#", 3: "B", 4: "=", -1: "?"}
+        glyphs = {0: ".", 1: "R", 2: "#", 3: "B", 4: "=", 5: "~", -1: "?"}
         states = self.state_series()
         energy = self.energy_series()
         columns = np.array_split(np.arange(len(states)), min(width, len(states)))
@@ -157,5 +190,5 @@ class Telemetry:
             f"state : {''.join(state_line)}\n"
             f"energy: {''.join(energy_line)}\n"
             f"        0s{' ' * (len(state_line) - 6)}{duration:.3g}s\n"
-            "        (. off, R restore, # run, B backup, = done)"
+            "        (. off, ~ charge, R restore, # run, B backup, = done)"
         )

@@ -1,0 +1,159 @@
+"""Tests for the observability event bus."""
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.events import Event, EventBus, EventLog
+
+
+class TestEmitAndSubscribe:
+    def test_emit_without_subscribers_returns_none(self):
+        bus = EventBus()
+        assert bus.emit(ev.BACKUP_COMMIT, 1.0, energy_j=1e-9) is None
+
+    def test_subscriber_receives_event(self):
+        bus = EventBus()
+        log = bus.record()
+        event = bus.emit(ev.WAKE, 0.5, cold=True)
+        assert event is not None
+        assert len(log) == 1
+        assert log[0].name == ev.WAKE
+        assert log[0].t_s == 0.5
+        assert log[0].data == {"cold": True}
+
+    def test_named_subscription_filters(self):
+        bus = EventBus()
+        log = bus.record(names=(ev.BACKUP_COMMIT,))
+        bus.emit(ev.BACKUP_COMMIT, 0.0)
+        bus.emit(ev.RESTORE_COMMIT, 0.0)
+        assert log.names() == [ev.BACKUP_COMMIT]
+
+    def test_wants_reflects_subscriptions(self):
+        bus = EventBus()
+        assert not bus.enabled
+        assert not bus.wants(ev.TICK)
+        bus.record(names=(ev.TICK,))
+        assert bus.enabled
+        assert bus.wants(ev.TICK)
+        assert not bus.wants(ev.WAKE)
+
+    def test_all_subscriber_wants_everything(self):
+        bus = EventBus()
+        bus.record()
+        assert bus.wants(ev.TICK) and bus.wants(ev.WAKE)
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(log.append)
+        bus.unsubscribe(log.append)
+        assert not bus.enabled
+        bus.emit(ev.WAKE, 0.0)
+        assert len(log) == 0
+
+    def test_bus_clock_stamps_events(self):
+        bus = EventBus()
+        log = bus.record()
+        bus.now_s = 1.25
+        bus.emit(ev.WAKE)
+        assert log[0].t_s == 1.25
+
+
+class TestOrdering:
+    def test_sequence_numbers_are_monotonic(self):
+        bus = EventBus()
+        log = bus.record()
+        for _ in range(10):
+            bus.emit(ev.BACKUP_START)
+            bus.emit(ev.BACKUP_COMMIT)
+        seqs = [event.seq for event in log]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_same_timestamp_events_keep_emit_order(self):
+        bus = EventBus()
+        log = bus.record()
+        bus.now_s = 2.0
+        bus.emit(ev.BACKUP_START)
+        bus.emit(ev.BACKUP_COMMIT)
+        assert log.names() == [ev.BACKUP_START, ev.BACKUP_COMMIT]
+        assert log[0].seq < log[1].seq
+
+
+class TestDisabledOverhead:
+    def test_no_event_constructed_without_subscribers(self, monkeypatch):
+        """The disabled hot path must not allocate Event objects."""
+        def explode(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("Event constructed on disabled bus")
+
+        monkeypatch.setattr(ev, "Event", explode)
+        bus = EventBus()
+        for _ in range(1000):
+            bus.emit(ev.TICK, state="run", instructions=3, energy_j=1e-6)
+
+    def test_unwanted_name_not_constructed(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise AssertionError("Event constructed for unwanted name")
+
+        bus = EventBus()
+        bus.record(names=(ev.WAKE,))
+        monkeypatch.setattr(ev, "Event", explode)
+        bus.emit(ev.TICK, state="run")
+
+
+class TestEventLog:
+    def make_log(self):
+        bus = EventBus()
+        log = bus.record()
+        bus.emit(ev.OUTAGE_BEGIN, 0.1)
+        bus.emit(ev.OUTAGE_END, 0.2, duration_s=0.1)
+        bus.emit(ev.BACKUP_COMMIT, 0.3)
+        bus.emit(ev.OUTAGE_BEGIN, 0.4)
+        return log
+
+    def test_counts(self):
+        counts = self.make_log().counts()
+        assert counts[ev.OUTAGE_BEGIN] == 2
+        assert counts[ev.BACKUP_COMMIT] == 1
+
+    def test_filter(self):
+        filtered = self.make_log().filter(ev.OUTAGE_BEGIN, ev.OUTAGE_END)
+        assert filtered.names() == [ev.OUTAGE_BEGIN, ev.OUTAGE_END, ev.OUTAGE_BEGIN]
+
+    def test_between(self):
+        window = self.make_log().between(0.15, 0.35)
+        assert window.names() == [ev.OUTAGE_END, ev.BACKUP_COMMIT]
+
+    def test_event_to_dict_roundtrip_fields(self):
+        event = Event(ev.WAKE, 1.5, 3, {"cold": False})
+        record = event.to_dict()
+        assert record == {"name": ev.WAKE, "t_s": 1.5, "seq": 3, "cold": False}
+
+    def test_event_names_registry_is_complete(self):
+        for name in (ev.BACKUP_COMMIT, ev.OUTAGE_BEGIN, ev.POLICY_DECISION,
+                     ev.THRESHOLD_RECOMPUTE, ev.TICK):
+            assert name in ev.EVENT_NAMES
+
+
+class TestValidation:
+    def test_record_returns_live_log(self):
+        bus = EventBus()
+        log = bus.record()
+        assert isinstance(log, EventLog)
+
+    def test_subscribe_returns_callback(self):
+        bus = EventBus()
+        marker = []
+        returned = bus.subscribe(marker.append)
+        assert returned == marker.append
+
+    def test_repr_mentions_name(self):
+        assert "wake" in repr(Event(ev.WAKE, 0.0, 1, {}))
+
+
+@pytest.mark.parametrize("names", [None, (ev.TICK,)])
+def test_multiple_subscribers_all_receive(names):
+    bus = EventBus()
+    logs = [bus.record(names=names) for _ in range(3)]
+    bus.emit(ev.TICK, 0.0, state="run")
+    assert all(len(log) == 1 for log in logs)

@@ -1,0 +1,177 @@
+"""Tests for the exporters (Chrome trace, JSONL, CSV) and run manifest."""
+
+import csv
+import json
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs.events import EventBus
+from repro.obs.export import (
+    REQUIRED_TRACE_KEYS,
+    chrome_trace,
+    load_chrome_trace,
+    read_events_jsonl,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_csv,
+)
+from repro.obs.manifest import RunManifest, git_revision
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_log():
+    """A hand-built event stream covering every exporter code path."""
+    bus = EventBus()
+    log = bus.record()
+    bus.emit(ev.SIM_BEGIN, 0.0, label="nvp", ticks=100, dt_s=1e-4)
+    bus.emit(ev.STATE_TRANSITION, 0.0, state="off", prev=None)
+    bus.emit(ev.OUTAGE_BEGIN, 0.001, threshold_w=33e-6)
+    bus.emit(ev.OUTAGE_END, 0.003, duration_s=0.002)
+    bus.emit(ev.STATE_TRANSITION, 0.004, state="restore", prev="off")
+    bus.emit(ev.RESTORE_START, 0.004, energy_j=1e-9)
+    bus.emit(ev.RESTORE_COMMIT, 0.004, time_s=2e-6, flipped_bits=0)
+    bus.emit(ev.WAKE, 0.004, cold=False)
+    bus.emit(ev.STATE_TRANSITION, 0.005, state="run", prev="restore")
+    for tick in range(5):
+        bus.emit(ev.TICK, 0.005 + tick * 1e-4, state="run",
+                 instructions=3, energy_j=1e-6)
+    bus.emit(ev.BACKUP_START, 0.006, energy_j=2e-9, bits=168, time_s=3e-6)
+    bus.emit(ev.BACKUP_COMMIT, 0.006, energy_j=2e-9, bits=168, time_s=3e-6)
+    bus.emit(ev.STATE_TRANSITION, 0.007, state="off", prev="backup")
+    bus.emit(ev.BACKUP_FAIL, 0.008, needed_j=2e-9, drawn_j=1e-9,
+             lost_instructions=7)
+    bus.emit(ev.SIM_END, 0.01, completed=False, ticks=100)
+    return log
+
+
+class TestChromeTrace:
+    def test_schema_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(make_log(), path)
+        trace = load_chrome_trace(path)
+        assert len(trace) == count
+        for event in trace:
+            for key in REQUIRED_TRACE_KEYS:
+                if key == "ts" and event["ph"] == "M":
+                    continue
+                assert key in event
+
+    def test_state_spans_are_duration_events(self):
+        trace = chrome_trace(make_log())
+        spans = [e for e in trace if e.get("cat") == "state" and e["ph"] == "X"]
+        names = [span["name"] for span in spans]
+        assert names == ["off", "restore", "run", "off"]
+        for span in spans:
+            assert span["dur"] >= 0
+
+    def test_ops_pair_start_with_outcome(self):
+        trace = chrome_trace(make_log())
+        ops = [e for e in trace if e.get("cat") == "ops"]
+        outcomes = {(op["name"], op["args"]["outcome"]) for op in ops}
+        assert ("restore", "commit") in outcomes
+        assert ("backup", "commit") in outcomes
+        assert ("backup", "fail") in outcomes
+
+    def test_outage_span_present_with_duration(self):
+        trace = chrome_trace(make_log())
+        outages = [e for e in trace if e["name"] == "outage"]
+        assert len(outages) == 1
+        assert outages[0]["dur"] == pytest.approx(2000.0)  # 2 ms in us
+
+    def test_counter_events_decimated(self):
+        dense = chrome_trace(make_log(), counter_decimation=1)
+        sparse = chrome_trace(make_log(), counter_decimation=5)
+        dense_counters = [e for e in dense if e["ph"] == "C"]
+        sparse_counters = [e for e in sparse if e["ph"] == "C"]
+        assert len(dense_counters) == 5
+        assert len(sparse_counters) == 1
+
+    def test_sim_time_maps_to_microseconds(self):
+        trace = chrome_trace(make_log())
+        outage = [e for e in trace if e["name"] == "outage"][0]
+        assert outage["ts"] == pytest.approx(1000.0)  # 0.001 s -> 1000 us
+
+    def test_thread_metadata_present(self):
+        trace = chrome_trace(make_log())
+        threads = [e for e in trace if e["name"] == "thread_name"]
+        assert {t["args"]["name"] for t in threads} >= {
+            "platform state", "backup/restore", "supply outages"
+        }
+
+    def test_invalid_decimation_rejected(self):
+        with pytest.raises(ValueError):
+            chrome_trace(make_log(), counter_decimation=0)
+
+    def test_loader_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"name": "x", "ph": "i"}]))
+        with pytest.raises(ValueError):
+            load_chrome_trace(str(path))
+
+    def test_loader_accepts_bare_array(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps(
+            [{"name": "x", "ph": "i", "ts": 0, "pid": 0, "tid": 0}]
+        ))
+        assert len(load_chrome_trace(str(path))) == 1
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = make_log()
+        count = write_events_jsonl(log, path)
+        assert count == len(log)
+        loaded = read_events_jsonl(path)
+        assert loaded.names() == log.names()
+        assert [e.t_s for e in loaded] == [e.t_s for e in log]
+        assert loaded[2].data["threshold_w"] == pytest.approx(33e-6)
+
+    def test_lines_are_valid_json(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(make_log(), str(path))
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert "name" in record and "t_s" in record and "seq" in record
+
+
+class TestMetricsCsv:
+    def test_csv_dump(self, tmp_path):
+        registry = MetricsRegistry()
+        counter = registry.counter("backups", labels=("platform",))
+        counter.labels(platform="nvp").inc(3)
+        registry.gauge("energy").set(1.5)
+        path = str(tmp_path / "metrics.csv")
+        count = write_metrics_csv(registry, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["kind", "name", "labels", "field", "value"]
+        assert len(rows) == count + 1
+        data = {(r[1], r[2]): float(r[4]) for r in rows[1:]}
+        assert data[("backups", "platform=nvp")] == 3.0
+        assert data[("energy", "")] == 1.5
+
+
+class TestManifest:
+    def test_collect_and_write(self, tmp_path):
+        manifest = RunManifest.collect(
+            command="test", seed=7, config={"duration_s": 1.0}, note="hi"
+        )
+        manifest.finish()
+        assert manifest.duration_s is not None and manifest.duration_s >= 0
+        path = str(tmp_path / "manifest.json")
+        manifest.write(path)
+        loaded = RunManifest.read(path)
+        assert loaded.command == "test"
+        assert loaded.seed == 7
+        assert loaded.config == {"duration_s": 1.0}
+        assert loaded.extra == {"note": "hi"}
+        assert loaded.python
+
+    def test_git_revision_inside_repo(self):
+        sha = git_revision()
+        assert sha == "unknown" or len(sha) == 40
+
+    def test_git_revision_outside_repo(self, tmp_path):
+        assert git_revision(cwd=str(tmp_path)) == "unknown"

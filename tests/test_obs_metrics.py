@@ -1,0 +1,156 @@
+"""Tests for the metrics registry (counters, gauges, histograms, labels)."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ticks")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("ticks")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labeled_series_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("backups", labels=("platform",))
+        counter.labels(platform="nvp").inc(3)
+        counter.labels(platform="checkpoint").inc(1)
+        assert counter.labels(platform="nvp").value == 3
+        assert counter.labels(platform="checkpoint").value == 1
+
+    def test_unlabeled_access_on_labeled_metric_raises(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("backups", labels=("platform",))
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_labels_on_unlabeled_metric_raise(self):
+        counter = MetricsRegistry().counter("ticks")
+        with pytest.raises(ValueError):
+            counter.labels(platform="nvp")
+
+    def test_wrong_label_names_raise(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("backups", labels=("platform",))
+        with pytest.raises(ValueError):
+            counter.labels(state="run")
+        with pytest.raises(ValueError):
+            counter.labels(platform="nvp", state="run")
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        gauge = MetricsRegistry().gauge("energy_j")
+        gauge.set(1.5e-6)
+        assert gauge.value == 1.5e-6
+
+    def test_callback_gauge_samples_lazily(self):
+        state = {"value": 0.0}
+        gauge = MetricsRegistry().gauge("energy_j", fn=lambda: state["value"])
+        state["value"] = 42.0
+        assert gauge.value == 42.0
+
+    def test_callback_gauge_cannot_be_set(self):
+        gauge = MetricsRegistry().gauge("energy_j", fn=lambda: 1.0)
+        with pytest.raises(ValueError):
+            gauge.set(2.0)
+
+    def test_labeled_callback_gauge(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("storage_energy_j", labels=("platform",))
+        gauge.labels(platform="nvp").set_function(lambda: 7.0)
+        assert gauge.labels(platform="nvp").value == 7.0
+
+
+class TestHistogram:
+    def test_observe_buckets_and_sum(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("outage_s", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(5.0555)
+
+    def test_bucket_rows_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("outage_s", buckets=(0.001, 0.01))
+        histogram.observe(0.0005)
+        histogram.observe(0.005)
+        rows = {field: value for _, _, _, field, value in histogram.rows()}
+        assert rows["le_0.001"] == 1
+        assert rows["le_0.01"] == 2
+        assert rows["le_inf"] == 2
+
+    def test_infinite_bucket_added_automatically(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0,))
+        assert math.isinf(histogram.buckets[-1])
+
+    def test_quantile_approximation(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            histogram.observe(value)
+        assert histogram._default_child().quantile(0.5) == 2.0
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_reregistration_returns_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("backups", labels=("platform",))
+        second = registry.counter("backups", labels=("platform",))
+        assert first is second
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x", labels=("b",))
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad name!")
+
+    def test_get_and_contains(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        assert "x" in registry
+        assert registry.get("x") is counter
+        with pytest.raises(KeyError):
+            registry.get("missing")
+
+    def test_rows_cover_all_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops", labels=("op",))
+        counter.labels(op="a").inc()
+        counter.labels(op="b").inc(2)
+        registry.gauge("level").set(0.5)
+        rows = registry.rows()
+        names = {(row[1], row[2]) for row in rows}
+        assert ("ops", "op=a") in names
+        assert ("ops", "op=b") in names
+        assert ("level", "") in names
+
+    def test_snapshot_view(self):
+        registry = MetricsRegistry()
+        registry.counter("ticks").inc(5)
+        assert registry.snapshot()["ticks"]["value"] == 5
