@@ -1,0 +1,87 @@
+"""E1 — experiment-engine throughput: parallel speedup and cache hits.
+
+The scaling acceptance for the ``repro.exp`` engine: a 16-point
+capacitor-technology sweep must (a) return bit-identical results under
+``jobs=4`` and serial execution, (b) beat 40% of the serial wall time
+on a >= 4-core machine, and (c) re-run with zero simulations executed
+— every point served from the content-addressed cache.
+"""
+
+import os
+import tempfile
+
+from repro.exp import ExperimentSpec, ResultCache, SweepRunner
+
+from common import bench_base, print_header, publish_table
+
+PARALLEL_JOBS = 4
+
+#: 16 points: 8 capacitances x 2 NVM technologies.
+CAPACITANCES_F = [22e-9, 68e-9, 150e-9, 330e-9, 470e-9, 1e-6, 2.2e-6, 10e-6]
+TECHNOLOGIES = ["FeRAM", "ReRAM"]
+
+
+def build_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="exp_engine_accept",
+        description="16-point capacitor x technology grid",
+        base=bench_base(),
+        axes={
+            "capacitance_f": CAPACITANCES_F,
+            "nvp.technology": TECHNOLOGIES,
+        },
+    )
+
+
+def run_experiment():
+    spec = build_spec()
+    configs = spec.expand()
+    assert len(configs) == 16
+
+    serial = SweepRunner(jobs=1).run(configs).raise_on_failure()
+    with tempfile.TemporaryDirectory(prefix="repro-exp-bench-") as root:
+        cache = ResultCache(root)
+        parallel = SweepRunner(
+            jobs=PARALLEL_JOBS, cache=cache
+        ).run(configs).raise_on_failure()
+        rerun = SweepRunner(
+            jobs=PARALLEL_JOBS, cache=cache
+        ).run(configs).raise_on_failure()
+    return serial, parallel, rerun
+
+
+def test_exp_engine_parallel_and_cached(benchmark):
+    serial, parallel, rerun = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    print_header(
+        "E1", "experiment engine: 16-point sweep, serial vs jobs=4 vs cached"
+    )
+    speedup = serial.wall_s / max(parallel.wall_s, 1e-9)
+    rows = [
+        ["serial (jobs=1)", serial.executed, serial.cached,
+         serial.wall_s, 1.0],
+        [f"parallel (jobs={PARALLEL_JOBS})", parallel.executed,
+         parallel.cached, parallel.wall_s, speedup],
+        ["re-run (cached)", rerun.executed, rerun.cached,
+         rerun.wall_s, serial.wall_s / max(rerun.wall_s, 1e-9)],
+    ]
+    publish_table(["pass", "executed", "cached", "wall s", "speedup"], rows)
+    cores = os.cpu_count() or 1
+    print(f"\nhost cores: {cores}; parallel speedup: {speedup:.2f}x")
+    benchmark.extra_info["speedup_jobs4"] = round(speedup, 3)
+    benchmark.extra_info["rerun_executed"] = rerun.executed
+
+    # Determinism: parallel execution returns exactly the serial results.
+    assert [r.result for r in parallel] == [r.result for r in serial]
+    assert [r.key for r in parallel] == [r.key for r in serial]
+    # Resume-for-free: the immediate re-run executes zero simulations.
+    assert rerun.executed == 0
+    assert rerun.cached == len(parallel.records)
+    assert [r.result for r in rerun] == [r.result for r in parallel]
+    # Scaling: on a >= 4-core host, jobs=4 must finish a 16-point
+    # sweep in under 40% of the serial wall time.
+    if cores >= 4:
+        assert parallel.wall_s < 0.4 * serial.wall_s, (
+            f"parallel {parallel.wall_s:.2f}s vs serial {serial.wall_s:.2f}s"
+        )

@@ -7,45 +7,44 @@ outage durations cuts backup write energy substantially (log < parabola
 low-order-bit retention failures.
 """
 
-from repro.core.config import NVPConfig
-from repro.core.nvp import NVPPlatform
-from repro.nvm.retention import LinearPolicy, LogPolicy, ParabolaPolicy
 from repro.nvm.sttram import energy_saving_fraction
 from repro.nvm.technology import SECONDS_PER_DAY, STT_MRAM
-from repro.system.presets import nvp_capacitor
-from repro.workloads.base import AbstractWorkload
 
-from common import publish_table, print_header, profiles, simulate
+from common import bench_base, engine_sweep, publish_table, print_header
 
 T_LSB = 10e-3  # most outages are milliseconds
 T_MSB = STT_MRAM.retention_s
 
+
+def _shaped(kind):
+    return {"kind": kind, "t_lsb_s": T_LSB, "t_msb_s": T_MSB}
+
+
 POLICIES = [
     ("precise", None, False),
-    ("linear", LinearPolicy(T_LSB, T_MSB), False),
-    ("log", LogPolicy(T_LSB, T_MSB), False),
-    ("parabola", ParabolaPolicy(T_LSB, T_MSB), False),
-    ("log+ecc", LogPolicy(T_LSB, T_MSB), True),
+    ("linear", _shaped("linear"), False),
+    ("log", _shaped("log"), False),
+    ("parabola", _shaped("parabola"), False),
+    ("log+ecc", _shaped("log"), True),
 ]
 
 
 def run_experiment():
-    trace = profiles()[0]
-    rows = []
-    for name, policy, ecc in POLICIES:
-        # A 1K-word SRAM working set is saved on every backup, which is
-        # what puts backup energy in the published 20-30% income share.
-        config = NVPConfig(
-            technology=STT_MRAM,
-            retention_policy=policy,
-            sram_backup_words=1024,
-            ecc=ecc,
-            label=f"nvp-{name}",
-        )
-        platform = NVPPlatform(AbstractWorkload(), nvp_capacitor(), config, seed=0)
-        result = simulate(trace, platform)
-        rows.append((name, result))
-    return rows
+    # A 1K-word SRAM working set is saved on every backup, which is
+    # what puts backup energy in the published 20-30% income share.
+    _, results = engine_sweep(
+        "f11_retention",
+        base=bench_base(
+            nvp={"technology": "STT-MRAM", "sram_backup_words": 1024}
+        ),
+        axes={
+            "nvp.retention_policy": [policy for _, policy, _ in POLICIES],
+            "nvp.ecc": [ecc for _, _, ecc in POLICIES],
+        },
+        mode="zip",
+    )
+    return [(name, result)
+            for (name, _, _), result in zip(POLICIES, results)]
 
 
 def test_f11_retention_relaxed_backup(benchmark):

@@ -6,30 +6,32 @@ and software checkpointing sits between them; the oracle bounds all.
 """
 
 from repro.analysis.report import ratio
-from repro.system.presets import (
-    build_checkpoint,
-    build_nvp,
-    build_oracle,
-    build_wait_compute,
-)
-from repro.workloads.base import AbstractWorkload
 
-from common import publish_table, print_header, profiles, simulate
+from common import engine_sweep, publish_table, print_header, profiles
 
-BUILDERS = [
-    ("nvp", build_nvp),
-    ("wait-compute", build_wait_compute),
-    ("sw-checkpoint", build_checkpoint),
-    ("oracle", build_oracle),
+#: ``(display label, engine platform preset)`` in table order.
+PLATFORMS = [
+    ("nvp", "nvp"),
+    ("wait-compute", "wait"),
+    ("sw-checkpoint", "checkpoint"),
+    ("oracle", "oracle"),
 ]
+
+N_PROFILES = 5
 
 
 def run_comparison():
+    _, results = engine_sweep(
+        "f4_platform_compare",
+        axes={
+            "platform": [preset for _, preset in PLATFORMS],
+            "profile_index": list(range(N_PROFILES)),
+        },
+    )
+    # Grid order: the profile axis varies fastest within each platform.
     table = {}
-    for label, builder in BUILDERS:
-        table[label] = [
-            simulate(trace, builder(AbstractWorkload())) for trace in profiles()
-        ]
+    for row, (label, _) in enumerate(PLATFORMS):
+        table[label] = results[row * N_PROFILES:(row + 1) * N_PROFILES]
     return table
 
 

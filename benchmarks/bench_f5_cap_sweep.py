@@ -6,21 +6,16 @@ capacitors waste income on conversion losses and slow first-start.
 Expect an interior plateau around the backup-sized capacitor.
 """
 
-from repro.system.presets import build_nvp
-from repro.workloads.base import AbstractWorkload
-
-from common import publish_table, print_header, profiles, simulate
+from common import engine_sweep, publish_table, print_header
 
 CAPACITANCES_F = [4.7e-9, 22e-9, 68e-9, 150e-9, 470e-9, 2.2e-6, 10e-6, 47e-6]
 
 
 def run_sweep():
-    trace = profiles()[0]
-    results = []
-    for capacitance in CAPACITANCES_F:
-        platform = build_nvp(AbstractWorkload(), capacitance_f=capacitance)
-        results.append((capacitance, simulate(trace, platform)))
-    return results
+    _, results = engine_sweep(
+        "f5_cap_sweep", axes={"capacitance_f": CAPACITANCES_F}
+    )
+    return list(zip(CAPACITANCES_F, results))
 
 
 def test_f5_capacitor_sweep(benchmark):

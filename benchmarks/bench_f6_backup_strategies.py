@@ -5,38 +5,26 @@ sweeps the architectural state size: larger state raises both backup
 energy and the reserve threshold, eroding forward progress.
 """
 
-from repro.core.config import NVPConfig
-from repro.core.nvp import NVPPlatform
-from repro.system.presets import nvp_capacitor
-from repro.workloads.base import AbstractWorkload
-
-from common import publish_table, print_header, profiles, simulate
+from common import engine_sweep, publish_table, print_header
 
 STRATEGIES = ["full", "compare_and_write", "incremental"]
 STATE_BITS = [168, 360, 1024, 4096]
 
 
 def run_experiment():
-    trace = profiles()[0]
-    strategy_results = {}
-    for strategy in STRATEGIES:
-        platform = NVPPlatform(
-            AbstractWorkload(),
-            nvp_capacitor(),
-            NVPConfig(backup_strategy=strategy, label=f"nvp-{strategy}"),
-            seed=0,
-        )
-        result = simulate(trace, platform)
-        strategy_results[strategy] = (result, platform.controller.total_bits_written)
-    size_results = []
-    for bits in STATE_BITS:
-        platform = NVPPlatform(
-            AbstractWorkload(),
-            nvp_capacitor(),
-            NVPConfig(state_bits=bits, label=f"nvp-{bits}b"),
-            seed=0,
-        )
-        size_results.append((bits, simulate(trace, platform)))
+    _, strat = engine_sweep(
+        "f6_backup_strategies",
+        axes={"nvp.backup_strategy": STRATEGIES},
+    )
+    strategy_results = {
+        strategy: (result, result.extras["bits_written"])
+        for strategy, result in zip(STRATEGIES, strat)
+    }
+    _, sized = engine_sweep(
+        "f6_state_bits",
+        axes={"nvp.state_bits": STATE_BITS},
+    )
+    size_results = list(zip(STATE_BITS, sized))
     return strategy_results, size_results
 
 

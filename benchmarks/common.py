@@ -17,6 +17,7 @@ import os
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
+from repro.exp import ExperimentSpec, ResultCache, SweepRunner
 from repro.harvest.sources import standard_profiles
 from repro.harvest.traces import PowerTrace
 from repro.obs.manifest import RunManifest
@@ -28,6 +29,14 @@ BENCH_DURATION_S = float(os.environ.get("NVPSIM_BENCH_DURATION", "6"))
 
 #: Seed shared by every benchmark for reproducibility.
 BENCH_SEED = 2017
+
+#: Worker processes for engine-backed benchmarks (1 = in-process).
+BENCH_JOBS = int(os.environ.get("NVPSIM_BENCH_JOBS", "1"))
+
+#: Set NVPSIM_BENCH_CACHE=1 to reuse the sweep-engine result cache
+#: across benchmark runs (off by default so benchmarks always measure
+#: fresh simulations).
+BENCH_CACHE = os.environ.get("NVPSIM_BENCH_CACHE", "") not in ("", "0")
 
 #: Where machine-readable benchmark results land (one JSON per
 #: experiment, rows + run manifest) — the benchmark trajectory.
@@ -55,6 +64,45 @@ def simulate(trace: PowerTrace, platform, stop_when_finished=False):
         rectifier=standard_rectifier(),
         stop_when_finished=stop_when_finished,
     ).run()
+
+
+def bench_base(**overrides) -> Dict:
+    """Engine run-config base shared by the benchmarks.
+
+    Defaults to profile-1 of the standard evaluation set at the
+    benchmark duration/seed, through the standard rectifier — the
+    exact trace :func:`profiles` returns and :func:`simulate` runs.
+    """
+    base: Dict = {
+        "source": "profile",
+        "profile_index": 0,
+        "duration_s": BENCH_DURATION_S,
+        "seed": BENCH_SEED,
+    }
+    base.update(overrides)
+    return base
+
+
+def engine_sweep(name, axes, base=None, mode="grid", jobs=None, cache=None):
+    """Run a declarative sweep through :mod:`repro.exp` and hydrate it.
+
+    Benchmarks describe their experiment as (base, axes) instead of
+    hand-rolled loops; the engine executes it (in parallel when
+    ``NVPSIM_BENCH_JOBS`` > 1, cached when ``NVPSIM_BENCH_CACHE`` is
+    set) and any failed point raises.
+
+    Returns ``(outcome, results)`` where ``results`` is the
+    :class:`~repro.system.result.SimulationResult` list in sweep
+    order.
+    """
+    spec = ExperimentSpec(name=name, base=base or bench_base(), axes=axes,
+                          mode=mode)
+    if cache is None and BENCH_CACHE:
+        cache = ResultCache()
+    runner = SweepRunner(jobs=BENCH_JOBS if jobs is None else jobs,
+                         cache=cache)
+    outcome = runner.run(spec.expand()).raise_on_failure()
+    return outcome, outcome.simulation_results()
 
 
 def print_header(experiment: str, description: str) -> None:

@@ -54,6 +54,13 @@ from repro.harvest import (
     thermal_trace,
     wristwatch_trace,
 )
+from repro.exp import (
+    ExperimentSpec,
+    ResultCache,
+    RunRecord,
+    SweepOutcome,
+    SweepRunner,
+)
 from repro.isa.energy import EnergyModel, dvfs_model
 from repro.policy import (
     ConfigMatcher,
@@ -122,6 +129,11 @@ __all__ = [
     "DualChannelFrontEnd",
     "EnergyBandGovernor",
     "EnergyModel",
+    "ExperimentSpec",
+    "ResultCache",
+    "RunRecord",
+    "SweepOutcome",
+    "SweepRunner",
     "IMAGE_SENSOR",
     "Peripheral",
     "PeripheralSet",

@@ -1,25 +1,39 @@
-"""Generic sweep helpers used by the benchmark harness."""
+"""Generic sweep helpers used by the benchmark harness.
+
+.. deprecated::
+    These callable-factory helpers are thin shims over
+    :mod:`repro.exp` — the declarative, parallel, cache-aware
+    experiment engine (see ``docs/experiments.md``).  They run
+    serially and in-process; new sweeps should build an
+    :class:`repro.exp.ExperimentSpec` and run it through
+    :class:`repro.exp.SweepRunner` (or ``repro sweep`` from the
+    shell) instead.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
+from repro.exp.runner import ensemble_factory_sweep, factory_sweep
 from repro.harvest.rectifier import Rectifier
 from repro.harvest.traces import PowerTrace
 from repro.system.result import SimulationResult
-from repro.system.simulator import Platform, SystemSimulator
+from repro.system.simulator import Platform
 
 
 def parameter_sweep(
-    values: Sequence,
+    values: Iterable,
     factory: Callable[[object], Tuple[PowerTrace, Platform]],
     rectifier: Optional[Rectifier] = None,
     stop_when_finished: bool = True,
 ) -> List[Tuple[object, SimulationResult]]:
-    """Run a simulation per parameter value.
+    """Run a simulation per parameter value (serial, in-process).
+
+    Deprecated shim over :func:`repro.exp.runner.factory_sweep`.
 
     Args:
-        values: the parameter values to sweep.
+        values: the parameter values to sweep (any iterable, including
+            generators — materialised before the emptiness check).
         factory: ``factory(value) -> (trace, platform)`` building a
             fresh trace/platform pair per value.
         rectifier: optional shared front end.
@@ -28,32 +42,29 @@ def parameter_sweep(
     Returns:
         ``[(value, result), ...]`` in sweep order.
     """
-    if len(values) == 0:
-        raise ValueError("need at least one sweep value")
-    results = []
-    for value in values:
-        trace, platform = factory(value)
-        simulator = SystemSimulator(
-            trace, platform, rectifier=rectifier, stop_when_finished=stop_when_finished
-        )
-        results.append((value, simulator.run()))
-    return results
+    return factory_sweep(
+        values,
+        factory,
+        rectifier=rectifier,
+        stop_when_finished=stop_when_finished,
+    )
 
 
 def ensemble_run(
-    traces: Sequence[PowerTrace],
+    traces: Iterable[PowerTrace],
     platform_factory: Callable[[PowerTrace], Platform],
     rectifier: Optional[Rectifier] = None,
     stop_when_finished: bool = True,
 ) -> List[SimulationResult]:
-    """Run the same platform recipe over an ensemble of traces."""
-    if len(traces) == 0:
-        raise ValueError("need at least one trace")
-    results = []
-    for trace in traces:
-        platform = platform_factory(trace)
-        simulator = SystemSimulator(
-            trace, platform, rectifier=rectifier, stop_when_finished=stop_when_finished
-        )
-        results.append(simulator.run())
-    return results
+    """Run the same platform recipe over an ensemble of traces.
+
+    Deprecated shim over
+    :func:`repro.exp.runner.ensemble_factory_sweep`; prefer an
+    ``ensemble``-mode :class:`repro.exp.ExperimentSpec`.
+    """
+    return ensemble_factory_sweep(
+        traces,
+        platform_factory,
+        rectifier=rectifier,
+        stop_when_finished=stop_when_finished,
+    )

@@ -6,7 +6,8 @@ Examples::
     python -m repro simulate --platform nvp --kernel sobel --frames 10
     python -m repro simulate --duration 5 --trace out.json --metrics out.csv
     python -m repro observe --duration 5 --interval 1
-    python -m repro compare --duration 5 --seed 3
+    python -m repro compare --duration 5 --seed 3 --jobs 4
+    python -m repro sweep spec.json --jobs 4 --results-dir benchmarks/results
     python -m repro outages --source wristwatch --duration 10
     python -m repro kernels --verify
     python -m repro techs
@@ -199,21 +200,37 @@ def cmd_observe(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    from repro.exp import SweepRunner
+
     trace = _make_trace(args)
+    configs = [
+        {
+            "platform": name,
+            "source": args.source,
+            "duration_s": args.duration,
+            "seed": args.seed,
+            "mean_uw": args.mean_uw,
+            "label": name,
+        }
+        for name in PLATFORM_BUILDERS
+    ]
+    try:
+        runner = SweepRunner(jobs=args.jobs)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    outcome = runner.run(configs)
     rows = []
     baseline = None
-    for name, builder in PLATFORM_BUILDERS.items():
-        result = SystemSimulator(
-            trace,
-            builder(AbstractWorkload()),
-            rectifier=standard_rectifier(),
-            stop_when_finished=False,
-        ).run()
-        if name == "nvp":
+    for record in outcome:
+        if not record.ok:
+            print(f"error: {record.label}: {record.error}", file=sys.stderr)
+            return 1
+        result = record.simulation_result()
+        if record.label == "nvp":
             baseline = result.forward_progress
         rows.append(
             [
-                name,
+                record.label,
                 result.forward_progress,
                 result.backups,
                 result.rollbacks,
@@ -227,6 +244,73 @@ def cmd_compare(args) -> int:
             if row[0] == "wait" and row[1]:
                 print(f"\nnvp / wait-compute = {baseline / row[1]:.2f}x")
     return 0
+
+
+def cmd_sweep(args) -> int:
+    """Run a declarative experiment spec through the sweep engine."""
+    from repro.exp import (
+        ExperimentSpec,
+        ResultCache,
+        SweepRunner,
+        render_outcome,
+        write_results,
+    )
+    from repro.obs import EventBus
+    from repro.obs import events as ev
+
+    try:
+        spec = ExperimentSpec.from_file(args.spec)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot load spec: {exc}")
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+        if args.fresh:
+            removed = cache.clear()
+            print(f"cache   : cleared {removed} entr(y/ies) "
+                  f"from {cache.directory}")
+
+    bus = EventBus()
+    if not args.quiet:
+        def _progress(event) -> None:
+            data = event.data
+            if event.name == ev.SWEEP_BEGIN:
+                print(f"sweep   : {spec.name} — {data['total']} point(s), "
+                      f"{data['cached']} cached, jobs={data['jobs']}")
+                return
+            status = data["status"]
+            line = (f"[{data['index'] + 1:>3}/{data['total']}] "
+                    f"{status:<6} {data['label']}")
+            if status == "failed":
+                line += f" — {data.get('error', '?').splitlines()[-1]}"
+            else:
+                line += (f" FP={data.get('forward_progress')} "
+                         f"({data['wall_s']:.2f}s)")
+            print(line)
+
+        bus.subscribe(_progress, names=(ev.SWEEP_BEGIN, ev.SWEEP_POINT))
+
+    try:
+        configs = spec.expand()
+    except ValueError as exc:
+        raise SystemExit(f"error: bad spec: {exc}")
+    try:
+        runner = SweepRunner(
+            jobs=args.jobs, cache=cache, timeout_s=args.timeout, bus=bus
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    outcome = runner.run(configs)
+    print()
+    print(render_outcome(outcome))
+    if args.results_dir:
+        try:
+            path = write_results(spec, outcome, args.results_dir)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write results: {exc}")
+        print(f"results : {path}")
+    return 1 if outcome.failed else 0
 
 
 def cmd_outages(args) -> int:
@@ -417,7 +501,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="compare all platforms on one trace")
     _add_trace_arguments(p_cmp)
+    p_cmp.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process serial)")
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative experiment spec (parallel, cached, resumable)",
+    )
+    p_sweep.add_argument("spec", help="experiment spec JSON file "
+                                      "(see docs/experiments.md)")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = in-process serial)")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         help="per-run wall-clock budget in seconds")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="execute every point, read/write no cache")
+    p_sweep.add_argument("--fresh", action="store_true",
+                         help="clear the cache namespace before running")
+    p_sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache root (default: $REPRO_CACHE_DIR "
+                              "or .repro-cache)")
+    p_sweep.add_argument("--results-dir", default=None, metavar="DIR",
+                         help="also write a benchmarks-results JSON here")
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress live per-point progress")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_out = sub.add_parser("outages", help="outage statistics of a trace")
     _add_trace_arguments(p_out)

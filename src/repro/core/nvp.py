@@ -362,6 +362,7 @@ class NVPPlatform:
             "consumed_j": self.consumed_j,
             "backup_energy_j": self.controller.total_backup_energy_j,
             "restore_energy_j": self.controller.total_restore_energy_j,
+            "bits_written": self.controller.total_bits_written,
             "flipped_bits": self.controller.total_flipped_bits,
             "ecc_corrected": self.controller.ecc_corrected,
             "ecc_detected": self.controller.ecc_detected,

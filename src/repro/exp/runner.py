@@ -1,0 +1,497 @@
+"""Parallel, cache-aware sweep execution.
+
+:class:`SweepRunner` takes the resolved run configs an
+:class:`~repro.exp.spec.ExperimentSpec` expands to and executes them
+with a ``ProcessPoolExecutor`` (``jobs`` workers), short-circuiting
+every config whose hash is already in the
+:class:`~repro.exp.cache.ResultCache`.  Each run is isolated: a config
+that raises (or exceeds the per-run timeout) is recorded as a failed
+:class:`RunRecord` and the sweep continues.  Results come back in
+sweep order regardless of completion order.
+
+The module-level :func:`execute_run` is the worker entry point — it
+materialises trace, workload and platform from a plain config dict,
+runs the simulator, and returns the result as a dict, so the only
+thing crossing the process boundary is JSON-able data.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exp.cache import ResultCache
+from repro.exp.spec import config_hash, resolve_config
+from repro.obs import events as ev
+from repro.obs.events import EventBus
+from repro.system.result import SimulationResult
+
+#: Record statuses.
+STATUS_OK = "ok"
+STATUS_CACHED = "cached"
+STATUS_FAILED = "failed"
+
+
+# -- config materialisation (worker side) ---------------------------------
+
+
+def build_trace(config: Dict):
+    """Synthesise the power trace a resolved config describes."""
+    from repro.harvest.sources import (
+        SOURCE_GENERATORS,
+        constant_trace,
+        hybrid_trace,
+        standard_profiles,
+    )
+
+    source = config["source"]
+    duration = config["duration_s"]
+    seed = config["seed"]
+    if source == "profile":
+        profiles = standard_profiles(
+            duration_s=duration, seed=seed, count=config["profile_count"]
+        )
+        index = config["profile_index"]
+        if not 0 <= index < len(profiles):
+            raise ValueError(
+                f"profile_index {index} outside 0..{len(profiles) - 1}"
+            )
+        return profiles[index]
+    if source == "constant":
+        mean_uw = config["mean_uw"] if config["mean_uw"] is not None else 20.0
+        return constant_trace(mean_uw * 1e-6, duration)
+    if source == "hybrid":
+        trace = hybrid_trace(duration, seed=seed)
+    else:
+        trace = SOURCE_GENERATORS[source](duration, seed=seed)
+    if config["mean_uw"] is not None:
+        trace = trace.scaled_to_mean(config["mean_uw"] * 1e-6)
+    return trace
+
+
+def build_workload(config: Dict):
+    """The workload a resolved config describes."""
+    from repro.workloads.base import AbstractWorkload
+    from repro.workloads.suite import build_kernel, make_functional_workload
+
+    if config["kernel"]:
+        build = build_kernel(config["kernel"])
+        return make_functional_workload(build, frames=config["frames"])
+    return AbstractWorkload()
+
+
+def _build_nvp_config(overrides: Dict):
+    """NVPConfig from the JSON-able ``nvp`` sub-config."""
+    from repro.core.config import NVPConfig
+    from repro.nvm.retention import (
+        LinearPolicy,
+        LogPolicy,
+        ParabolaPolicy,
+        UniformPolicy,
+    )
+    from repro.nvm.technology import technology_by_name
+
+    kwargs = dict(overrides)
+    if isinstance(kwargs.get("technology"), str):
+        kwargs["technology"] = technology_by_name(kwargs["technology"])
+    policy = kwargs.get("retention_policy")
+    if isinstance(policy, dict):
+        spec = dict(policy)
+        kind = spec.pop("kind", None)
+        classes = {
+            "linear": LinearPolicy,
+            "log": LogPolicy,
+            "parabola": ParabolaPolicy,
+            "uniform": UniformPolicy,
+        }
+        if kind not in classes:
+            raise ValueError(
+                f"unknown retention policy kind {kind!r}; "
+                f"known: {sorted(classes)}"
+            )
+        kwargs["retention_policy"] = classes[kind](**spec)
+    if "approx_registers" in kwargs and kwargs["approx_registers"] is not None:
+        kwargs["approx_registers"] = tuple(kwargs["approx_registers"])
+    return NVPConfig(**kwargs)
+
+
+def build_platform(config: Dict, workload):
+    """The platform preset a resolved config describes."""
+    from repro.system.presets import (
+        CHECKPOINT_CAPACITANCE_F,
+        NVP_CAPACITANCE_F,
+        SUPERCAP_CAPACITANCE_F,
+        build_checkpoint,
+        build_nvp,
+        build_oracle,
+        build_wait_compute,
+    )
+
+    name = config["platform"]
+    capacitance = config["capacitance_f"]
+    if name == "nvp":
+        return build_nvp(
+            workload,
+            _build_nvp_config(config["nvp"]) if config["nvp"] else None,
+            capacitance_f=(
+                capacitance if capacitance is not None else NVP_CAPACITANCE_F
+            ),
+            seed=config["platform_seed"],
+        )
+    if name == "wait":
+        margin = config["energy_margin"]
+        return build_wait_compute(
+            workload,
+            capacitance_f=(
+                capacitance
+                if capacitance is not None
+                else SUPERCAP_CAPACITANCE_F
+            ),
+            **({"energy_margin": margin} if margin is not None else {}),
+        )
+    if name == "checkpoint":
+        return build_checkpoint(
+            workload,
+            capacitance_f=(
+                capacitance
+                if capacitance is not None
+                else CHECKPOINT_CAPACITANCE_F
+            ),
+        )
+    return build_oracle(workload)
+
+
+def execute_run(config: Dict) -> Dict:
+    """Worker entry point: run one resolved config to completion.
+
+    Returns ``{"result": <SimulationResult dict>, "wall_s": float}``.
+    Exceptions propagate to the caller (the runner records them).
+    """
+    from repro.system.presets import standard_rectifier
+    from repro.system.simulator import SystemSimulator
+
+    started = time.perf_counter()
+    trace = build_trace(config)
+    workload = build_workload(config)
+    platform = build_platform(config, workload)
+    result = SystemSimulator(
+        trace,
+        platform,
+        rectifier=standard_rectifier() if config["rectifier"] else None,
+        stop_when_finished=config["stop_when_finished"],
+    ).run()
+    return {
+        "result": result.to_dict(),
+        "wall_s": time.perf_counter() - started,
+    }
+
+
+# -- records --------------------------------------------------------------
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one sweep point.
+
+    Attributes:
+        index: position in sweep order.
+        config: the fully-resolved run config.
+        key: content hash of ``config`` (the cache key).
+        status: ``"ok"``, ``"cached"`` or ``"failed"``.
+        result: the simulation result dict (``None`` when failed).
+        error: failure description (``None`` unless failed).
+        wall_s: wall-clock seconds the simulation took (the *original*
+            run's time for cache hits).
+    """
+
+    index: int
+    config: Dict
+    key: str
+    status: str = STATUS_FAILED
+    result: Optional[Dict] = None
+    error: Optional[str] = None
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True unless the run failed."""
+        return self.status in (STATUS_OK, STATUS_CACHED)
+
+    @property
+    def label(self) -> str:
+        """Display label: the config label or a short hash."""
+        return self.config.get("label") or self.key[:12]
+
+    def simulation_result(self) -> Optional[SimulationResult]:
+        """The result re-hydrated as a :class:`SimulationResult`."""
+        if self.result is None:
+            return None
+        return SimulationResult.from_dict(self.result)
+
+
+@dataclass
+class SweepOutcome:
+    """Ordered records plus sweep-level accounting."""
+
+    records: List[RunRecord] = field(default_factory=list)
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    wall_s: float = 0.0
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def simulation_results(self) -> List[Optional[SimulationResult]]:
+        """Re-hydrated results in sweep order (``None`` for failures)."""
+        return [record.simulation_result() for record in self.records]
+
+    def raise_on_failure(self) -> "SweepOutcome":
+        """Raise ``RuntimeError`` if any point failed; returns self."""
+        failures = [r for r in self.records if not r.ok]
+        if failures:
+            lines = "; ".join(
+                f"{r.label}: {r.error}" for r in failures[:5]
+            )
+            raise RuntimeError(
+                f"{len(failures)} of {len(self.records)} sweep points "
+                f"failed ({lines})"
+            )
+        return self
+
+    def summary(self) -> str:
+        """One-line accounting string."""
+        return (
+            f"{len(self.records)} point(s): {self.executed} executed, "
+            f"{self.cached} cached, {self.failed} failed "
+            f"in {self.wall_s:.2f}s"
+        )
+
+
+# -- the runner -----------------------------------------------------------
+
+
+class SweepRunner:
+    """Executes resolved run configs in parallel with caching.
+
+    Args:
+        jobs: worker processes; ``1`` runs in-process (no pool), which
+            is also the fallback when only one config needs executing.
+        cache: result cache; ``None`` disables caching entirely.
+        timeout_s: per-run wall-clock budget.  A run that exceeds it
+            is recorded as failed; already-queued runs keep going.
+        bus: optional event bus for live progress
+            (:data:`~repro.obs.events.SWEEP_BEGIN` /
+            :data:`~repro.obs.events.SWEEP_POINT` /
+            :data:`~repro.obs.events.SWEEP_END`).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        timeout_s: Optional[float] = None,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout must be positive")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.bus = bus
+
+    # Each helper returns the completed record so run() stays linear.
+
+    def _emit(self, name: str, **data) -> None:
+        if self.bus is not None:
+            self.bus.emit(name, time.time(), **data)
+
+    def _finish(self, record: RunRecord, payload: Dict) -> RunRecord:
+        record.status = STATUS_OK
+        record.result = payload["result"]
+        record.wall_s = payload["wall_s"]
+        if self.cache is not None:
+            self.cache.put(
+                record.key,
+                {
+                    "config": record.config,
+                    "result": record.result,
+                    "wall_s": record.wall_s,
+                },
+            )
+        return record
+
+    def _fail(self, record: RunRecord, error: str) -> RunRecord:
+        record.status = STATUS_FAILED
+        record.error = error
+        return record
+
+    def run(self, configs: Sequence[Dict]) -> SweepOutcome:
+        """Execute (or recall) every config; returns ordered records."""
+        started = time.perf_counter()
+        records = []
+        for index, config in enumerate(configs):
+            resolved = resolve_config(config)
+            records.append(
+                RunRecord(index=index, config=resolved,
+                          key=config_hash(resolved))
+            )
+
+        outcome = SweepOutcome(records=records)
+        pending: List[RunRecord] = []
+        for record in records:
+            entry = self.cache.get(record.key) if self.cache else None
+            if entry is not None and "result" in entry:
+                record.status = STATUS_CACHED
+                record.result = entry["result"]
+                record.wall_s = float(entry.get("wall_s", 0.0))
+                outcome.cached += 1
+            else:
+                pending.append(record)
+
+        self._emit(
+            ev.SWEEP_BEGIN,
+            total=len(records),
+            cached=outcome.cached,
+            jobs=self.jobs,
+        )
+        for record in records:
+            if record.status == STATUS_CACHED:
+                self._emit_point(record, len(records))
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for record in pending:
+                self._run_serial(record)
+                self._emit_point(record, len(records))
+        else:
+            self._run_pool(pending, len(records))
+
+        outcome.executed = sum(
+            1 for r in records if r.status == STATUS_OK
+        )
+        outcome.failed = sum(
+            1 for r in records if r.status == STATUS_FAILED
+        )
+        outcome.wall_s = time.perf_counter() - started
+        self._emit(
+            ev.SWEEP_END,
+            total=len(records),
+            executed=outcome.executed,
+            cached=outcome.cached,
+            failed=outcome.failed,
+            wall_s=outcome.wall_s,
+        )
+        return outcome
+
+    def _emit_point(self, record: RunRecord, total: int) -> None:
+        data = {
+            "index": record.index,
+            "total": total,
+            "key": record.key,
+            "status": record.status,
+            "label": record.label,
+            "wall_s": record.wall_s,
+        }
+        if record.error:
+            data["error"] = record.error
+        if record.result is not None:
+            data["forward_progress"] = record.result.get("forward_progress")
+        self._emit(ev.SWEEP_POINT, **data)
+
+    def _run_serial(self, record: RunRecord) -> RunRecord:
+        try:
+            return self._finish(record, execute_run(record.config))
+        except Exception:
+            return self._fail(record, traceback.format_exc(limit=3).strip())
+
+    def _run_pool(self, pending: List[RunRecord], total: int) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (record, pool.submit(execute_run, record.config))
+                for record in pending
+            ]
+            # Collect in submission order: ordered results for free,
+            # and a timed-out straggler only blocks its own record —
+            # later futures keep computing while we wait on it.
+            for record, future in futures:
+                try:
+                    self._finish(record, future.result(timeout=self.timeout_s))
+                except FutureTimeout:
+                    future.cancel()
+                    self._fail(
+                        record,
+                        f"timed out after {self.timeout_s:.1f}s",
+                    )
+                except Exception as exc:
+                    self._fail(record, f"{type(exc).__name__}: {exc}")
+                self._emit_point(record, total)
+
+
+# -- in-process factory sweeps (legacy analysis API) ----------------------
+
+
+def factory_sweep(
+    values: Iterable,
+    factory: Callable,
+    rectifier=None,
+    stop_when_finished: bool = True,
+) -> List[Tuple[object, SimulationResult]]:
+    """Run ``factory(value) -> (trace, platform)`` per value, serially.
+
+    The in-process backend behind the deprecated
+    :func:`repro.analysis.sweep.parameter_sweep`.  Accepts any
+    iterable (generators are materialised first).  Factories are
+    arbitrary callables, so this path cannot cross process boundaries
+    or cache — use an :class:`~repro.exp.spec.ExperimentSpec` with
+    :class:`SweepRunner` for that.
+    """
+    from repro.system.simulator import SystemSimulator
+
+    values = list(values)
+    if len(values) == 0:
+        raise ValueError("need at least one sweep value")
+    results = []
+    for value in values:
+        trace, platform = factory(value)
+        simulator = SystemSimulator(
+            trace,
+            platform,
+            rectifier=rectifier,
+            stop_when_finished=stop_when_finished,
+        )
+        results.append((value, simulator.run()))
+    return results
+
+
+def ensemble_factory_sweep(
+    traces: Iterable,
+    platform_factory: Callable,
+    rectifier=None,
+    stop_when_finished: bool = True,
+) -> List[SimulationResult]:
+    """Run one platform recipe over an ensemble of traces, serially.
+
+    Backend of the deprecated
+    :func:`repro.analysis.sweep.ensemble_run`.
+    """
+    traces = list(traces)
+    if len(traces) == 0:
+        raise ValueError("need at least one trace")
+    return [
+        result
+        for _, result in factory_sweep(
+            traces,
+            lambda trace: (trace, platform_factory(trace)),
+            rectifier=rectifier,
+            stop_when_finished=stop_when_finished,
+        )
+    ]

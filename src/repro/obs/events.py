@@ -54,6 +54,10 @@ THRESHOLD_RECOMPUTE = "threshold.recompute"
 #: A power-management policy made a decision (DPM throttle,
 #: frequency-scaling recommendation, ML configuration match).
 POLICY_DECISION = "policy.decision"
+#: Experiment-engine sweep lifecycle (one simulation per point).
+SWEEP_BEGIN = "sweep.begin"
+SWEEP_POINT = "sweep.point"
+SWEEP_END = "sweep.end"
 
 #: Every event name the stack emits, for validation and summaries.
 EVENT_NAMES: Tuple[str, ...] = (
@@ -75,6 +79,9 @@ EVENT_NAMES: Tuple[str, ...] = (
     MARGIN_DECAY,
     THRESHOLD_RECOMPUTE,
     POLICY_DECISION,
+    SWEEP_BEGIN,
+    SWEEP_POINT,
+    SWEEP_END,
 )
 
 

@@ -66,6 +66,19 @@ class SimulationResult:
             return 0.0
         return self.forward_progress / self.duration_s
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        """Re-hydrate a result from its :meth:`to_dict` form.
+
+        Derived keys (``on_time_fraction``, ``progress_per_second``)
+        and anything else unknown are ignored, so payloads written by
+        older/newer versions still load.
+        """
+        from dataclasses import fields
+
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable view of the result (for tooling/CI)."""
         return {

@@ -23,6 +23,18 @@ class TestParameterSweep:
         with pytest.raises(ValueError):
             parameter_sweep([], lambda v: None)
 
+    def test_generator_values_accepted(self):
+        def factory(units):
+            workload = AbstractWorkload(total_units=units, instructions_per_unit=100)
+            return constant_trace(1e-6, 1.0), build_oracle(workload)
+
+        results = parameter_sweep((u for u in (1, 2)), factory)
+        assert [value for value, _ in results] == [1, 2]
+
+    def test_empty_generator_rejected(self):
+        with pytest.raises(ValueError):
+            parameter_sweep((v for v in ()), lambda v: None)
+
 
 class TestEnsembleRun:
     def test_runs_all_traces(self):

@@ -1,0 +1,231 @@
+"""Tests for the parallel sweep runner: determinism, caching, isolation."""
+
+import pytest
+
+from repro.exp import ExperimentSpec, ResultCache, SweepRunner
+from repro.exp.runner import execute_run
+from repro.obs import events as ev
+from repro.obs.events import EventBus
+from repro.system.result import SimulationResult
+
+#: A fast, fully deterministic base: 0.2 simulated seconds.
+FAST = {"source": "wristwatch", "duration_s": 0.2, "seed": 11}
+
+
+def fast_spec(**axes):
+    return ExperimentSpec(name="t", base=FAST, axes=axes)
+
+
+class TestExecuteRun:
+    def test_returns_result_dict_and_timing(self):
+        payload = execute_run(fast_spec().expand()[0])
+        assert payload["wall_s"] > 0
+        result = SimulationResult.from_dict(payload["result"])
+        assert result.label == "nvp"
+        assert result.duration_s == pytest.approx(0.2)
+
+    def test_platform_presets_all_buildable(self):
+        for platform in ("nvp", "wait", "checkpoint", "oracle"):
+            config = fast_spec().expand()[0] | {"platform": platform}
+            assert execute_run(config)["result"]["label"]
+
+    def test_kernel_workload(self):
+        config = fast_spec().expand()[0] | {
+            "source": "constant", "mean_uw": 300.0,
+            "kernel": "crc", "frames": 1, "duration_s": 3.0,
+            "stop_when_finished": True,
+        }
+        result = execute_run(config)["result"]
+        assert result["completed"] is True
+
+    def test_profile_source_matches_standard_profiles(self):
+        from repro.harvest.sources import standard_profiles
+        from repro.system.presets import build_nvp, standard_rectifier
+        from repro.system.simulator import SystemSimulator
+        from repro.workloads.base import AbstractWorkload
+
+        config = fast_spec().expand()[0] | {
+            "source": "profile", "profile_index": 1, "seed": 2017,
+            "duration_s": 0.5,
+        }
+        via_engine = execute_run(config)["result"]
+        trace = standard_profiles(duration_s=0.5, seed=2017)[1]
+        direct = SystemSimulator(
+            trace, build_nvp(AbstractWorkload()),
+            rectifier=standard_rectifier(), stop_when_finished=False,
+        ).run()
+        assert via_engine == direct.to_dict()
+
+    def test_profile_index_out_of_range(self):
+        config = fast_spec().expand()[0] | {
+            "source": "profile", "profile_index": 9,
+        }
+        with pytest.raises(ValueError, match="profile_index"):
+            execute_run(config)
+
+    def test_retention_policy_spec_resolves(self):
+        config = fast_spec().expand()[0] | {
+            "nvp": {
+                "technology": "STT-MRAM",
+                "retention_policy": {
+                    "kind": "log", "t_lsb_s": 1e-2, "t_msb_s": 1e5,
+                },
+            },
+        }
+        assert execute_run(config)["result"]["forward_progress"] >= 0
+
+    def test_unknown_retention_kind_rejected(self):
+        config = fast_spec().expand()[0] | {
+            "nvp": {"retention_policy": {"kind": "cubic"}},
+        }
+        with pytest.raises(ValueError, match="retention policy"):
+            execute_run(config)
+
+
+class TestDeterminism:
+    def test_same_spec_twice_identical_hashes_and_results(self):
+        spec = fast_spec(capacitance_f=[68e-9, 150e-9])
+        first = SweepRunner().run(spec.expand())
+        second = SweepRunner().run(spec.expand())
+        assert [r.key for r in first] == [r.key for r in second]
+        assert [r.result for r in first] == [r.result for r in second]
+
+    def test_parallel_matches_serial(self):
+        spec = fast_spec(capacitance_f=[68e-9, 150e-9, 470e-9, 2.2e-6])
+        serial = SweepRunner(jobs=1).run(spec.expand())
+        parallel = SweepRunner(jobs=2).run(spec.expand())
+        assert serial.executed == parallel.executed == 4
+        assert [r.result for r in serial] == [r.result for r in parallel]
+
+
+class TestCaching:
+    def test_second_run_executes_nothing(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = fast_spec(seed=[1, 2, 3])
+        first = SweepRunner(cache=cache).run(spec.expand())
+        assert (first.executed, first.cached) == (3, 0)
+        second = SweepRunner(cache=cache).run(spec.expand())
+        assert (second.executed, second.cached) == (0, 3)
+        assert [r.result for r in first] == [r.result for r in second]
+        assert all(r.status == "cached" for r in second)
+
+    def test_mutated_axis_runs_only_new_points(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        SweepRunner(cache=cache).run(fast_spec(seed=[1, 2]).expand())
+        grown = SweepRunner(cache=cache).run(
+            fast_spec(seed=[1, 2, 3, 4]).expand()
+        )
+        assert (grown.executed, grown.cached) == (2, 2)
+        statuses = [r.status for r in grown]
+        assert statuses == ["cached", "cached", "ok", "ok"]
+
+    def test_base_change_misses_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        SweepRunner(cache=cache).run(fast_spec(seed=[1]).expand())
+        other = ExperimentSpec(
+            name="t", base=dict(FAST, duration_s=0.3), axes={"seed": [1]}
+        )
+        rerun = SweepRunner(cache=cache).run(other.expand())
+        assert (rerun.executed, rerun.cached) == (1, 0)
+
+    def test_no_cache_always_executes(self):
+        spec = fast_spec(seed=[1])
+        runner = SweepRunner()
+        assert runner.run(spec.expand()).executed == 1
+        assert runner.run(spec.expand()).executed == 1
+
+    def test_interrupted_sweep_resumes(self, tmp_path):
+        # Simulate an interruption: only the first half completed.
+        cache = ResultCache(str(tmp_path))
+        spec = fast_spec(seed=[1, 2, 3, 4])
+        SweepRunner(cache=cache).run(spec.expand()[:2])
+        resumed = SweepRunner(cache=cache).run(spec.expand())
+        assert (resumed.executed, resumed.cached) == (2, 2)
+
+
+class TestIsolation:
+    def _bad_config(self):
+        # Valid declaratively, raises at build time in the worker:
+        # an NVP cannot keep state in volatile SRAM.
+        return fast_spec().expand()[0] | {"nvp": {"technology": "SRAM"}}
+
+    def test_failed_point_recorded_sweep_continues_serial(self):
+        configs = fast_spec(seed=[1, 2]).expand()
+        outcome = SweepRunner(jobs=1).run([configs[0], self._bad_config(),
+                                           configs[1]])
+        assert outcome.failed == 1
+        assert outcome.executed == 2
+        assert [r.status for r in outcome] == ["ok", "failed", "ok"]
+        failed = outcome.records[1]
+        assert failed.result is None
+        assert "volatile" in failed.error
+
+    def test_failed_point_recorded_sweep_continues_parallel(self):
+        configs = fast_spec(seed=[1, 2]).expand()
+        outcome = SweepRunner(jobs=2).run([configs[0], self._bad_config(),
+                                           configs[1]])
+        assert outcome.failed == 1
+        assert outcome.executed == 2
+        assert [r.status for r in outcome] == ["ok", "failed", "ok"]
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        SweepRunner(cache=cache).run([self._bad_config()])
+        assert len(cache) == 0
+        retry = SweepRunner(cache=cache).run([self._bad_config()])
+        assert retry.failed == 1
+
+    def test_raise_on_failure(self):
+        outcome = SweepRunner().run([self._bad_config()])
+        with pytest.raises(RuntimeError, match="1 of 1 sweep points"):
+            outcome.raise_on_failure()
+
+
+class TestRunnerApi:
+    def test_rejects_bad_jobs_and_timeout(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+        with pytest.raises(ValueError):
+            SweepRunner(timeout_s=0)
+
+    def test_outcome_iteration_and_summary(self):
+        outcome = SweepRunner().run(fast_spec(seed=[1, 2]).expand())
+        assert len(outcome) == 2
+        assert [r.index for r in outcome] == [0, 1]
+        assert "2 point(s)" in outcome.summary()
+        results = outcome.simulation_results()
+        assert all(isinstance(r, SimulationResult) for r in results)
+
+    def test_progress_events_on_bus(self):
+        bus = EventBus()
+        log = bus.record(names=(ev.SWEEP_BEGIN, ev.SWEEP_POINT, ev.SWEEP_END))
+        SweepRunner(bus=bus).run(fast_spec(seed=[1, 2]).expand())
+        names = [event.name for event in log.events]
+        assert names == [
+            ev.SWEEP_BEGIN, ev.SWEEP_POINT, ev.SWEEP_POINT, ev.SWEEP_END,
+        ]
+        end = log.events[-1].data
+        assert end["executed"] == 2
+        assert end["failed"] == 0
+
+    def test_cached_points_emit_progress(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = fast_spec(seed=[1])
+        SweepRunner(cache=cache).run(spec.expand())
+        bus = EventBus()
+        log = bus.record(names=(ev.SWEEP_POINT,))
+        SweepRunner(cache=cache, bus=bus).run(spec.expand())
+        assert [e.data["status"] for e in log.events] == ["cached"]
+
+
+class TestResultHydration:
+    def test_from_dict_ignores_derived_keys(self):
+        outcome = SweepRunner().run(fast_spec().expand())
+        record = outcome.records[0]
+        hydrated = record.simulation_result()
+        assert hydrated.to_dict() == record.result
+
+    def test_failed_record_hydrates_to_none(self):
+        bad = fast_spec().expand()[0] | {"nvp": {"technology": "SRAM"}}
+        outcome = SweepRunner().run([bad])
+        assert outcome.records[0].simulation_result() is None
