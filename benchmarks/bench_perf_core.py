@@ -1,0 +1,176 @@
+"""BENCH_core — wall-clock of the core tick engine, fast vs. exact.
+
+Times the same simulation twice — once with the steady-state
+fast-forward engine (the default), once forced onto the exact per-tick
+path (``use_fast_forward=False``) — across the presets that span the
+engine's behaviour space, asserts the two paths return bit-identical
+:class:`~repro.system.result.SimulationResult`s, and publishes
+``benchmarks/results/BENCH_core.json`` as the perf-trajectory baseline
+(see ``docs/performance.md``).
+
+Environment knobs::
+
+    NVPSIM_BENCH_PERF_DURATION   simulated seconds per trace (default 60)
+    NVPSIM_PERF_MIN_SPEEDUP      floor asserted on the outage-heavy
+                                 preset (default 3.0)
+    NVPSIM_PERF_MIN_SPEEDUP_CHARGE
+                                 floor asserted on the charge-dominated
+                                 preset (default 2.0)
+
+Run standalone (CI perf-smoke does) with::
+
+    PYTHONPATH=src python benchmarks/bench_perf_core.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from common import print_header, publish_table
+
+from repro.harvest.sources import square_trace, wristwatch_trace
+from repro.system.presets import (
+    build_checkpoint,
+    build_nvp,
+    build_oracle,
+    build_wait_compute,
+    standard_rectifier,
+)
+from repro.system.simulator import SystemSimulator
+from repro.workloads.base import AbstractWorkload
+
+PERF_DURATION_S = float(os.environ.get("NVPSIM_BENCH_PERF_DURATION", "60"))
+MIN_SPEEDUP_OUTAGE = float(os.environ.get("NVPSIM_PERF_MIN_SPEEDUP", "3.0"))
+MIN_SPEEDUP_CHARGE = float(
+    os.environ.get("NVPSIM_PERF_MIN_SPEEDUP_CHARGE", "2.0")
+)
+
+#: Trace seed (fixed: the perf trajectory must compare like with like).
+PERF_SEED = 2017
+
+
+def outage_heavy_trace():
+    """8% duty square wave: the off/charge-dominated worst case."""
+    return square_trace(400e-6, 0.0, 2.0, 0.08, PERF_DURATION_S)
+
+
+def wristwatch() -> object:
+    return wristwatch_trace(PERF_DURATION_S, seed=PERF_SEED)
+
+
+#: (preset, platform builder, trace factory, asserted min speedup).
+#: ``oracle_guard`` never fast-forwards while running — it guards
+#: against the fast path taxing run-dominated workloads (no floor).
+PRESETS = (
+    ("outage_heavy_nvp", build_nvp, outage_heavy_trace, MIN_SPEEDUP_OUTAGE),
+    ("charge_dominated_wait", build_wait_compute, outage_heavy_trace,
+     MIN_SPEEDUP_CHARGE),
+    ("outage_heavy_checkpoint", build_checkpoint, outage_heavy_trace, None),
+    ("wristwatch_nvp", build_nvp, wristwatch, None),
+    ("oracle_guard", build_oracle, wristwatch, None),
+)
+
+
+def _timed_run(builder, trace, use_fast_forward):
+    simulator = SystemSimulator(
+        trace,
+        builder(AbstractWorkload()),
+        rectifier=standard_rectifier(),
+        stop_when_finished=False,
+        use_fast_forward=use_fast_forward,
+    )
+    started = time.perf_counter()
+    result = simulator.run()
+    return result, time.perf_counter() - started, simulator
+
+
+def run_presets():
+    rows = []
+    for preset, builder, make_trace, min_speedup in PRESETS:
+        trace = make_trace()
+        exact_result, exact_s, _ = _timed_run(builder, trace, False)
+        fast_result, fast_s, simulator = _timed_run(builder, trace, None)
+        identical = fast_result.to_dict() == exact_result.to_dict()
+        speedup = exact_s / fast_s if fast_s > 0 else float("inf")
+        rows.append({
+            "preset": preset,
+            "platform": fast_result.label,
+            "ticks": len(trace),
+            "ticks_fast_forwarded": simulator.ticks_fast_forwarded,
+            "ticks_exact": simulator.ticks_exact,
+            "exact_s": exact_s,
+            "fast_s": fast_s,
+            "speedup": speedup,
+            "identical": identical,
+            "min_speedup": min_speedup,
+        })
+    return rows
+
+
+def check_rows(rows):
+    for row in rows:
+        assert row["identical"], (
+            f"{row['preset']}: fast path diverged from the exact path"
+        )
+        floor = row["min_speedup"]
+        if floor is not None:
+            assert row["speedup"] >= floor, (
+                f"{row['preset']}: {row['speedup']:.2f}x < required "
+                f"{floor:.1f}x (exact {row['exact_s']:.3f}s, "
+                f"fast {row['fast_s']:.3f}s)"
+            )
+
+
+def publish(rows):
+    print_header(
+        "BENCH_core",
+        f"core tick engine: fast-forward vs exact "
+        f"({PERF_DURATION_S:g}s traces)",
+        config={
+            "duration_s": PERF_DURATION_S,
+            "min_speedup_outage": MIN_SPEEDUP_OUTAGE,
+            "min_speedup_charge": MIN_SPEEDUP_CHARGE,
+        },
+    )
+    publish_table(
+        ["preset", "platform", "ticks", "ff ticks", "exact ticks",
+         "exact s", "fast s", "speedup", "identical"],
+        [
+            [
+                row["preset"],
+                row["platform"],
+                row["ticks"],
+                row["ticks_fast_forwarded"],
+                row["ticks_exact"],
+                f"{row['exact_s']:.3f}",
+                f"{row['fast_s']:.3f}",
+                f"{row['speedup']:.2f}x",
+                row["identical"],
+            ]
+            for row in rows
+        ],
+    )
+
+
+def test_perf_core(benchmark):
+    rows = benchmark.pedantic(run_presets, rounds=1, iterations=1)
+    publish(rows)
+    for row in rows:
+        if row["min_speedup"] is not None:
+            benchmark.extra_info[f"{row['preset']}_speedup"] = round(
+                row["speedup"], 2
+            )
+    check_rows(rows)
+
+
+def main() -> int:
+    rows = run_presets()
+    publish(rows)
+    check_rows(rows)
+    print("\nBENCH_core: all presets bit-identical, speedup floors met")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -105,11 +105,15 @@ def engine_sweep(name, axes, base=None, mode="grid", jobs=None, cache=None):
     return outcome, outcome.simulation_results()
 
 
-def print_header(experiment: str, description: str) -> None:
+def print_header(
+    experiment: str, description: str, config: Optional[Dict] = None
+) -> None:
     """Banner so ``-s`` output reads like the paper's figure list.
 
     Also opens the experiment's machine-readable result: subsequent
-    :func:`publish_table` calls attach their rows to it.
+    :func:`publish_table` calls attach their rows to it.  ``config``
+    overrides the manifest's run-config record for benchmarks that do
+    not use the shared ``NVPSIM_BENCH_DURATION`` knob.
     """
     print()
     print("=" * 72)
@@ -119,7 +123,8 @@ def print_header(experiment: str, description: str) -> None:
     manifest = RunManifest.collect(
         command=f"benchmark:{experiment}",
         seed=BENCH_SEED,
-        config={"duration_s": BENCH_DURATION_S},
+        config=config if config is not None
+        else {"duration_s": BENCH_DURATION_S},
     )
     _RESULTS[experiment] = {
         "experiment": experiment,

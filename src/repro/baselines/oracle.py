@@ -39,6 +39,13 @@ class OraclePlatform:
         self.consumed_j += advance.energy_j
         return TickReport("run", advance.instructions)
 
+    def fast_forward(self, p_in_w, start, stop, dt_s):
+        """Bulk-advance: a finished oracle's ticks are pure no-ops."""
+        del p_in_w, dt_s
+        if self.workload.finished and stop > start:
+            return [("done", stop - start)]
+        return None
+
     def stats(self) -> Dict[str, float]:
         """Counter snapshot for the simulation result."""
         return {

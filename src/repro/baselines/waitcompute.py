@@ -125,6 +125,54 @@ class WaitComputePlatform:
                 self._state = "off"
         return TickReport("run", advance.instructions)
 
+    def fast_forward(self, p_in_w, start, stop, dt_s):
+        """Bulk-advance through charge/done ticks (fast-path engine).
+
+        Same contract as
+        :meth:`repro.core.nvp.NVPPlatform.fast_forward`: consumes runs
+        of analytically predictable ticks — here ``"charge"`` ticks
+        trickle-charging the supercap toward the unit energy target,
+        and ``"done"`` ticks after completion — and returns the
+        ``(state, ticks)`` runs, or ``None`` to fall back to exact
+        ticking.  The boot attempt on the crossing tick replays the
+        per-tick logic verbatim.
+        """
+        charge_many = getattr(self.storage, "charge_many", None)
+        if charge_many is None:
+            return None
+        if self.workload.finished:
+            consumed, _ = charge_many(p_in_w, start, stop, dt_s, None)
+            return [("done", consumed)] if consumed else None
+        if self._state != "off":
+            return None
+        runs = []
+        pending_charge = 0
+        index = start
+        while index < stop:
+            target = self.unit_energy_target_j()
+            consumed, crossed = charge_many(p_in_w, index, stop, dt_s, target)
+            index += consumed
+            pending_charge += consumed
+            if not crossed:
+                break
+            drawn = self.storage.draw(self.boot_energy_j)
+            self.consumed_j += drawn
+            if drawn < self.boot_energy_j:
+                # Boot failed; the crossing tick stays a charge tick.
+                self.failed_boots += 1
+                continue
+            self.boots += 1
+            self._stall_s = self.boot_time_s
+            self._state = "on"
+            pending_charge -= 1
+            if pending_charge:
+                runs.append(("charge", pending_charge))
+            runs.append(("restore", 1))
+            return runs
+        if pending_charge:
+            runs.append(("charge", pending_charge))
+        return runs or None
+
     def stats(self) -> Dict[str, float]:
         """Counter snapshot for the simulation result."""
         return {

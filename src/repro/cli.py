@@ -105,6 +105,36 @@ def _write_observability(args, log, metrics, manifest) -> None:
         raise SystemExit(f"error: cannot write artifact: {exc}")
 
 
+def _profiled_run(simulator, profile_out: Optional[str]):
+    """Run one simulation under cProfile (the ``--profile`` flags).
+
+    Prints the top-20 cumulative-time entries to stderr (so ``--json``
+    stdout stays clean) and optionally dumps the full stats to
+    ``profile_out`` for pstats/snakeviz.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(simulator.run)
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.sort_stats("cumulative")
+    print(
+        f"profile : top 20 by cumulative time "
+        f"(fast-forwarded {simulator.ticks_fast_forwarded} ticks, "
+        f"exact {simulator.ticks_exact})",
+        file=sys.stderr,
+    )
+    stats.print_stats(20)
+    if profile_out:
+        try:
+            stats.dump_stats(profile_out)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write profile: {exc}")
+        print(f"pstats  : {profile_out}", file=sys.stderr)
+    return result
+
+
 def cmd_simulate(args) -> int:
     from repro.obs import RunManifest
 
@@ -122,14 +152,19 @@ def cmd_simulate(args) -> int:
     workload, build = _make_workload(args)
     platform = PLATFORM_BUILDERS[args.platform](workload)
     bus, log, metrics = _make_observability(args)
-    result = SystemSimulator(
+    simulator = SystemSimulator(
         trace,
         platform,
         rectifier=standard_rectifier(),
         stop_when_finished=args.kernel is not None,
         bus=bus,
         metrics=metrics,
-    ).run()
+        use_fast_forward=False if args.no_fast_forward else None,
+    )
+    if args.profile or args.profile_out:
+        result = _profiled_run(simulator, args.profile_out)
+    else:
+        result = simulator.run()
     if args.json:
         import json
 
@@ -470,7 +505,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_sim = sub.add_parser("simulate", help="run one platform on one trace")
+    p_sim = sub.add_parser(
+        "simulate", aliases=["run"], help="run one platform on one trace"
+    )
     _add_trace_arguments(p_sim)
     p_sim.add_argument("--platform", choices=sorted(PLATFORM_BUILDERS),
                        default="nvp")
@@ -480,6 +517,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="frames for --kernel workloads")
     p_sim.add_argument("--json", action="store_true",
                        help="emit the full result as JSON")
+    p_sim.add_argument("--no-fast-forward", action="store_true",
+                       help="force exact per-tick execution "
+                            "(disable the steady-state fast path)")
+    p_sim.add_argument("--profile", action="store_true",
+                       help="run under cProfile and print the top-20 "
+                            "cumulative entries")
+    p_sim.add_argument("--profile-out", default=None, metavar="OUT.pstats",
+                       help="also dump the full cProfile stats "
+                            "(implies --profile; inspect with pstats/snakeviz)")
     _add_export_arguments(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 

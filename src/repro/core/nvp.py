@@ -88,6 +88,10 @@ class NVPPlatform:
         self._last_snapshot = initial_snapshot
         self._state = "off"
         self._stall_s = 0.0
+        # Off-time is tracked as a tick count and multiplied out so the
+        # per-tick path and fast-forward agree bit-for-bit (a running
+        # float sum of dt would drift from ``ticks * dt``).
+        self._off_ticks = 0
         self._off_elapsed_s = 0.0
         self._plan: Optional[ThresholdPlan] = None
         # Counters not covered by ledger/controller.
@@ -197,7 +201,8 @@ class NVPPlatform:
 
         if self._state == "off":
             self.storage.step(p_in_w, 0.0, dt_s)
-            self._off_elapsed_s += dt_s
+            self._off_ticks += 1
+            self._off_elapsed_s = self._off_ticks * dt_s
             if self.storage.energy_j >= plan.start_threshold_j:
                 return self._wake()
             return TickReport("off")
@@ -234,6 +239,67 @@ class NVPPlatform:
             self._go_off()
             return TickReport("run", advance.instructions)
         return TickReport("run", advance.instructions)
+
+    # -- fast-forward ------------------------------------------------------
+
+    def fast_forward(self, p_in_w, start, stop, dt_s):
+        """Advance through analytically predictable ticks in bulk.
+
+        Covers the two steady states the per-tick loop wastes most of
+        its time in: ``"off"`` (charging toward the start threshold
+        with no load) and ``"done"`` (workload finished, storage still
+        integrating the trace).  Delegates the arithmetic to the
+        storage element's ``charge_many`` so every float operation
+        matches the exact path bit-for-bit; the wake attempt on the
+        threshold-crossing tick runs through the same :meth:`_wake` the
+        per-tick path uses.
+
+        Args:
+            p_in_w: per-tick DC input power, indexable (the simulator
+                passes a plain list for speed).
+            start: index of the current tick.
+            stop: one past the last tick that may be consumed.
+            dt_s: tick duration.
+
+        Returns:
+            A list of ``(state, ticks)`` runs covering every consumed
+            tick, in order — or ``None`` when this platform state
+            cannot be fast-forwarded (the simulator then falls back to
+            exact ticking).
+        """
+        charge_many = getattr(self.storage, "charge_many", None)
+        if charge_many is None:
+            return None
+        if self.workload.finished:
+            consumed, _ = charge_many(p_in_w, start, stop, dt_s, None)
+            return [("done", consumed)] if consumed else None
+        if self._state != "off":
+            return None
+        target = self.thresholds(dt_s).start_threshold_j
+        runs = []
+        pending_off = 0
+        index = start
+        while index < stop:
+            consumed, crossed = charge_many(p_in_w, index, stop, dt_s, target)
+            index += consumed
+            self._off_ticks += consumed
+            self._off_elapsed_s = self._off_ticks * dt_s
+            pending_off += consumed
+            if not crossed:
+                break
+            report = self._wake()
+            if report.state == "off":
+                # Restore failed; the crossing tick stays an off tick
+                # and charging resumes.
+                continue
+            pending_off -= 1
+            if pending_off:
+                runs.append(("off", pending_off))
+            runs.append((report.state, 1))
+            return runs
+        if pending_off:
+            runs.append(("off", pending_off))
+        return runs or None
 
     # -- internal transitions ------------------------------------------------
 
@@ -290,6 +356,7 @@ class NVPPlatform:
             self._stall_s += time_s
             self.peripherals.record_reinit()
         self._state = "on"
+        self._off_ticks = 0
         self._off_elapsed_s = 0.0
         if bus is not None:
             bus.emit(ev.WAKE, cold=cold, stall_s=self._stall_s)
@@ -342,6 +409,7 @@ class NVPPlatform:
 
     def _go_off(self) -> None:
         self._state = "off"
+        self._off_ticks = 0
         self._off_elapsed_s = 0.0
         self._stall_s = 0.0
 

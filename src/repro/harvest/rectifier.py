@@ -54,15 +54,30 @@ class Rectifier:
         """DC output power for an AC input power."""
         return input_power_w * self.efficiency(input_power_w)
 
+    def output_power_array(self, samples_w: np.ndarray) -> np.ndarray:
+        """DC output power for a whole array of input powers.
+
+        Element-for-element equal to calling :meth:`output_power` on
+        each sample (same IEEE-754 operations in the same order), so
+        the simulator's vectorized pre-pass and the scalar per-tick
+        path agree bit-for-bit.
+        """
+        samples = np.asarray(samples_w, dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            eta = np.where(
+                (samples < self.cutin_power_w) | (samples == 0.0),
+                0.0,
+                self.eta_max * samples / (samples + self.knee_power_w),
+            )
+        return samples * eta
+
     def convert(self, trace: PowerTrace) -> PowerTrace:
         """Apply the rectifier to a whole trace."""
-        samples = trace.samples_w
-        eta = np.where(
-            samples < self.cutin_power_w,
-            0.0,
-            self.eta_max * samples / np.maximum(samples + self.knee_power_w, 1e-30),
+        return PowerTrace(
+            self.output_power_array(trace.samples_w),
+            trace.dt_s,
+            source=f"{trace.source}+rect",
         )
-        return PowerTrace(samples * eta, trace.dt_s, source=f"{trace.source}+rect")
 
 
 #: An ideal front end for experiments that want to isolate other effects.

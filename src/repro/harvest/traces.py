@@ -27,7 +27,10 @@ class PowerTrace:
     def __init__(
         self, samples_w, dt_s: float = DEFAULT_DT_S, source: str = "unknown"
     ) -> None:
-        samples = np.asarray(samples_w, dtype=float)
+        # The whole fast path (vectorized rectification, cumulative
+        # harvest pre-pass, bulk charging) assumes a contiguous float64
+        # array; guarantee it here once instead of casting per tick.
+        samples = np.ascontiguousarray(samples_w, dtype=np.float64)
         if samples.ndim != 1:
             raise ValueError("power trace must be one-dimensional")
         if len(samples) == 0:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -223,6 +224,98 @@ class Capacitor:
         self._energy_j -= drawn
         self.total_delivered_j += drawn
         return drawn
+
+    def charge_many(
+        self,
+        p_in_w,
+        start: int,
+        stop: int,
+        dt_s: float,
+        stop_energy_j: Optional[float] = None,
+    ):
+        """Bulk zero-load charging: the fast-forward primitive.
+
+        Steps through ``p_in_w[start:stop]`` exactly as repeated
+        ``step(p, 0.0, dt_s)`` calls would — the same IEEE-754
+        operations in the same order, so the stored energy and the
+        cumulative ledger stay bit-identical to the per-tick path —
+        but in one tight loop with no :class:`StorageStep` allocation
+        or attribute traffic.
+
+        Stops *after* the first tick on which the stored energy
+        reaches ``stop_energy_j`` (the threshold-crossing tick is
+        consumed, matching the platform state machines, which charge
+        first and test the threshold second).  Returns
+        ``(ticks_consumed, crossed)``.
+        """
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        energy = self._energy_j
+        capacity = 0.5 * self.capacitance_f * self.v_max_v * self.v_max_v
+        capacitance = self.capacitance_f
+        min_current = self.min_charge_current_a
+        leak_ohm = self.leak_resistance_ohm
+        curve = self.efficiency
+        eta_peak = curve.eta_peak
+        eta_floor = curve.eta_floor
+        v_opt = curve.v_opt_v
+        v_span = curve.v_span_v
+        # A flat curve (eta_floor == eta_peak) is voltage-independent:
+        # max(eta, eta_peak * (1 - x**2)) == eta exactly, so hoisting
+        # it out of the loop cannot change a single bit.
+        flat_eta = eta_peak if eta_floor == eta_peak else None
+        total_charged = self.total_charged_j
+        total_leaked = self.total_leaked_j
+        total_wasted = self.total_wasted_j
+        target = math.inf if stop_energy_j is None else stop_energy_j
+        sqrt = math.sqrt
+        index = start
+        crossed = False
+        while index < stop:
+            p_in = p_in_w[index]
+            index += 1
+            wasted = 0.0
+            voltage = sqrt(2.0 * energy / capacitance)
+            input_energy = p_in * dt_s
+            blocked = (
+                min_current > 0.0
+                and voltage > 0.0
+                and p_in < min_current * voltage
+            )
+            if blocked or input_energy == 0.0:
+                charged = 0.0
+                wasted += input_energy
+            else:
+                if flat_eta is not None:
+                    eta = flat_eta
+                else:
+                    offset = (voltage - v_opt) / v_span
+                    eta = eta_peak * (1.0 - offset * offset)
+                    if eta < eta_floor:
+                        eta = eta_floor
+                charged = input_energy * eta
+                wasted += input_energy - charged
+                headroom = capacity - energy
+                if charged > headroom:
+                    wasted += charged - headroom
+                    charged = headroom
+                energy += charged
+            voltage = sqrt(2.0 * energy / capacitance)
+            leaked = voltage * voltage / leak_ohm * dt_s
+            if leaked > energy:
+                leaked = energy
+            energy -= leaked
+            total_charged += charged
+            total_leaked += leaked
+            total_wasted += wasted
+            if energy >= target:
+                crossed = True
+                break
+        self._energy_j = energy
+        self.total_charged_j = total_charged
+        self.total_leaked_j = total_leaked
+        self.total_wasted_j = total_wasted
+        return index - start, crossed
 
     # -- observability -------------------------------------------------------
 

@@ -93,5 +93,42 @@ class IdealStorage:
         self.total_delivered_j += drawn
         return drawn
 
+    def charge_many(self, p_in_w, start, stop, dt_s, stop_energy_j=None):
+        """Bulk zero-load charging, bit-identical to per-tick ``step``.
+
+        Same contract as
+        :meth:`repro.storage.capacitor.Capacitor.charge_many`:
+        consumes ``p_in_w[start:stop]`` with no load attached, stops
+        after the tick on which energy reaches ``stop_energy_j``, and
+        returns ``(ticks_consumed, crossed)``.
+        """
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        energy = self._energy_j
+        capacity = self.capacity_j
+        total_charged = self.total_charged_j
+        total_wasted = self.total_wasted_j
+        target = float("inf") if stop_energy_j is None else stop_energy_j
+        index = start
+        crossed = False
+        while index < stop:
+            charged = p_in_w[index] * dt_s
+            index += 1
+            wasted = 0.0
+            headroom = capacity - energy
+            if charged > headroom:
+                wasted = charged - headroom
+                charged = headroom
+            energy += charged
+            total_charged += charged
+            total_wasted += wasted
+            if energy >= target:
+                crossed = True
+                break
+        self._energy_j = energy
+        self.total_charged_j = total_charged
+        self.total_wasted_j = total_wasted
+        return index - start, crossed
+
     def __repr__(self) -> str:
         return f"IdealStorage(E={self._energy_j * 1e6:.3g}/{self.capacity_j * 1e6:.3g}uJ)"

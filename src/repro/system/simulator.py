@@ -9,12 +9,28 @@ Platforms (the NVP and every baseline) implement one method —
 ``tick(p_in_w, dt_s) -> TickReport`` — plus a small set of reporting
 properties; all paradigm-specific behaviour (thresholds, backup,
 checkpointing, wait-and-compute) lives inside the platform.
+
+Two engine optimisations keep long traces cheap (see
+``docs/performance.md``):
+
+* a **vectorized pre-pass** rectifies the whole trace and integrates
+  harvested energy once with numpy, instead of per-tick Python float
+  math;
+* a **steady-state fast-forward**: platforms that implement the
+  optional ``fast_forward(p_in_w, start, stop, dt_s)`` capability
+  advance through runs of analytically predictable ticks ("off"
+  charging toward the start threshold, "charge", "done") in bulk.  The
+  simulator uses it whenever no event bus needs per-tick visibility
+  and falls back to exact ticking otherwise; both paths produce
+  bit-identical :class:`SimulationResult`\\ s.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
 
 from repro.harvest.outage import DEFAULT_THRESHOLD_W, OutageTracker
 from repro.harvest.rectifier import Rectifier
@@ -41,7 +57,13 @@ class TickReport:
 
 @runtime_checkable
 class Platform(Protocol):
-    """The interface every simulated platform implements."""
+    """The interface every simulated platform implements.
+
+    Platforms may additionally implement the optional fast-path
+    capability ``fast_forward(p_in_w, start, stop, dt_s)`` returning a
+    list of ``(state, ticks)`` runs (or ``None``); see
+    :meth:`repro.core.nvp.NVPPlatform.fast_forward` for the contract.
+    """
 
     label: str
 
@@ -78,6 +100,12 @@ class SystemSimulator:
             are published into it after the run, labeled by platform.
         outage_threshold_w: operating threshold for live outage events
             (only used when a bus is attached).
+        use_fast_forward: fast-path policy.  ``None`` (default) uses
+            the platform's ``fast_forward`` capability whenever no
+            event bus is attached; ``False`` forces exact per-tick
+            execution (benchmark/debug knob).  ``True`` behaves like
+            ``None`` — a bus still forces the exact path, because
+            outage tracking and per-tick events need every tick.
     """
 
     def __init__(
@@ -90,6 +118,7 @@ class SystemSimulator:
         bus: Optional[EventBus] = None,
         metrics: Optional[MetricsRegistry] = None,
         outage_threshold_w: float = DEFAULT_THRESHOLD_W,
+        use_fast_forward: Optional[bool] = None,
     ) -> None:
         self.trace = trace
         self.platform = platform
@@ -101,6 +130,10 @@ class SystemSimulator:
         self.metrics = metrics
         self.outage_threshold_w = outage_threshold_w
         self.telemetry = telemetry
+        self.use_fast_forward = use_fast_forward
+        #: Tick counts by engine path, filled in by :meth:`run`.
+        self.ticks_fast_forwarded = 0
+        self.ticks_exact = 0
         if telemetry is not None:
             telemetry.subscribe_to(bus)
         if bus is not None and getattr(platform, "bus", None) is None:
@@ -114,62 +147,125 @@ class SystemSimulator:
     def run(self) -> SimulationResult:
         """Execute the full trace (or until completion) and aggregate."""
         dt = self.trace.dt_s
-        state_time: Dict[str, float] = {}
-        harvested = 0.0
-        ticks_run = 0
-        completion_time: Optional[float] = None
+        samples = self.trace.samples_w
+
+        # -- vectorized pre-pass ---------------------------------------
+        # Rectify the whole trace and integrate harvested energy once;
+        # both engine paths then share the identical per-tick values.
+        if self.rectifier is not None:
+            p_dc = self.rectifier.output_power_array(samples)
+        else:
+            p_dc = samples
+        cum_energy_j = np.cumsum(p_dc) * dt
+        # Plain Python floats index ~3x faster than ndarray scalars on
+        # the per-tick path, and every platform does scalar math.
+        p_in_w = p_dc.tolist()
+        n_ticks = len(p_in_w)
 
         bus = self.bus
         platform = self.platform
         outages: Optional[OutageTracker] = None
         storage = getattr(platform, "storage", None)
-        last_state: Optional[str] = None
         if bus is not None:
             outages = OutageTracker(self.outage_threshold_w, bus)
             bus.emit(
                 ev.SIM_BEGIN,
                 0.0,
                 label=platform.label,
-                ticks=len(self.trace.samples_w),
+                ticks=n_ticks,
                 dt_s=dt,
             )
         want_ticks = bus is not None and bus.wants(ev.TICK)
+        # A bus needs per-tick visibility (outage tracking, transitions
+        # stamped at the right time), so it forces the exact path.  A
+        # platform that is already finished at entry completes on its
+        # first tick; the exact path keeps that accounting.
+        fast = (
+            self.use_fast_forward is not False
+            and bus is None
+            and getattr(platform, "fast_forward", None) is not None
+            and not platform.finished
+        )
 
-        for index, p_raw in enumerate(self.trace.samples_w):
-            p_in = (
-                self.rectifier.output_power(float(p_raw))
-                if self.rectifier is not None
-                else float(p_raw)
-            )
-            harvested += p_in * dt
+        # state_time is accumulated per state *run* (count * dt flushed
+        # at each transition) rather than dict-churned every tick; the
+        # fast-forward path merges its runs into the same accumulator,
+        # so both paths compute identical sums.
+        state_time: Dict[str, float] = {}
+        run_state: Optional[str] = None
+        run_ticks = 0
+        completion_time: Optional[float] = None
+        finished = False
+        ticks_fast = 0
+        ticks_exact = 0
+        index = 0
+        # Disarm the fast-forward probe after a miss so a platform
+        # stuck in "run" does not pay a failed call per tick; any state
+        # transition re-arms it.
+        try_fast = fast
+
+        while index < n_ticks:
+            if try_fast:
+                runs = platform.fast_forward(p_in_w, index, n_ticks, dt)
+                if runs:
+                    for state, count in runs:
+                        if state == run_state:
+                            run_ticks += count
+                        else:
+                            if run_ticks:
+                                state_time[run_state] = (
+                                    state_time.get(run_state, 0.0)
+                                    + run_ticks * dt
+                                )
+                            run_state = state
+                            run_ticks = count
+                        index += count
+                        ticks_fast += count
+                    continue
+                try_fast = False
+            p_in = p_in_w[index]
             if bus is not None:
                 t_now = index * dt
                 bus.now_s = t_now
                 outages.update(p_in, t_now)
             report = platform.tick(p_in, dt)
-            state_time[report.state] = state_time.get(report.state, 0.0) + dt
-            ticks_run = index + 1
-            if bus is not None:
-                if report.state != last_state:
-                    bus.emit(
-                        ev.STATE_TRANSITION, state=report.state, prev=last_state
+            state = report.state
+            index += 1
+            ticks_exact += 1
+            if state != run_state:
+                if run_ticks:
+                    state_time[run_state] = (
+                        state_time.get(run_state, 0.0) + run_ticks * dt
                     )
-                    last_state = report.state
-                if want_ticks:
-                    bus.emit(
-                        ev.TICK,
-                        state=report.state,
-                        instructions=report.instructions,
-                        energy_j=(
-                            float(storage.energy_j)
-                            if storage is not None
-                            else 0.0
-                        ),
-                    )
-            if platform.finished and completion_time is None:
-                completion_time = ticks_run * dt
+                if bus is not None:
+                    bus.emit(ev.STATE_TRANSITION, state=state, prev=run_state)
+                run_state = state
+                run_ticks = 1
+                try_fast = fast
+            else:
+                run_ticks += 1
+            if want_ticks:
+                bus.emit(
+                    ev.TICK,
+                    state=state,
+                    instructions=report.instructions,
+                    energy_j=(
+                        float(storage.energy_j) if storage is not None else 0.0
+                    ),
+                )
+            if not finished and platform.finished:
+                finished = True
+                completion_time = index * dt
                 if self.stop_when_finished:
                     break
+        if run_ticks:
+            state_time[run_state] = (
+                state_time.get(run_state, 0.0) + run_ticks * dt
+            )
+        ticks_run = index
+        harvested = float(cum_energy_j[ticks_run - 1]) if ticks_run else 0.0
+        self.ticks_fast_forwarded = ticks_fast
+        self.ticks_exact = ticks_exact
 
         if bus is not None:
             end_t = ticks_run * dt
@@ -252,6 +348,14 @@ class SystemSimulator:
             ("lost", result.lost_instructions),
         ):
             progress.labels(platform=label, kind=kind).inc(value)
+        ticks = registry.counter(
+            "sim_ticks", "simulated ticks by engine path",
+            labels=("platform", "path"),
+        )
+        ticks.labels(platform=label, path="fast_forward").inc(
+            self.ticks_fast_forwarded
+        )
+        ticks.labels(platform=label, path="exact").inc(self.ticks_exact)
         storage = getattr(self.platform, "storage", None)
         if storage is not None and hasattr(storage, "bind_gauges"):
             storage.bind_gauges(registry, platform=label)

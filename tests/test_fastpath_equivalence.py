@@ -1,0 +1,281 @@
+"""Fast-path engine equivalence: fast-forward on vs. off.
+
+The steady-state fast-forward (`docs/performance.md`) promises
+*bit-identical* :class:`~repro.system.result.SimulationResult`s against
+the exact per-tick loop.  These tests hold it to that promise,
+property-style: randomized solar/RF/wristwatch traces and deterministic
+outage-heavy square waves, across every platform preset, compared field
+by field with strict equality (no ``approx``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harvest.rectifier import IDEAL_RECTIFIER, Rectifier
+from repro.harvest.sources import (
+    rf_trace,
+    solar_trace,
+    square_trace,
+    wristwatch_trace,
+)
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.capacitor import Capacitor, ChargeEfficiency
+from repro.storage.ideal import IdealStorage
+from repro.system.presets import (
+    build_checkpoint,
+    build_nvp,
+    build_oracle,
+    build_wait_compute,
+    standard_rectifier,
+    supercap,
+)
+from repro.system.simulator import SystemSimulator
+from repro.workloads.base import AbstractWorkload
+
+PLATFORM_BUILDERS = {
+    "nvp": build_nvp,
+    "wait": build_wait_compute,
+    "checkpoint": build_checkpoint,
+    "oracle": build_oracle,
+}
+
+TRACE_MAKERS = {
+    "square_outage": lambda seed: square_trace(400e-6, 0.0, 2.0, 0.08, 4.0),
+    "wristwatch": lambda seed: wristwatch_trace(3.0, seed=seed),
+    "solar": lambda seed: solar_trace(3.0, mean_power_w=60e-6, seed=seed),
+    "rf": lambda seed: rf_trace(3.0, seed=seed),
+}
+
+
+def run_sim(builder, trace, use_fast_forward, stop_when_finished=False,
+            rectifier="standard", **sim_kwargs):
+    """Build a fresh platform and run one simulation."""
+    platform = builder(AbstractWorkload())
+    rect = standard_rectifier() if rectifier == "standard" else rectifier
+    simulator = SystemSimulator(
+        trace,
+        platform,
+        rectifier=rect,
+        stop_when_finished=stop_when_finished,
+        use_fast_forward=use_fast_forward,
+        **sim_kwargs,
+    )
+    return simulator.run(), simulator
+
+
+def assert_identical(fast, slow):
+    """Field-by-field strict equality between two results."""
+    fast_dict, slow_dict = fast.to_dict(), slow.to_dict()
+    assert fast_dict.keys() == slow_dict.keys()
+    for key in slow_dict:
+        assert fast_dict[key] == slow_dict[key], (
+            f"{key}: fast={fast_dict[key]!r} != exact={slow_dict[key]!r}"
+        )
+
+
+class TestFastSlowEquivalence:
+    @pytest.mark.parametrize("platform", sorted(PLATFORM_BUILDERS))
+    @pytest.mark.parametrize("trace_kind", sorted(TRACE_MAKERS))
+    @pytest.mark.parametrize("seed", [1, 17])
+    def test_bit_identical_results(self, platform, trace_kind, seed):
+        trace = TRACE_MAKERS[trace_kind](seed)
+        builder = PLATFORM_BUILDERS[platform]
+        fast, _ = run_sim(builder, trace, use_fast_forward=None)
+        slow, _ = run_sim(builder, trace, use_fast_forward=False)
+        assert_identical(fast, slow)
+
+    @pytest.mark.parametrize("platform", sorted(PLATFORM_BUILDERS))
+    def test_bit_identical_when_stopping_at_completion(self, platform):
+        trace = wristwatch_trace(3.0, seed=5)
+        builder = PLATFORM_BUILDERS[platform]
+
+        def small(workload):
+            del workload
+            return builder(
+                AbstractWorkload(total_units=2, instructions_per_unit=2_000)
+            )
+
+        fast, _ = run_sim(small, trace, use_fast_forward=None,
+                          stop_when_finished=True)
+        slow, _ = run_sim(small, trace, use_fast_forward=False,
+                          stop_when_finished=True)
+        assert_identical(fast, slow)
+
+    def test_done_tail_is_fast_forwarded(self):
+        """After completion the remaining trace is skipped in bulk."""
+        trace = wristwatch_trace(3.0, seed=5)
+
+        def small(workload):
+            del workload
+            return build_nvp(
+                AbstractWorkload(total_units=1, instructions_per_unit=1_000)
+            )
+
+        fast, sim = run_sim(small, trace, use_fast_forward=None)
+        slow, _ = run_sim(small, trace, use_fast_forward=False)
+        assert fast.completed
+        assert fast.state_time_s.get("done", 0.0) > 0.0
+        assert sim.ticks_fast_forwarded > 0
+        assert_identical(fast, slow)
+
+    def test_without_rectifier(self):
+        trace = square_trace(300e-6, 0.0, 1.0, 0.1, 3.0)
+        fast, _ = run_sim(build_nvp, trace, None, rectifier=None)
+        slow, _ = run_sim(build_nvp, trace, False, rectifier=None)
+        assert_identical(fast, slow)
+
+    def test_nvp_on_ideal_storage(self):
+        from repro.core.nvp import NVPPlatform
+
+        trace = wristwatch_trace(2.0, seed=9)
+
+        def ideal_nvp(workload):
+            return NVPPlatform(workload, IdealStorage(5e-7), seed=0)
+
+        fast, sim = run_sim(ideal_nvp, trace, None)
+        slow, _ = run_sim(ideal_nvp, trace, False)
+        assert sim.ticks_fast_forwarded > 0
+        assert_identical(fast, slow)
+
+    def test_tick_counters_partition_the_run(self):
+        trace = square_trace(400e-6, 0.0, 2.0, 0.08, 3.0)
+        fast, sim = run_sim(build_nvp, trace, None)
+        assert sim.ticks_fast_forwarded > 0
+        assert sim.ticks_fast_forwarded + sim.ticks_exact == len(trace)
+        _, slow_sim = run_sim(build_nvp, trace, False)
+        assert slow_sim.ticks_fast_forwarded == 0
+        assert slow_sim.ticks_exact == len(trace)
+
+
+class TestBusFallback:
+    def test_bus_forces_exact_path_with_identical_result(self):
+        """An attached bus falls back to exact ticking, same result."""
+        trace = square_trace(400e-6, 0.0, 2.0, 0.08, 3.0)
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        observed, sim = run_sim(build_nvp, trace, use_fast_forward=None,
+                                bus=bus)
+        assert sim.ticks_fast_forwarded == 0
+        assert len(seen) > 0
+        plain, _ = run_sim(build_nvp, trace, use_fast_forward=None)
+        assert_identical(observed, plain)
+
+    def test_metrics_report_tick_path_split(self):
+        trace = square_trace(400e-6, 0.0, 2.0, 0.08, 2.0)
+        metrics = MetricsRegistry()
+        _, sim = run_sim(build_nvp, trace, use_fast_forward=None,
+                         metrics=metrics)
+        counter = metrics.counter(
+            "sim_ticks", "simulated ticks by engine path",
+            labels=("platform", "path"),
+        )
+        fast = counter.labels(platform="nvp", path="fast_forward").value
+        exact = counter.labels(platform="nvp", path="exact").value
+        assert fast == sim.ticks_fast_forwarded > 0
+        assert exact == sim.ticks_exact
+        assert fast + exact == len(trace)
+
+
+class TestChargeManyPrimitive:
+    """storage.charge_many == repeated step(p, 0, dt), bitwise."""
+
+    def clone_pair(self, make):
+        return make(), make()
+
+    @pytest.mark.parametrize("make", [
+        lambda: Capacitor(150e-9, v_initial_v=0.5),
+        lambda: Capacitor(
+            150e-9,
+            v_initial_v=1.0,
+            leak_resistance_ohm=20e6,
+            efficiency=ChargeEfficiency(
+                eta_peak=0.90, eta_floor=0.75, v_opt_v=2.0, v_span_v=3.0
+            ),
+        ),
+        supercap,
+        lambda: IdealStorage(5e-7, initial_j=1e-8),
+    ])
+    def test_matches_step_loop(self, make):
+        rng = np.random.default_rng(42)
+        powers = (rng.uniform(0.0, 500e-6, size=5000)
+                  * rng.integers(0, 2, size=5000)).tolist()
+        reference, bulk = self.clone_pair(make)
+        for p in powers:
+            reference.step(p, 0.0, 1e-4)
+        consumed, crossed = bulk.charge_many(powers, 0, len(powers), 1e-4)
+        assert consumed == len(powers) and not crossed
+        assert bulk.energy_j == reference.energy_j
+        assert bulk.total_charged_j == reference.total_charged_j
+        assert bulk.total_wasted_j == reference.total_wasted_j
+        assert bulk.total_leaked_j == reference.total_leaked_j
+
+    def test_stops_after_crossing_tick(self):
+        cap = Capacitor(150e-9)
+        target = 2e-8
+        powers = [100e-6] * 1000
+        consumed, crossed = cap.charge_many(powers, 0, len(powers), 1e-4,
+                                            target)
+        assert crossed
+        assert cap.energy_j >= target
+        # The reference loop crosses on the same tick.
+        reference = Capacitor(150e-9)
+        ticks = 0
+        while reference.energy_j < target:
+            reference.step(100e-6, 0.0, 1e-4)
+            ticks += 1
+        assert ticks == consumed
+        assert reference.energy_j == cap.energy_j
+
+    def test_respects_window_bounds(self):
+        cap = Capacitor(150e-9)
+        powers = [100e-6] * 100
+        consumed, crossed = cap.charge_many(powers, 10, 20, 1e-4, None)
+        assert consumed == 10 and not crossed
+
+    def test_validates_dt(self):
+        with pytest.raises(ValueError):
+            Capacitor(150e-9).charge_many([1e-6], 0, 1, 0.0)
+        with pytest.raises(ValueError):
+            IdealStorage(1e-6).charge_many([1e-6], 0, 1, -1.0)
+
+
+class TestRectifierArrayPath:
+    @pytest.mark.parametrize("rect", [
+        Rectifier(),
+        Rectifier(eta_max=1.0, knee_power_w=0.0, cutin_power_w=0.0),
+        IDEAL_RECTIFIER,
+    ])
+    def test_array_matches_scalar_bitwise(self, rect):
+        rng = np.random.default_rng(3)
+        samples = np.concatenate([
+            rng.uniform(0.0, 100e-6, size=500),
+            np.zeros(10),
+            np.array([0.5e-6, 1e-6, 2e-6]),  # around the cut-in
+        ])
+        array_out = rect.output_power_array(samples)
+        scalar_out = np.array([rect.output_power(float(p)) for p in samples])
+        assert np.array_equal(array_out, scalar_out)
+
+    def test_convert_uses_array_path(self):
+        trace = wristwatch_trace(0.2, seed=1)
+        rect = standard_rectifier()
+        converted = rect.convert(trace)
+        assert np.array_equal(
+            converted.samples_w, rect.output_power_array(trace.samples_w)
+        )
+
+
+class TestTraceDtype:
+    def test_power_trace_guarantees_contiguous_float64(self):
+        from repro.harvest.traces import PowerTrace
+
+        trace = PowerTrace([1, 2, 3], 1e-4)
+        assert trace.samples_w.dtype == np.float64
+        assert trace.samples_w.flags["C_CONTIGUOUS"]
+        strided = PowerTrace(
+            np.arange(10, dtype=np.float32)[::2], 1e-4
+        )
+        assert strided.samples_w.dtype == np.float64
+        assert strided.samples_w.flags["C_CONTIGUOUS"]
