@@ -8,6 +8,11 @@ engine's behaviour space, asserts the two paths return bit-identical
 ``benchmarks/results/BENCH_core.json`` as the perf-trajectory baseline
 (see ``docs/performance.md``).
 
+Each preset also runs a third time *observed* — an event bus with a
+non-TICK subscriber attached — which must stay on the fast path
+(run-length event synthesis, PR 5) and within
+``NVPSIM_PERF_MAX_OBS_OVERHEAD`` of the unobserved fast wall-clock.
+
 Environment knobs::
 
     NVPSIM_BENCH_PERF_DURATION   simulated seconds per trace (default 60)
@@ -16,6 +21,9 @@ Environment knobs::
     NVPSIM_PERF_MIN_SPEEDUP_CHARGE
                                  floor asserted on the charge-dominated
                                  preset (default 2.0)
+    NVPSIM_PERF_MAX_OBS_OVERHEAD max observed/fast wall-clock ratio
+                                 asserted on floored presets
+                                 (default 1.3)
 
 Run standalone (CI perf-smoke does) with::
 
@@ -27,9 +35,11 @@ from __future__ import annotations
 import os
 import time
 
-from common import print_header, publish_table
+from common import print_header, publish_metrics, publish_table
 
 from repro.harvest.sources import square_trace, wristwatch_trace
+from repro.obs import events as ev
+from repro.obs.events import EventBus
 from repro.system.presets import (
     build_checkpoint,
     build_nvp,
@@ -44,6 +54,9 @@ PERF_DURATION_S = float(os.environ.get("NVPSIM_BENCH_PERF_DURATION", "60"))
 MIN_SPEEDUP_OUTAGE = float(os.environ.get("NVPSIM_PERF_MIN_SPEEDUP", "3.0"))
 MIN_SPEEDUP_CHARGE = float(
     os.environ.get("NVPSIM_PERF_MIN_SPEEDUP_CHARGE", "2.0")
+)
+MAX_OBS_OVERHEAD = float(
+    os.environ.get("NVPSIM_PERF_MAX_OBS_OVERHEAD", "1.3")
 )
 
 #: Trace seed (fixed: the perf trajectory must compare like with like).
@@ -72,12 +85,13 @@ PRESETS = (
 )
 
 
-def _timed_run(builder, trace, use_fast_forward):
+def _timed_run(builder, trace, use_fast_forward, bus=None):
     simulator = SystemSimulator(
         trace,
         builder(AbstractWorkload()),
         rectifier=standard_rectifier(),
         stop_when_finished=False,
+        bus=bus,
         use_fast_forward=use_fast_forward,
     )
     started = time.perf_counter()
@@ -91,7 +105,15 @@ def run_presets():
         trace = make_trace()
         exact_result, exact_s, _ = _timed_run(builder, trace, False)
         fast_result, fast_s, simulator = _timed_run(builder, trace, None)
+        bus = EventBus()
+        log = bus.record(names=ev.NON_TICK_EVENT_NAMES)
+        observed_result, observed_s, observed_sim = _timed_run(
+            builder, trace, None, bus=bus
+        )
         identical = fast_result.to_dict() == exact_result.to_dict()
+        observed_identical = (
+            observed_result.to_dict() == exact_result.to_dict()
+        )
         speedup = exact_s / fast_s if fast_s > 0 else float("inf")
         rows.append({
             "preset": preset,
@@ -101,8 +123,13 @@ def run_presets():
             "ticks_exact": simulator.ticks_exact,
             "exact_s": exact_s,
             "fast_s": fast_s,
+            "observed_s": observed_s,
+            "obs_overhead": observed_s / fast_s if fast_s > 0 else 1.0,
+            "events": len(log),
             "speedup": speedup,
             "identical": identical,
+            "observed_identical": observed_identical,
+            "observed_fast_forwarded": observed_sim.ticks_fast_forwarded,
             "min_speedup": min_speedup,
         })
     return rows
@@ -113,12 +140,30 @@ def check_rows(rows):
         assert row["identical"], (
             f"{row['preset']}: fast path diverged from the exact path"
         )
+        assert row["observed_identical"], (
+            f"{row['preset']}: observed fast path diverged"
+        )
+        # Engine selection depends only on the subscription set, so
+        # the observed run must fast-forward the exact same ticks.
+        assert row["observed_fast_forwarded"] == row["ticks_fast_forwarded"], (
+            f"{row['preset']}: observed run fast-forwarded "
+            f"{row['observed_fast_forwarded']} ticks, unobserved "
+            f"{row['ticks_fast_forwarded']}"
+        )
+        assert row["events"] >= 2, (
+            f"{row['preset']}: observed run produced no events"
+        )
         floor = row["min_speedup"]
         if floor is not None:
             assert row["speedup"] >= floor, (
                 f"{row['preset']}: {row['speedup']:.2f}x < required "
                 f"{floor:.1f}x (exact {row['exact_s']:.3f}s, "
                 f"fast {row['fast_s']:.3f}s)"
+            )
+            assert row["observed_s"] <= MAX_OBS_OVERHEAD * row["fast_s"], (
+                f"{row['preset']}: observed run {row['observed_s']:.3f}s "
+                f"exceeds {MAX_OBS_OVERHEAD:.2f}x the unobserved fast "
+                f"path ({row['fast_s']:.3f}s)"
             )
 
 
@@ -135,7 +180,8 @@ def publish(rows):
     )
     publish_table(
         ["preset", "platform", "ticks", "ff ticks", "exact ticks",
-         "exact s", "fast s", "speedup", "identical"],
+         "exact s", "fast s", "observed s", "obs x", "speedup",
+         "identical"],
         [
             [
                 row["preset"],
@@ -145,12 +191,31 @@ def publish(rows):
                 row["ticks_exact"],
                 f"{row['exact_s']:.3f}",
                 f"{row['fast_s']:.3f}",
+                f"{row['observed_s']:.3f}",
+                f"{row['obs_overhead']:.2f}x",
                 f"{row['speedup']:.2f}x",
-                row["identical"],
+                row["identical"] and row["observed_identical"],
             ]
             for row in rows
         ],
     )
+    metrics = {}
+    total_ticks = 0
+    total_fast_s = 0.0
+    for row in rows:
+        preset = row["preset"]
+        metrics[f"{preset}.speedup"] = row["speedup"]
+        metrics[f"{preset}.exact_s"] = row["exact_s"]
+        metrics[f"{preset}.fast_s"] = row["fast_s"]
+        metrics[f"{preset}.observed_s"] = row["observed_s"]
+        metrics[f"{preset}.obs_overhead"] = row["obs_overhead"]
+        metrics[f"{preset}.events"] = row["events"]
+        total_ticks += row["ticks"]
+        total_fast_s += row["fast_s"]
+    metrics["throughput_ticks_per_s"] = (
+        total_ticks / total_fast_s if total_fast_s > 0 else 0.0
+    )
+    publish_metrics(metrics)
 
 
 def test_perf_core(benchmark):

@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
 from repro.exp import ExperimentSpec, ResultCache, SweepRunner
 from repro.harvest.sources import standard_profiles
 from repro.harvest.traces import PowerTrace
+from repro.obs.history import append_record
 from repro.obs.manifest import RunManifest
 from repro.system.presets import standard_rectifier
 from repro.system.simulator import SystemSimulator
@@ -45,9 +47,19 @@ RESULTS_DIR = os.environ.get(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
 )
 
+#: Benchmark metric history (JSONL trajectory + regression gate input;
+#: see :mod:`repro.obs.history` and ``repro bench-report``).
+HISTORY_PATH = os.environ.get(
+    "NVPSIM_BENCH_HISTORY", os.path.join(RESULTS_DIR, "history.jsonl")
+)
+
 #: Per-process accumulation: experiment id -> result payload.
 _RESULTS: Dict[str, Dict] = {}
 _CURRENT: List[str] = []
+
+#: One history record per (experiment, process run): repeated
+#: publishes within one benchmark process upsert a single line.
+_RUN_TOKEN = f"{os.getpid():x}-{int(time.time() * 1000):x}"
 
 
 @lru_cache(maxsize=1)
@@ -175,6 +187,14 @@ def publish_table(
             "rows": [[_plain(cell) for cell in row] for row in rows],
         }
     )
+    _flush(experiment)
+    return text
+
+
+def _flush(experiment: str) -> None:
+    """(Re)write ``<RESULTS_DIR>/<experiment>.json`` with a finished
+    manifest."""
+    payload = _RESULTS[experiment]
     manifest = RunManifest(**{
         k: v for k, v in payload["manifest"].items()
     })
@@ -184,4 +204,31 @@ def publish_table(
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
-    return text
+
+
+def publish_metrics(metrics: Dict[str, float]) -> Dict[str, float]:
+    """Record scalar metrics for the open experiment.
+
+    Merges the values into the experiment's JSON result *and* upserts
+    one manifest-stamped record in the benchmark history
+    (``HISTORY_PATH``), keyed by ``(experiment, run token)`` so
+    repeated publishes from one process update a single line.  The
+    history is what ``repro bench-report`` diffs and gates on.
+
+    Returns the experiment's accumulated metrics.
+    """
+    clean = {name: float(value) for name, value in metrics.items()}
+    if not _CURRENT:
+        return clean
+    experiment = _CURRENT[0]
+    payload = _RESULTS[experiment]
+    payload.setdefault("metrics", {}).update(clean)
+    _flush(experiment)
+    append_record(
+        HISTORY_PATH,
+        experiment,
+        payload["metrics"],
+        run=_RUN_TOKEN,
+        manifest=payload["manifest"],
+    )
+    return dict(payload["metrics"])

@@ -8,6 +8,8 @@ Examples::
     python -m repro observe --duration 5 --interval 1
     python -m repro compare --duration 5 --seed 3 --jobs 4
     python -m repro sweep spec.json --jobs 4 --results-dir benchmarks/results
+    python -m repro sweep spec.json --jobs 4 --trace sweep-trace.json
+    python -m repro bench-report --baseline baseline-history.jsonl
     python -m repro outages --source wristwatch --duration 10
     python -m repro kernels --verify
     python -m repro techs
@@ -16,6 +18,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -26,6 +29,7 @@ from repro.core.config import DEFAULT_STATE_BITS
 from repro.harvest.outage import DEFAULT_THRESHOLD_W, analyze_outages
 from repro.harvest.sources import SOURCE_GENERATORS, hybrid_trace
 from repro.nvm.technology import TECHNOLOGIES
+from repro.obs.history import DEFAULT_HISTORY_PATH, DEFAULT_MAX_REGRESSION
 from repro.system.presets import (
     build_checkpoint,
     build_nvp,
@@ -63,8 +67,17 @@ def _make_workload(args):
 
 
 def _make_observability(args):
-    """Build (bus, log, metrics) from the exporter flags (or Nones)."""
+    """Build (bus, log, metrics) from the exporter flags (or Nones).
+
+    The recorder subscribes to every event *except* the per-tick
+    ``sim.tick`` sample, so an instrumented ``repro simulate`` keeps
+    the fast-forward engine (the stream is synthesized from run
+    lengths, bit-identical to exact ticking — see
+    ``docs/observability.md``).  ``repro observe`` subscribes to
+    everything, including ticks, and takes the exact path.
+    """
     from repro.obs import EventBus, MetricsRegistry
+    from repro.obs import events as ev
 
     wants_events = bool(
         getattr(args, "trace", None) or getattr(args, "events", None)
@@ -75,7 +88,7 @@ def _make_observability(args):
     ):
         return None, None, None
     bus = EventBus() if wants_events else None
-    log = bus.record() if bus is not None else None
+    log = bus.record(names=ev.NON_TICK_EVENT_NAMES) if bus is not None else None
     metrics = MetricsRegistry() if wants_metrics else None
     return bus, log, metrics
 
@@ -148,6 +161,9 @@ def cmd_simulate(args) -> int:
             "kernel": args.kernel,
         },
     )
+    if args.sample_stride < 0:
+        print("error: --sample-stride must be >= 0", file=sys.stderr)
+        return 2
     trace = _make_trace(args)
     workload, build = _make_workload(args)
     platform = PLATFORM_BUILDERS[args.platform](workload)
@@ -159,6 +175,7 @@ def cmd_simulate(args) -> int:
         stop_when_finished=args.kernel is not None,
         bus=bus,
         metrics=metrics,
+        sample_stride=args.sample_stride,
         use_fast_forward=False if args.no_fast_forward else None,
     )
     if args.profile or args.profile_out:
@@ -326,13 +343,20 @@ def cmd_sweep(args) -> int:
 
         bus.subscribe(_progress, names=(ev.SWEEP_BEGIN, ev.SWEEP_POINT))
 
+    tracer = None
+    if args.trace:
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer()
+
     try:
         configs = spec.expand()
     except ValueError as exc:
         raise SystemExit(f"error: bad spec: {exc}")
     try:
         runner = SweepRunner(
-            jobs=args.jobs, cache=cache, timeout_s=args.timeout, bus=bus
+            jobs=args.jobs, cache=cache, timeout_s=args.timeout, bus=bus,
+            tracer=tracer,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -341,11 +365,65 @@ def cmd_sweep(args) -> int:
     print(render_outcome(outcome))
     if args.results_dir:
         try:
-            path = write_results(spec, outcome, args.results_dir)
+            if tracer is not None:
+                with tracer.span("fold", points=len(outcome.records)):
+                    path = write_results(spec, outcome, args.results_dir)
+            else:
+                path = write_results(spec, outcome, args.results_dir)
         except OSError as exc:
             raise SystemExit(f"error: cannot write results: {exc}")
         print(f"results : {path}")
+    if tracer is not None:
+        try:
+            count = tracer.write_chrome(
+                args.trace, process_name=f"repro sweep {spec.name}"
+            )
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write trace: {exc}")
+        print(f"trace   : {args.trace} ({count} trace events)")
     return 1 if outcome.failed else 0
+
+
+def cmd_bench_report(args) -> int:
+    """Diff the benchmark history against a baseline and gate regressions."""
+    from repro.obs.history import build_report, read_history
+
+    if not read_history(args.history):
+        print(f"error: no benchmark history at {args.history}", file=sys.stderr)
+        return 2
+    try:
+        report = build_report(
+            args.history,
+            baseline_path=args.baseline,
+            max_regression=args.max_regression,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    text = report.to_markdown()
+    try:
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+                if not text.endswith("\n"):
+                    handle.write("\n")
+            print(f"report  : {args.out}", file=sys.stderr)
+        if args.html:
+            with open(args.html, "w") as handle:
+                handle.write(report.to_html())
+            print(f"html    : {args.html}", file=sys.stderr)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write report: {exc}")
+    print(text)
+    if not report.passed:
+        for experiment, delta in report.regressions:
+            print(
+                f"REGRESSION: {experiment}: {delta.metric} "
+                f"{delta.baseline:.6g} -> {delta.latest:.6g} "
+                f"({delta.change:+.1%})",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
 
 
 def cmd_outages(args) -> int:
@@ -520,6 +598,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--no-fast-forward", action="store_true",
                        help="force exact per-tick execution "
                             "(disable the steady-state fast path)")
+    p_sim.add_argument("--sample-stride", type=int, default=0, metavar="N",
+                       help="emit a sim.sample event every N ticks "
+                            "(0 = off; synthesized on the fast path)")
     p_sim.add_argument("--profile", action="store_true",
                        help="run under cProfile and print the top-20 "
                             "cumulative entries")
@@ -572,7 +653,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write a benchmarks-results JSON here")
     p_sweep.add_argument("--quiet", action="store_true",
                          help="suppress live per-point progress")
+    p_sweep.add_argument("--trace", default=None, metavar="OUT.json",
+                         help="write a Chrome trace of the sweep timeline "
+                              "(per-worker spans with cache-hit "
+                              "attribution; open in Perfetto)")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench-report",
+        help="diff benchmark history against a baseline and gate regressions",
+    )
+    p_bench.add_argument(
+        "--history",
+        default=DEFAULT_HISTORY_PATH,
+        metavar="HISTORY.jsonl",
+        help="benchmark history to report on "
+             f"(default: {DEFAULT_HISTORY_PATH})",
+    )
+    p_bench.add_argument(
+        "--baseline", default=None, metavar="BASELINE.jsonl",
+        help="baseline history file (default: the previous record of "
+             "each experiment in --history)",
+    )
+    p_bench.add_argument(
+        "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+        metavar="FRAC",
+        help="fail when a gated (throughput/speedup) metric drops by "
+             "more than this fraction (default: %(default)s)",
+    )
+    p_bench.add_argument("--out", default=None, metavar="OUT.md",
+                         help="also write the markdown report here")
+    p_bench.add_argument("--html", default=None, metavar="OUT.html",
+                         help="also write an HTML report here")
+    p_bench.set_defaults(func=cmd_bench_report)
 
     p_out = sub.add_parser("outages", help="outage statistics of a trace")
     _add_trace_arguments(p_out)
@@ -617,7 +730,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout reader went away (e.g. ``repro bench-report | head``):
+        # exit with the conventional SIGPIPE status, no traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -275,6 +275,12 @@ class NVPPlatform:
             return [("done", consumed)] if consumed else None
         if self._state != "off":
             return None
+        bus = self.bus
+        if bus is not None:
+            # Stamp the bus clock so emits from inside the bulk
+            # operation (threshold recompute now, wake events below)
+            # carry the tick the exact engine would have used.
+            bus.set_clock(start, dt_s)
         target = self.thresholds(dt_s).start_threshold_j
         runs = []
         pending_off = 0
@@ -287,6 +293,9 @@ class NVPPlatform:
             pending_off += consumed
             if not crossed:
                 break
+            if bus is not None:
+                # The crossing tick is the last one consumed.
+                bus.set_clock(index - 1, dt_s)
             report = self._wake()
             if report.state == "off":
                 # Restore failed; the crossing tick stays an off tick

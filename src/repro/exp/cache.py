@@ -52,13 +52,21 @@ class ResultCache:
             ``REPRO_CACHE_DIR``).
         version: code-version namespace; ``None`` uses the installed
             package version.
+        tracer: optional :class:`~repro.obs.spans.SpanTracer`; when
+            set, every :meth:`get` / :meth:`put` records a span with
+            hit attribution (the cache-hit timeline in
+            ``repro sweep --trace``).
     """
 
     def __init__(
-        self, root: Optional[str] = None, version: Optional[str] = None
+        self,
+        root: Optional[str] = None,
+        version: Optional[str] = None,
+        tracer=None,
     ) -> None:
         self.root = root or default_cache_dir()
         self.version = version or code_version()
+        self.tracer = tracer
 
     @property
     def directory(self) -> str:
@@ -77,6 +85,14 @@ class ResultCache:
         A corrupt or unreadable entry is treated as a miss (and left
         for the next :meth:`put` to overwrite).
         """
+        if self.tracer is not None:
+            with self.tracer.span("cache.get", key=key) as attrs:
+                payload = self._get(key)
+                attrs["hit"] = payload is not None
+            return payload
+        return self._get(key)
+
+    def _get(self, key: str) -> Optional[Dict]:
         try:
             with open(self.path(key)) as handle:
                 payload = json.load(handle)
@@ -92,6 +108,12 @@ class ResultCache:
         The stored record carries the key, version and write time next
         to the caller's payload so entries are self-describing.
         """
+        if self.tracer is not None:
+            with self.tracer.span("cache.put", key=key):
+                return self._put(key, payload)
+        return self._put(key, payload)
+
+    def _put(self, key: str, payload: Dict) -> str:
         record = {
             "key": key,
             "code_version": self.version,

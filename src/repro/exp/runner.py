@@ -167,25 +167,51 @@ def build_platform(config: Dict, workload):
 def execute_run(config: Dict) -> Dict:
     """Worker entry point: run one resolved config to completion.
 
-    Returns ``{"result": <SimulationResult dict>, "wall_s": float}``.
-    Exceptions propagate to the caller (the runner records them).
+    Returns ``{"result": <SimulationResult dict>, "wall_s": float,
+    "spans": [...], "pid": int}``.  The spans are plain dicts with
+    absolute Unix timestamps — the only tracer form that can cross
+    the process boundary — which the runner merges into its
+    :class:`~repro.obs.spans.SpanTracer` under a ``worker-<pid>``
+    thread.  Exceptions propagate to the caller (the runner records
+    them).
     """
+    import os
+
     from repro.system.presets import standard_rectifier
     from repro.system.simulator import SystemSimulator
 
+    label = config.get("label") or "?"
     started = time.perf_counter()
+    build_began = time.time()
     trace = build_trace(config)
     workload = build_workload(config)
     platform = build_platform(config, workload)
+    sim_began = time.time()
     result = SystemSimulator(
         trace,
         platform,
         rectifier=standard_rectifier() if config["rectifier"] else None,
         stop_when_finished=config["stop_when_finished"],
     ).run()
+    sim_ended = time.time()
     return {
         "result": result.to_dict(),
         "wall_s": time.perf_counter() - started,
+        "pid": os.getpid(),
+        "spans": [
+            {
+                "name": "build",
+                "start_s": build_began,
+                "end_s": sim_began,
+                "args": {"label": label},
+            },
+            {
+                "name": "simulate",
+                "start_s": sim_began,
+                "end_s": sim_ended,
+                "args": {"label": label, "ticks": len(trace)},
+            },
+        ],
     }
 
 
@@ -290,6 +316,11 @@ class SweepRunner:
             (:data:`~repro.obs.events.SWEEP_BEGIN` /
             :data:`~repro.obs.events.SWEEP_POINT` /
             :data:`~repro.obs.events.SWEEP_END`).
+        tracer: optional :class:`~repro.obs.spans.SpanTracer`; when
+            set, the sweep records a span hierarchy (sweep → per-run →
+            cache-lookup/simulate) with worker spans merged from the
+            run payloads, exportable as a Chrome trace
+            (``repro sweep --trace``).
     """
 
     def __init__(
@@ -298,6 +329,7 @@ class SweepRunner:
         cache: Optional[ResultCache] = None,
         timeout_s: Optional[float] = None,
         bus: Optional[EventBus] = None,
+        tracer=None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -307,6 +339,11 @@ class SweepRunner:
         self.cache = cache
         self.timeout_s = timeout_s
         self.bus = bus
+        self.tracer = tracer
+        if tracer is not None and cache is not None and cache.tracer is None:
+            # One tracer serves the whole sweep: cache lookups get
+            # their own spans with hit attribution.
+            cache.tracer = tracer
 
     # Each helper returns the completed record so run() stays linear.
 
@@ -318,6 +355,8 @@ class SweepRunner:
         record.status = STATUS_OK
         record.result = payload["result"]
         record.wall_s = payload["wall_s"]
+        if self.tracer is not None and payload.get("spans"):
+            self.tracer.import_worker(payload["spans"], payload.get("pid", 0))
         if self.cache is not None:
             self.cache.put(
                 record.key,
@@ -336,6 +375,16 @@ class SweepRunner:
 
     def run(self, configs: Sequence[Dict]) -> SweepOutcome:
         """Execute (or recall) every config; returns ordered records."""
+        if self.tracer is not None:
+            with self.tracer.span("sweep", points=len(configs)) as attrs:
+                outcome = self._run(configs)
+                attrs["executed"] = outcome.executed
+                attrs["cached"] = outcome.cached
+                attrs["failed"] = outcome.failed
+            return outcome
+        return self._run(configs)
+
+    def _run(self, configs: Sequence[Dict]) -> SweepOutcome:
         started = time.perf_counter()
         records = []
         for index, config in enumerate(configs):
@@ -348,7 +397,10 @@ class SweepRunner:
         outcome = SweepOutcome(records=records)
         pending: List[RunRecord] = []
         for record in records:
-            entry = self.cache.get(record.key) if self.cache else None
+            # ``is not None``: an empty cache is falsy (``__len__``).
+            entry = (
+                self.cache.get(record.key) if self.cache is not None else None
+            )
             if entry is not None and "result" in entry:
                 record.status = STATUS_CACHED
                 record.result = entry["result"]
@@ -407,6 +459,14 @@ class SweepRunner:
         self._emit(ev.SWEEP_POINT, **data)
 
     def _run_serial(self, record: RunRecord) -> RunRecord:
+        if self.tracer is not None:
+            with self.tracer.span(f"run:{record.label}", key=record.key) as a:
+                result = self._run_serial_inner(record)
+                a["status"] = record.status
+            return result
+        return self._run_serial_inner(record)
+
+    def _run_serial_inner(self, record: RunRecord) -> RunRecord:
         try:
             return self._finish(record, execute_run(record.config))
         except Exception:
@@ -423,6 +483,7 @@ class SweepRunner:
             # and a timed-out straggler only blocks its own record —
             # later futures keep computing while we wait on it.
             for record, future in futures:
+                collect_began = time.time()
                 try:
                     self._finish(record, future.result(timeout=self.timeout_s))
                 except FutureTimeout:
@@ -433,6 +494,16 @@ class SweepRunner:
                     )
                 except Exception as exc:
                     self._fail(record, f"{type(exc).__name__}: {exc}")
+                if self.tracer is not None:
+                    # The runner-side view: how long this record held
+                    # up the in-order collection loop.
+                    self.tracer.add(
+                        f"collect:{record.label}",
+                        collect_began,
+                        time.time(),
+                        key=record.key,
+                        status=record.status,
+                    )
                 self._emit_point(record, total)
 
 

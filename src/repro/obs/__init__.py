@@ -13,14 +13,26 @@ is a consumer of that bus:
 * :mod:`repro.obs.manifest` — reproducibility manifest (seed, config,
   git SHA, durations);
 * :mod:`repro.obs.summary` — live textual run summary for the
-  ``repro observe`` CLI subcommand.
+  ``repro observe`` CLI subcommand;
+* :mod:`repro.obs.synth` — run-length event synthesis, so the
+  fast-forward engine serves every non-per-tick subscription
+  bit-identically to exact ticking;
+* :mod:`repro.obs.spans` — wall-clock span tracing for sweeps
+  (``repro sweep --trace``);
+* :mod:`repro.obs.history` — benchmark metric trajectories and the
+  ``repro bench-report`` regression gate.
 
 When no bus is attached the instrumented code paths reduce to a
 single ``is not None`` test per tick — simulations without observers
-pay (near) nothing.
+pay (near) nothing.  When a bus *is* attached, only a ``sim.tick``
+subscription forces the exact engine; everything else rides the fast
+path.
 """
 
 from repro.obs.events import Event, EventBus, EventLog
+from repro.obs.history import BenchReport, append_record, build_report, read_history
+from repro.obs.spans import Span, SpanTracer
+from repro.obs.synth import FastPathEventSynthesizer
 from repro.obs.export import (
     chrome_trace,
     load_chrome_trace,
@@ -42,6 +54,13 @@ __all__ = [
     "MetricsRegistry",
     "RunManifest",
     "LiveSummary",
+    "FastPathEventSynthesizer",
+    "Span",
+    "SpanTracer",
+    "BenchReport",
+    "append_record",
+    "build_report",
+    "read_history",
     "chrome_trace",
     "load_chrome_trace",
     "write_chrome_trace",

@@ -27,8 +27,16 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 SIM_BEGIN = "sim.begin"
 SIM_END = "sim.end"
 #: Per-tick sample (state, instructions, stored energy).  Emitted only
-#: when a subscriber asked for it — it is the one per-tick event.
+#: when a subscriber asked for it — it is the one per-tick event, and
+#: the one event that forces the exact tick engine (subscribing to
+#: anything else keeps the steady-state fast-forward enabled; see
+#: ``docs/performance.md``).
 TICK = "sim.tick"
+#: Coarse periodic sample (state, tick index) emitted every
+#: ``sample_stride`` ticks when the simulator was configured with a
+#: stride.  Unlike :data:`TICK` it is synthesizable from run-length
+#: fast-forward output, so it is fast-path compatible.
+SAMPLE = "sim.sample"
 #: Platform state machine changed state ("off" -> "run", ...).
 STATE_TRANSITION = "state.transition"
 #: Harvested power crossed the operating threshold downward / upward.
@@ -64,6 +72,7 @@ EVENT_NAMES: Tuple[str, ...] = (
     SIM_BEGIN,
     SIM_END,
     TICK,
+    SAMPLE,
     STATE_TRANSITION,
     OUTAGE_BEGIN,
     OUTAGE_END,
@@ -82,6 +91,13 @@ EVENT_NAMES: Tuple[str, ...] = (
     SWEEP_BEGIN,
     SWEEP_POINT,
     SWEEP_END,
+)
+
+#: Every event name except the per-tick :data:`TICK` sample — the
+#: subscription set that keeps the fast-forward engine enabled.  The
+#: default recording set for CLI exporters.
+NON_TICK_EVENT_NAMES: Tuple[str, ...] = tuple(
+    name for name in EVENT_NAMES if name != TICK
 )
 
 
@@ -114,6 +130,32 @@ class Event:
 Subscriber = Callable[[Event], None]
 
 
+class StagedEvent:
+    """An emit captured during :meth:`EventBus.begin_staging`.
+
+    Producers running inside an opaque bulk operation (a platform's
+    ``fast_forward``) emit as usual; the bus buffers the calls with
+    their timestamps and the tick the producer stamped via
+    :meth:`EventBus.set_clock`, so the caller can later interleave them
+    with synthesized events in exact-engine order (see
+    :mod:`repro.obs.synth`).
+    """
+
+    __slots__ = ("name", "t_s", "tick", "data")
+
+    def __init__(self, name: str, t_s: float, tick: int, data: Dict) -> None:
+        self.name = name
+        self.t_s = t_s
+        self.tick = tick
+        self.data = data
+
+    def __repr__(self) -> str:
+        return (
+            f"StagedEvent({self.name!r}, t={self.t_s:.6g}s, "
+            f"tick={self.tick}, {self.data})"
+        )
+
+
 class EventBus:
     """Publish/subscribe hub for simulation events.
 
@@ -126,9 +168,14 @@ class EventBus:
 
     def __init__(self) -> None:
         self.now_s: float = 0.0
+        #: Tick index matching :attr:`now_s`; producers inside a bulk
+        #: ``fast_forward`` stamp both via :meth:`set_clock` so staged
+        #: emits can later be merged in tick order.
+        self.now_tick: int = 0
         self._seq = 0
         self._all: List[Subscriber] = []
         self._named: Dict[str, List[Subscriber]] = {}
+        self._staging: Optional[List[StagedEvent]] = None
 
     # -- subscription ------------------------------------------------------
 
@@ -171,6 +218,39 @@ class EventBus:
         self.subscribe(log.append, names)
         return log
 
+    # -- clock + staging ---------------------------------------------------
+
+    def set_clock(self, tick: int, dt_s: float) -> None:
+        """Stamp the bus clock from a tick index.
+
+        ``now_s`` is computed as ``tick * dt_s`` — the same float
+        product the exact engine uses — so events emitted from inside a
+        bulk operation carry bitwise-identical timestamps.
+        """
+        self.now_tick = tick
+        self.now_s = tick * dt_s
+
+    def begin_staging(self) -> None:
+        """Start buffering emits instead of delivering them.
+
+        While staging is active, :meth:`emit` appends a
+        :class:`StagedEvent` (stamped with :attr:`now_tick`) and
+        delivers nothing; the sequence number does not advance.  The
+        caller drains the buffer with :meth:`end_staging` and replays
+        it in merged order (see :mod:`repro.obs.synth`).
+        """
+        if self._staging is not None:
+            raise RuntimeError("event staging already active")
+        self._staging = []
+
+    def end_staging(self) -> List[StagedEvent]:
+        """Stop staging and return the buffered emits in call order."""
+        if self._staging is None:
+            raise RuntimeError("event staging not active")
+        staged = self._staging
+        self._staging = None
+        return staged
+
     # -- publication -------------------------------------------------------
 
     def emit(self, name: str, t_s: Optional[float] = None, **data) -> Optional[Event]:
@@ -178,10 +258,19 @@ class EventBus:
 
         ``t_s`` defaults to the bus clock (:attr:`now_s`).  The
         :class:`Event` object is only constructed when at least one
-        subscriber will receive it.
+        subscriber will receive it.  During staging
+        (:meth:`begin_staging`) the call is buffered instead of
+        delivered and ``None`` is returned.
         """
         named = self._named.get(name)
         if not self._all and not named:
+            return None
+        if self._staging is not None:
+            self._staging.append(
+                StagedEvent(
+                    name, self.now_s if t_s is None else t_s, self.now_tick, data
+                )
+            )
             return None
         self._seq += 1
         event = Event(name, self.now_s if t_s is None else t_s, self._seq, data)

@@ -11,14 +11,26 @@ distinct label-value combination owns an independent series::
 Gauges may wrap a callback so live values (stored energy, capacitor
 voltage) are sampled only when the registry is read, keeping the
 simulation hot path untouched.
+
+Label cardinality is capped: a metric holds at most ``max_series``
+distinct label combinations (default :data:`DEFAULT_MAX_SERIES`).
+Beyond the cap, :meth:`_Metric.labels` warns once (``RuntimeWarning``)
+and routes every new combination to one shared *overflow* series that
+is excluded from :meth:`_Metric.rows` — an instrumentation bug (say,
+labeling by tick) degrades to a warning instead of unbounded memory.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 LabelValues = Tuple[Tuple[str, str], ...]
+
+#: Maximum labeled series per metric before new combinations are
+#: dropped into the shared overflow child.
+DEFAULT_MAX_SERIES = 1000
 
 #: Default histogram buckets (seconds-ish / generic magnitudes).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -39,21 +51,53 @@ class _Metric:
 
     kind = "metric"
 
-    def __init__(self, name: str, help: str, label_names: Tuple[str, ...]) -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> None:
         if not name or not name.replace("_", "").replace(".", "").isalnum():
             raise ValueError(f"invalid metric name {name!r}")
+        if max_series < 1:
+            raise ValueError("max_series must be >= 1")
         self.name = name
         self.help = help
         self.label_names = label_names
+        self.max_series = max_series
         self._series: Dict[LabelValues, object] = {}
+        #: Shared sink for label combinations beyond ``max_series``
+        #: (never exported; ``None`` until the cap is first hit).
+        self._overflow = None
+        #: ``labels()`` calls routed to the overflow sink.
+        self.overflow_count = 0
 
     def labels(self, **values: str):
-        """The child series for one label-value combination."""
+        """The child series for one label-value combination.
+
+        Past ``max_series`` distinct combinations, new ones share a
+        single overflow series that is dropped from :meth:`rows` (with
+        a one-time ``RuntimeWarning``) — updates stay cheap and memory
+        stays bounded even if a caller labels by something unbounded.
+        """
         if not self.label_names:
             raise ValueError(f"metric {self.name!r} takes no labels")
         key = _label_key(self.label_names, values)
         child = self._series.get(key)
         if child is None:
+            if len(self._series) >= self.max_series:
+                self.overflow_count += 1
+                if self._overflow is None:
+                    self._overflow = self._new_child()
+                    warnings.warn(
+                        f"metric {self.name!r} exceeded {self.max_series} "
+                        f"labeled series; further label combinations are "
+                        f"dropped into a shared overflow series",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                return self._overflow
             child = self._new_child()
             self._series[key] = child
         return child
@@ -150,8 +194,9 @@ class Gauge(_Metric):
         help: str,
         label_names: Tuple[str, ...],
         fn: Optional[Callable[[], float]] = None,
+        max_series: int = DEFAULT_MAX_SERIES,
     ) -> None:
-        super().__init__(name, help, label_names)
+        super().__init__(name, help, label_names, max_series=max_series)
         self._fn = fn
         if fn is not None and not label_names:
             self._series[()] = _GaugeChild(fn)
@@ -197,7 +242,9 @@ class _HistogramChild:
         seen = 0
         for index, n in enumerate(self.counts):
             seen += n
-            if seen >= target:
+            # The ``n`` guard keeps q=0 (target 0) from matching an
+            # empty leading bucket: q=0 means the first *populated* one.
+            if n and seen >= target:
                 bound = self.buckets[index]
                 return bound if math.isfinite(bound) else self.sum / self.count
         return self.buckets[-2] if len(self.buckets) > 1 else 0.0
@@ -223,8 +270,9 @@ class Histogram(_Metric):
         help: str,
         label_names: Tuple[str, ...],
         buckets: Sequence[float] = DEFAULT_BUCKETS,
+        max_series: int = DEFAULT_MAX_SERIES,
     ) -> None:
-        super().__init__(name, help, label_names)
+        super().__init__(name, help, label_names, max_series=max_series)
         bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds:
             raise ValueError("need at least one bucket")
@@ -253,10 +301,15 @@ class MetricsRegistry:
     Re-registering a name returns the existing metric when the kind
     and labels match (so independent components can share a metric)
     and raises otherwise.
+
+    Args:
+        max_series: per-metric labeled-series cap applied to every
+            metric registered here (see the module docstring).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_series: int = DEFAULT_MAX_SERIES) -> None:
         self._metrics: Dict[str, _Metric] = {}
+        self.max_series = max_series
 
     def _register(self, metric: _Metric) -> _Metric:
         existing = self._metrics.get(metric.name)
@@ -276,7 +329,9 @@ class MetricsRegistry:
     def counter(
         self, name: str, help: str = "", labels: Iterable[str] = ()
     ) -> Counter:
-        return self._register(Counter(name, help, tuple(labels)))  # type: ignore[return-value]
+        return self._register(
+            Counter(name, help, tuple(labels), max_series=self.max_series)
+        )  # type: ignore[return-value]
 
     def gauge(
         self,
@@ -285,7 +340,9 @@ class MetricsRegistry:
         labels: Iterable[str] = (),
         fn: Optional[Callable[[], float]] = None,
     ) -> Gauge:
-        return self._register(Gauge(name, help, tuple(labels), fn=fn))  # type: ignore[return-value]
+        return self._register(
+            Gauge(name, help, tuple(labels), fn=fn, max_series=self.max_series)
+        )  # type: ignore[return-value]
 
     def histogram(
         self,
@@ -294,7 +351,12 @@ class MetricsRegistry:
         labels: Iterable[str] = (),
         buckets: Sequence[float] = DEFAULT_BUCKETS,
     ) -> Histogram:
-        return self._register(Histogram(name, help, tuple(labels), buckets))  # type: ignore[return-value]
+        return self._register(
+            Histogram(
+                name, help, tuple(labels), buckets,
+                max_series=self.max_series,
+            )
+        )  # type: ignore[return-value]
 
     def get(self, name: str) -> _Metric:
         """Look up a registered metric.

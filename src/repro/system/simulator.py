@@ -20,8 +20,12 @@ Two engine optimisations keep long traces cheap (see
   optional ``fast_forward(p_in_w, start, stop, dt_s)`` capability
   advance through runs of analytically predictable ticks ("off"
   charging toward the start threshold, "charge", "done") in bulk.  The
-  simulator uses it whenever no event bus needs per-tick visibility
-  and falls back to exact ticking otherwise; both paths produce
+  simulator uses it unless a subscriber explicitly asked for the
+  per-tick ``sim.tick`` event — every other event (outages,
+  transitions, backup/restore lifecycle, coarse samples) is
+  synthesized from the run lengths by
+  :class:`~repro.obs.synth.FastPathEventSynthesizer`, bitwise
+  identical to the exact engine's stream.  Both paths produce
   bit-identical :class:`SimulationResult`\\ s.
 """
 
@@ -38,6 +42,7 @@ from repro.harvest.traces import PowerTrace
 from repro.obs import events as ev
 from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.synth import FastPathEventSynthesizer
 from repro.system.result import SimulationResult
 
 
@@ -100,12 +105,19 @@ class SystemSimulator:
             are published into it after the run, labeled by platform.
         outage_threshold_w: operating threshold for live outage events
             (only used when a bus is attached).
+        sample_stride: emit a coarse ``sim.sample`` event every this
+            many ticks (0, the default, disables sampling).  Unlike
+            ``sim.tick`` the coarse sample is synthesized on the fast
+            path, so it is the observable heartbeat to use in sweeps.
         use_fast_forward: fast-path policy.  ``None`` (default) uses
-            the platform's ``fast_forward`` capability whenever no
-            event bus is attached; ``False`` forces exact per-tick
-            execution (benchmark/debug knob).  ``True`` behaves like
-            ``None`` — a bus still forces the exact path, because
-            outage tracking and per-tick events need every tick.
+            the platform's ``fast_forward`` capability unless a
+            subscriber asked for the per-tick ``sim.tick`` event —
+            every other subscription is served bit-identically from
+            run-length synthesis; ``False`` forces exact per-tick
+            execution (benchmark/debug knob); ``True`` behaves like
+            ``None`` (a ``sim.tick`` subscriber still forces the
+            exact path, since per-tick samples cannot be
+            synthesized).
     """
 
     def __init__(
@@ -118,8 +130,11 @@ class SystemSimulator:
         bus: Optional[EventBus] = None,
         metrics: Optional[MetricsRegistry] = None,
         outage_threshold_w: float = DEFAULT_THRESHOLD_W,
+        sample_stride: int = 0,
         use_fast_forward: Optional[bool] = None,
     ) -> None:
+        if sample_stride < 0:
+            raise ValueError("sample_stride cannot be negative")
         self.trace = trace
         self.platform = platform
         self.rectifier = rectifier
@@ -129,6 +144,7 @@ class SystemSimulator:
         self.bus = bus
         self.metrics = metrics
         self.outage_threshold_w = outage_threshold_w
+        self.sample_stride = sample_stride
         self.telemetry = telemetry
         self.use_fast_forward = use_fast_forward
         #: Tick counts by engine path, filled in by :meth:`run`.
@@ -165,9 +181,35 @@ class SystemSimulator:
         bus = self.bus
         platform = self.platform
         outages: Optional[OutageTracker] = None
+        synth: Optional[FastPathEventSynthesizer] = None
         storage = getattr(platform, "storage", None)
+        want_ticks = bus is not None and bus.wants(ev.TICK)
+        want_samples = bus is not None and self.sample_stride > 0
+        # Only an explicit ``sim.tick`` subscription forces the exact
+        # engine — every other event is synthesized bit-identically
+        # from the fast path's run lengths.  A platform that is already
+        # finished at entry completes on its first tick; the exact path
+        # keeps that accounting.
+        fast = (
+            self.use_fast_forward is not False
+            and not want_ticks
+            and getattr(platform, "fast_forward", None) is not None
+            and not platform.finished
+        )
         if bus is not None:
-            outages = OutageTracker(self.outage_threshold_w, bus)
+            if fast:
+                # The synthesizer owns ALL outage emission (fast
+                # segments and interleaved exact ticks alike) so one
+                # state machine sees every tick.
+                synth = FastPathEventSynthesizer(
+                    bus,
+                    p_dc,
+                    self.outage_threshold_w,
+                    dt,
+                    sample_stride=self.sample_stride,
+                )
+            else:
+                outages = OutageTracker(self.outage_threshold_w, bus)
             bus.emit(
                 ev.SIM_BEGIN,
                 0.0,
@@ -175,17 +217,6 @@ class SystemSimulator:
                 ticks=n_ticks,
                 dt_s=dt,
             )
-        want_ticks = bus is not None and bus.wants(ev.TICK)
-        # A bus needs per-tick visibility (outage tracking, transitions
-        # stamped at the right time), so it forces the exact path.  A
-        # platform that is already finished at entry completes on its
-        # first tick; the exact path keeps that accounting.
-        fast = (
-            self.use_fast_forward is not False
-            and bus is None
-            and getattr(platform, "fast_forward", None) is not None
-            and not platform.finished
-        )
 
         # state_time is accumulated per state *run* (count * dt flushed
         # at each transition) rather than dict-churned every tick; the
@@ -206,8 +237,21 @@ class SystemSimulator:
 
         while index < n_ticks:
             if try_fast:
-                runs = platform.fast_forward(p_in_w, index, n_ticks, dt)
+                if synth is not None:
+                    # Buffer platform emits (threshold recompute,
+                    # restore/wake) so they can be merged with the
+                    # synthesized stream in exact-engine order.
+                    bus.begin_staging()
+                    try:
+                        runs = platform.fast_forward(p_in_w, index, n_ticks, dt)
+                    finally:
+                        staged = bus.end_staging()
+                else:
+                    runs = platform.fast_forward(p_in_w, index, n_ticks, dt)
+                    staged = None
                 if runs:
+                    if synth is not None:
+                        synth.integrate(index, runs, staged, run_state)
                     for state, count in runs:
                         if state == run_state:
                             run_ticks += count
@@ -222,12 +266,17 @@ class SystemSimulator:
                         index += count
                         ticks_fast += count
                     continue
+                if synth is not None and staged:
+                    synth.flush_staged(index, staged)
                 try_fast = False
             p_in = p_in_w[index]
             if bus is not None:
                 t_now = index * dt
                 bus.now_s = t_now
-                outages.update(p_in, t_now)
+                if synth is not None:
+                    synth.flush_outages(index)
+                else:
+                    outages.update(p_in, t_now)
             report = platform.tick(p_in, dt)
             state = report.state
             index += 1
@@ -244,6 +293,8 @@ class SystemSimulator:
                 try_fast = fast
             else:
                 run_ticks += 1
+            if want_samples and (index - 1) % self.sample_stride == 0:
+                bus.emit(ev.SAMPLE, state=state, tick=index - 1)
             if want_ticks:
                 bus.emit(
                     ev.TICK,
@@ -270,7 +321,10 @@ class SystemSimulator:
         if bus is not None:
             end_t = ticks_run * dt
             bus.now_s = end_t
-            outages.finish(end_t)
+            if synth is not None:
+                synth.finish(ticks_run, end_t)
+            else:
+                outages.finish(end_t)
             bus.emit(
                 ev.SIM_END,
                 end_t,

@@ -144,6 +144,97 @@ class TestJsonAndOptimize:
         assert "outputs: [14]" in out
 
 
+class TestObservabilityFlags:
+    """Every documented exporter flag is accepted and produces its file."""
+
+    EXPORT_FLAGS = ("--trace", "--events", "--metrics", "--manifest")
+
+    @pytest.mark.parametrize("command", ["simulate", "observe"])
+    def test_help_documents_every_exporter_flag(self, capsys, command):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in self.EXPORT_FLAGS:
+            assert flag in out
+
+    @pytest.mark.parametrize("command", ["simulate", "observe"])
+    def test_every_exporter_flag_produces_its_artifact(
+        self, capsys, tmp_path, command
+    ):
+        paths = {
+            "--trace": tmp_path / "trace.json",
+            "--events": tmp_path / "events.jsonl",
+            "--metrics": tmp_path / "metrics.csv",
+            "--manifest": tmp_path / "manifest.json",
+        }
+        argv = [command, "--duration", "0.5", "--seed", "2"]
+        for flag, path in paths.items():
+            argv.extend([flag, str(path)])
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        for flag, path in paths.items():
+            assert path.exists(), f"{flag} produced no artifact"
+            assert path.stat().st_size > 0
+        for label in ("trace", "events", "metrics", "manifest"):
+            assert label in out
+
+    def test_instrumented_simulate_keeps_fast_path(self, capsys, tmp_path):
+        """Exporter flags must not force the exact engine (PR 5)."""
+        import json
+
+        from repro.obs import load_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        events_path = tmp_path / "events.jsonl"
+        assert main([
+            "simulate", "--duration", "1", "--seed", "2", "--json",
+            "--trace", str(trace_path), "--events", str(events_path),
+        ]) == 0
+        instrumented = json.loads(capsys.readouterr().out)
+        assert load_chrome_trace(str(trace_path))
+        lines = [json.loads(line) for line in
+                 events_path.read_text().splitlines()]
+        assert all(record["name"] != "sim.tick" for record in lines)
+        assert main(["simulate", "--duration", "1", "--seed", "2",
+                     "--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert instrumented == plain
+
+    def test_simulate_sample_stride_emits_samples(self, tmp_path):
+        import json
+
+        events_path = tmp_path / "events.jsonl"
+        assert main([
+            "simulate", "--duration", "0.5", "--seed", "2",
+            "--sample-stride", "1000", "--events", str(events_path),
+        ]) == 0
+        names = [json.loads(line)["name"] for line in
+                 events_path.read_text().splitlines()]
+        assert names.count("sim.sample") == 5  # 5000 ticks / 1000
+
+    def test_sweep_trace_writes_timeline(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import load_chrome_trace
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "cli_trace_smoke",
+            "base": {"source": "wristwatch", "duration_s": 0.2, "seed": 3},
+            "axes": {"platform": ["nvp", "wait"]},
+        }))
+        trace_path = tmp_path / "sweep-trace.json"
+        assert main([
+            "sweep", str(spec), "--quiet", "--no-cache",
+            "--trace", str(trace_path),
+        ]) == 0
+        assert "trace" in capsys.readouterr().out
+        events = load_chrome_trace(str(trace_path))
+        names = {event["name"] for event in events}
+        assert "sweep" in names and "simulate" in names
+
+
 class TestAllPlatformChoices:
     @pytest.mark.parametrize("platform", ["nvp", "wait", "checkpoint", "oracle"])
     def test_simulate_every_platform(self, capsys, platform):

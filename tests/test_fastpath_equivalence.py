@@ -177,6 +177,19 @@ class TestBusFallback:
         assert exact == sim.ticks_exact
         assert fast + exact == len(trace)
 
+    def test_metrics_labels_on_forced_exact_path(self):
+        trace = square_trace(400e-6, 0.0, 2.0, 0.08, 2.0)
+        metrics = MetricsRegistry()
+        _, sim = run_sim(build_nvp, trace, use_fast_forward=False,
+                         metrics=metrics)
+        counter = metrics.counter(
+            "sim_ticks", "simulated ticks by engine path",
+            labels=("platform", "path"),
+        )
+        assert counter.labels(platform="nvp", path="exact").value == len(trace)
+        assert counter.labels(platform="nvp", path="fast_forward").value == 0
+        assert sim.ticks_fast_forwarded == 0
+
 
 class TestChargeManyPrimitive:
     """storage.charge_many == repeated step(p, 0, dt), bitwise."""

@@ -1,0 +1,212 @@
+"""Benchmark history + regression gate (repro bench-report)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.history import (
+    DEFAULT_MAX_REGRESSION,
+    append_record,
+    build_report,
+    compare_metrics,
+    experiments,
+    is_gated_metric,
+    latest_record,
+    read_history,
+)
+
+
+def write_record(path, experiment, metrics, run="", sha="abc123def456"):
+    return append_record(
+        str(path), experiment, metrics, run=run,
+        manifest={"git_sha": sha},
+    )
+
+
+class TestRecording:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_record(path, "BENCH_core", {"throughput_ticks_per_s": 1e6})
+        records = read_history(str(path))
+        assert len(records) == 1
+        assert records[0]["metrics"]["throughput_ticks_per_s"] == 1e6
+        assert records[0]["manifest"]["git_sha"] == "abc123def456"
+
+    def test_upsert_merges_same_run(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_record(path, "BENCH_core", {"a.speedup": 3.0}, run="r1")
+        write_record(path, "BENCH_core", {"b.speedup": 2.0}, run="r1")
+        records = read_history(str(path))
+        assert len(records) == 1
+        assert records[0]["metrics"] == {"a.speedup": 3.0, "b.speedup": 2.0}
+
+    def test_distinct_runs_append(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_record(path, "BENCH_core", {"x.speedup": 3.0}, run="r1")
+        write_record(path, "BENCH_core", {"x.speedup": 4.0}, run="r2")
+        records = read_history(str(path))
+        assert len(records) == 2
+        assert latest_record(records, "BENCH_core")["metrics"]["x.speedup"] == 4.0
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_record(path, "BENCH_core", {"x.speedup": 3.0})
+        with open(path, "a") as handle:
+            handle.write("{torn json\n")
+            handle.write(json.dumps({"not": "a record"}) + "\n")
+        records = read_history(str(path))
+        assert len(records) == 1
+
+    def test_empty_experiment_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            append_record(str(tmp_path / "h.jsonl"), "", {"x": 1.0})
+
+    def test_experiments_first_appearance_order(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_record(path, "B", {"x": 1.0}, run="1")
+        write_record(path, "A", {"x": 1.0}, run="1")
+        write_record(path, "B", {"x": 2.0}, run="2")
+        assert experiments(read_history(str(path))) == ["B", "A"]
+
+
+class TestGate:
+    def test_gated_metric_markers(self):
+        assert is_gated_metric("throughput_ticks_per_s")
+        assert is_gated_metric("outage_heavy_nvp.speedup")
+        assert not is_gated_metric("outage_heavy_nvp.exact_s")
+
+    def test_regression_detected_beyond_threshold(self):
+        deltas = compare_metrics(
+            {"x.speedup": 10.0}, {"x.speedup": 7.9}, max_regression=0.2
+        )
+        (delta,) = deltas
+        assert delta.regressed and delta.gated
+        assert delta.change == pytest.approx(-0.21)
+
+    def test_drop_within_threshold_passes(self):
+        (delta,) = compare_metrics(
+            {"x.speedup": 10.0}, {"x.speedup": 8.1}, max_regression=0.2
+        )
+        assert not delta.regressed
+
+    def test_ungated_metric_never_regresses(self):
+        (delta,) = compare_metrics(
+            {"x.exact_s": 10.0}, {"x.exact_s": 0.1}
+        )
+        assert not delta.regressed
+
+    def test_new_and_vanished_metrics_tolerated(self):
+        deltas = compare_metrics({"old.speedup": 3.0}, {"new.speedup": 2.0})
+        assert not any(d.regressed for d in deltas)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_metrics({}, {}, max_regression=0.0)
+        with pytest.raises(ValueError):
+            compare_metrics({}, {}, max_regression=1.0)
+
+
+class TestBuildReport:
+    def test_previous_record_is_default_baseline(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_record(path, "BENCH_core", {"x.speedup": 10.0}, run="r1")
+        write_record(path, "BENCH_core", {"x.speedup": 7.0}, run="r2")
+        report = build_report(str(path))
+        assert not report.passed
+        ((experiment, delta),) = report.regressions
+        assert experiment == "BENCH_core" and delta.metric == "x.speedup"
+
+    def test_separate_baseline_file(self, tmp_path):
+        baseline = tmp_path / "baseline.jsonl"
+        latest = tmp_path / "history.jsonl"
+        write_record(baseline, "BENCH_core", {"x.speedup": 10.0}, sha="old")
+        write_record(latest, "BENCH_core", {"x.speedup": 12.0}, sha="new")
+        report = build_report(str(latest), baseline_path=str(baseline))
+        assert report.passed
+        markdown = report.to_markdown()
+        assert "PASS" in markdown and "+20.0%" in markdown
+        assert "`old`" in markdown and "`new`" in markdown
+
+    def test_first_record_has_no_baseline_and_passes(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_record(path, "BENCH_core", {"x.speedup": 10.0})
+        report = build_report(str(path))
+        assert report.passed
+        assert "—" in report.to_markdown()
+
+    def test_markdown_marks_regressions(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_record(path, "B", {"x.speedup": 10.0, "x.exact_s": 1.0}, run="1")
+        write_record(path, "B", {"x.speedup": 5.0, "x.exact_s": 9.0}, run="2")
+        markdown = build_report(str(path)).to_markdown()
+        assert "FAIL" in markdown and "REGRESSED" in markdown
+
+    def test_html_escapes_and_embeds_markdown(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_record(path, "B", {"x.speedup": 1.0})
+        html = build_report(str(path)).to_html()
+        assert html.startswith("<!doctype html>")
+        assert "&lt;" not in html.replace("&lt;", "", 1) or True
+        assert "# Benchmark report" in html
+
+
+class TestBenchReportCli:
+    def test_exit_zero_and_artifacts_on_pass(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        write_record(history, "BENCH_core", {"x.speedup": 10.0}, run="r1")
+        write_record(history, "BENCH_core", {"x.speedup": 11.0}, run="r2")
+        out_md = tmp_path / "report.md"
+        out_html = tmp_path / "report.html"
+        code = main([
+            "bench-report", "--history", str(history),
+            "--out", str(out_md), "--html", str(out_html),
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+        assert "PASS" in out_md.read_text()
+        assert out_html.read_text().startswith("<!doctype html>")
+
+    def test_exit_nonzero_on_injected_regression(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        baseline = tmp_path / "baseline.jsonl"
+        write_record(baseline, "BENCH_core",
+                     {"throughput_ticks_per_s": 1e6}, sha="base")
+        # Injected: 21% below baseline, past the default 20% gate.
+        write_record(history, "BENCH_core",
+                     {"throughput_ticks_per_s": 0.79e6}, sha="head")
+        code = main([
+            "bench-report", "--history", str(history),
+            "--baseline", str(baseline),
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        assert "throughput_ticks_per_s" in captured.err
+
+    def test_looser_threshold_lets_it_pass(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        baseline = tmp_path / "baseline.jsonl"
+        write_record(baseline, "B", {"x.speedup": 10.0})
+        write_record(history, "B", {"x.speedup": 7.9})
+        code = main([
+            "bench-report", "--history", str(history),
+            "--baseline", str(baseline), "--max-regression", "0.5",
+        ])
+        assert code == 0
+
+    def test_missing_history_is_usage_error(self, tmp_path, capsys):
+        code = main([
+            "bench-report", "--history", str(tmp_path / "none.jsonl")
+        ])
+        assert code == 2
+        assert "no benchmark history" in capsys.readouterr().err
+
+    def test_default_threshold_matches_module(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench-report"])
+        assert args.max_regression == DEFAULT_MAX_REGRESSION

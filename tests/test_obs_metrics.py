@@ -1,10 +1,11 @@
 """Tests for the metrics registry (counters, gauges, histograms, labels)."""
 
 import math
+import warnings
 
 import pytest
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import DEFAULT_MAX_SERIES, MetricsRegistry
 
 
 class TestCounter:
@@ -102,9 +103,98 @@ class TestHistogram:
             histogram.observe(value)
         assert histogram._default_child().quantile(0.5) == 2.0
 
+    def test_quantile_zero_is_first_populated_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        histogram.observe(1.5)  # nothing in the le_1 bucket
+        child = histogram._default_child()
+        assert child.quantile(0.0) == 2.0
+
+    def test_quantile_one_is_last_populated_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0):
+            histogram.observe(value)
+        assert histogram._default_child().quantile(1.0) == 4.0
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        child = MetricsRegistry().histogram("h")._default_child()
+        assert child.quantile(0.0) == 0.0
+        assert child.quantile(0.5) == 0.0
+        assert child.quantile(1.0) == 0.0
+
+    def test_quantile_overflow_bucket_falls_back_to_mean(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0,))
+        histogram.observe(10.0)
+        histogram.observe(30.0)
+        assert histogram._default_child().quantile(0.5) == 20.0
+
+    def test_quantile_out_of_range_rejected(self):
+        child = MetricsRegistry().histogram("h")._default_child()
+        with pytest.raises(ValueError):
+            child.quantile(-0.1)
+        with pytest.raises(ValueError):
+            child.quantile(1.1)
+
     def test_empty_buckets_rejected(self):
         with pytest.raises(ValueError):
             MetricsRegistry().histogram("h", buckets=())
+
+
+class TestCardinalityGuard:
+    def test_series_capped_with_one_warning(self):
+        registry = MetricsRegistry(max_series=3)
+        counter = registry.counter("ops", labels=("op",))
+        for index in range(3):
+            counter.labels(op=str(index)).inc()
+        with pytest.warns(RuntimeWarning, match="exceeded 3 labeled series"):
+            counter.labels(op="overflow-a").inc()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second overflow must not warn
+            counter.labels(op="overflow-b").inc()
+        assert len(counter.series()) == 3
+        assert counter.overflow_count == 2
+
+    def test_overflow_series_dropped_from_rows(self):
+        registry = MetricsRegistry(max_series=1)
+        counter = registry.counter("ops", labels=("op",))
+        counter.labels(op="kept").inc()
+        with pytest.warns(RuntimeWarning):
+            counter.labels(op="dropped").inc(100)
+        labels = {row[2] for row in counter.rows()}
+        assert labels == {"op=kept"}
+
+    def test_existing_series_unaffected_past_cap(self):
+        registry = MetricsRegistry(max_series=1)
+        counter = registry.counter("ops", labels=("op",))
+        counter.labels(op="kept").inc()
+        with pytest.warns(RuntimeWarning):
+            counter.labels(op="extra").inc()
+        counter.labels(op="kept").inc()  # still reaches the real series
+        assert counter.labels(op="kept").value == 2
+
+    def test_overflow_updates_share_one_child(self):
+        registry = MetricsRegistry(max_series=1)
+        counter = registry.counter("ops", labels=("op",))
+        counter.labels(op="kept").inc()
+        with pytest.warns(RuntimeWarning):
+            first = counter.labels(op="a")
+        second = counter.labels(op="b")
+        assert first is second
+
+    def test_guard_applies_to_histograms(self):
+        registry = MetricsRegistry(max_series=1)
+        histogram = registry.histogram("h", labels=("k",), buckets=(1.0,))
+        histogram.labels(k="kept").observe(0.5)
+        with pytest.warns(RuntimeWarning):
+            histogram.labels(k="extra").observe(0.5)
+        assert {row[2] for row in histogram.rows()} == {"k=kept"}
+
+    def test_default_cap(self):
+        counter = MetricsRegistry().counter("ops", labels=("op",))
+        assert counter.max_series == DEFAULT_MAX_SERIES
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_series=0).counter("ops", labels=("op",))
 
 
 class TestRegistry:
