@@ -107,13 +107,26 @@ def engine_sweep(name, axes, base=None, mode="grid", jobs=None, cache=None):
     :class:`~repro.system.result.SimulationResult` list in sweep
     order.
     """
+    from repro.obs.ledger import RunLedger, sweep_record
+
     spec = ExperimentSpec(name=name, base=base or bench_base(), axes=axes,
                           mode=mode)
     if cache is None and BENCH_CACHE:
         cache = ResultCache()
     runner = SweepRunner(jobs=BENCH_JOBS if jobs is None else jobs,
                          cache=cache)
-    outcome = runner.run(spec.expand()).raise_on_failure()
+    started = time.time()
+    outcome = runner.run(spec.expand())
+    ledger = RunLedger.from_env()
+    if ledger is not None:
+        try:
+            ledger.append(sweep_record(
+                f"bench:{name}", name, outcome, started, time.time(),
+                cache_attached=cache is not None,
+            ))
+        except OSError:
+            pass  # bookkeeping never fails a benchmark
+    outcome.raise_on_failure()
     return outcome, outcome.simulation_results()
 
 

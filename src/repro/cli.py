@@ -9,6 +9,9 @@ Examples::
     python -m repro compare --duration 5 --seed 3 --jobs 4
     python -m repro sweep spec.json --jobs 4 --results-dir benchmarks/results
     python -m repro sweep spec.json --jobs 4 --trace sweep-trace.json
+    python -m repro sweep spec.json --jobs 4 --live
+    python -m repro runs list --experiment cap-sweep
+    python -m repro runs diff a1b2c3 d4e5f6
     python -m repro bench-report --baseline baseline-history.jsonl
     python -m repro outages --source wristwatch --duration 10
     python -m repro kernels --verify
@@ -20,6 +23,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -148,22 +152,59 @@ def _profiled_run(simulator, profile_out: Optional[str]):
     return result
 
 
-def cmd_simulate(args) -> int:
-    from repro.obs import RunManifest
+def _ledger_append(record) -> Optional[str]:
+    """Append to the configured ledger; returns the record id.
 
+    Returns ``None`` when recording is disabled (``REPRO_LEDGER_DIR=""``)
+    or the ledger file cannot be written — invocation bookkeeping never
+    fails the command it is bookkeeping for.
+    """
+    from repro.obs.ledger import RunLedger
+
+    ledger = RunLedger.from_env()
+    if ledger is None:
+        return None
+    try:
+        ledger.append(record)
+    except OSError as exc:
+        print(f"note: ledger not written: {exc}", file=sys.stderr)
+        return None
+    return record["id"]
+
+
+def cmd_simulate(args) -> int:
+    from repro.exp.spec import config_hash
+    from repro.obs import RunManifest
+    from repro.obs.ledger import OUTCOME_INTERRUPTED, OUTCOME_OK, make_record
+    from repro.obs.resources import sample_resources, usage_between
+
+    config = {
+        "platform": args.platform,
+        "source": args.source,
+        "duration_s": args.duration,
+        "kernel": args.kernel,
+    }
     manifest = RunManifest.collect(
-        command="simulate",
-        seed=args.seed,
-        config={
-            "platform": args.platform,
-            "source": args.source,
-            "duration_s": args.duration,
-            "kernel": args.kernel,
-        },
+        command="simulate", seed=args.seed, config=config
     )
     if args.sample_stride < 0:
         print("error: --sample-stride must be >= 0", file=sys.stderr)
         return 2
+    started = time.time()
+    usage_before = sample_resources()
+    fingerprint = config_hash({**config, "seed": args.seed})[:16]
+
+    def _ledger(outcome_name: str = OUTCOME_OK) -> Optional[str]:
+        return _ledger_append(make_record(
+            "simulate",
+            outcome_name,
+            started,
+            time.time(),
+            experiment=args.kernel,
+            spec_hash=fingerprint,
+            resources=usage_between(usage_before, sample_resources()),
+        ))
+
     trace = _make_trace(args)
     workload, build = _make_workload(args)
     platform = PLATFORM_BUILDERS[args.platform](workload)
@@ -178,10 +219,14 @@ def cmd_simulate(args) -> int:
         sample_stride=args.sample_stride,
         use_fast_forward=False if args.no_fast_forward else None,
     )
-    if args.profile or args.profile_out:
-        result = _profiled_run(simulator, args.profile_out)
-    else:
-        result = simulator.run()
+    try:
+        if args.profile or args.profile_out:
+            result = _profiled_run(simulator, args.profile_out)
+        else:
+            result = simulator.run()
+    except KeyboardInterrupt:
+        _ledger(OUTCOME_INTERRUPTED)
+        raise
     if args.json:
         import json
 
@@ -192,11 +237,15 @@ def cmd_simulate(args) -> int:
 
             with contextlib.redirect_stdout(io.StringIO()):
                 _write_observability(args, log, metrics, manifest)
+        _ledger()
         print(json.dumps(result.to_dict(), indent=2))
         return 0
     print(f"trace   : {trace}")
     print(f"result  : {result.summary()}")
     _write_observability(args, log, metrics, manifest)
+    ledger_id = _ledger()
+    if ledger_id:
+        print(f"ledger  : {ledger_id}")
     if build is not None:
         outputs = np.array(workload.outputs, dtype=np.uint16)
         per_frame = len(build.expected_output)
@@ -252,7 +301,8 @@ def cmd_observe(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    from repro.exp import SweepRunner
+    from repro.exp import SweepInterrupted, SweepRunner
+    from repro.obs.ledger import OUTCOME_INTERRUPTED, sweep_record
 
     trace = _make_trace(args)
     configs = [
@@ -270,7 +320,20 @@ def cmd_compare(args) -> int:
         runner = SweepRunner(jobs=args.jobs)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
-    outcome = runner.run(configs)
+    started = time.time()
+    try:
+        outcome = runner.run(configs)
+    except SweepInterrupted as exc:
+        _ledger_append(sweep_record(
+            "compare", "platforms", exc.outcome, started, time.time(),
+            forced_outcome=OUTCOME_INTERRUPTED, cache_attached=False,
+        ))
+        print("compare interrupted", file=sys.stderr)
+        return 130
+    _ledger_append(sweep_record(
+        "compare", "platforms", outcome, started, time.time(),
+        cache_attached=False,
+    ))
     rows = []
     baseline = None
     for record in outcome:
@@ -303,12 +366,14 @@ def cmd_sweep(args) -> int:
     from repro.exp import (
         ExperimentSpec,
         ResultCache,
+        SweepInterrupted,
         SweepRunner,
         render_outcome,
         write_results,
     )
     from repro.obs import EventBus
     from repro.obs import events as ev
+    from repro.obs.ledger import OUTCOME_INTERRUPTED, sweep_record
 
     try:
         spec = ExperimentSpec.from_file(args.spec)
@@ -324,7 +389,14 @@ def cmd_sweep(args) -> int:
                   f"from {cache.directory}")
 
     bus = EventBus()
-    if not args.quiet:
+    monitor = None
+    if args.live:
+        from repro.obs import SweepMonitor
+
+        # In-place redraw on a TTY; one plain progress line per point
+        # when stdout is piped (CI logs stay readable).
+        monitor = SweepMonitor().attach(bus)
+    if not args.quiet and monitor is None:
         def _progress(event) -> None:
             data = event.data
             if event.name == ev.SWEEP_BEGIN:
@@ -360,9 +432,26 @@ def cmd_sweep(args) -> int:
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
-    outcome = runner.run(configs)
+    started = time.time()
+    interrupted = False
+    try:
+        outcome = runner.run(configs)
+    except SweepInterrupted as exc:
+        outcome = exc.outcome
+        interrupted = True
+    record = sweep_record(
+        "sweep", spec.name, outcome, started, time.time(),
+        forced_outcome=OUTCOME_INTERRUPTED if interrupted else None,
+    )
+    ledger_id = _ledger_append(record)
     print()
     print(render_outcome(outcome))
+    if ledger_id:
+        print(f"ledger  : {ledger_id} ({record['outcome']})")
+    if interrupted:
+        print("sweep interrupted — partial accounting above",
+              file=sys.stderr)
+        return 130
     if args.results_dir:
         try:
             if tracer is not None:
@@ -411,6 +500,10 @@ def cmd_bench_report(args) -> int:
             with open(args.html, "w") as handle:
                 handle.write(report.to_html())
             print(f"html    : {args.html}", file=sys.stderr)
+        if args.json:
+            with open(args.json, "w") as handle:
+                handle.write(report.to_json())
+            print(f"json    : {args.json}", file=sys.stderr)
     except OSError as exc:
         raise SystemExit(f"error: cannot write report: {exc}")
     print(text)
@@ -423,6 +516,186 @@ def cmd_bench_report(args) -> int:
                 file=sys.stderr,
             )
         return 1
+    return 0
+
+
+def _parse_when(value: Optional[str]) -> Optional[float]:
+    """``--since``/``--until`` values: unix seconds or local dates."""
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    for fmt in ("%Y-%m-%d %H:%M:%S", "%Y-%m-%d %H:%M", "%Y-%m-%d"):
+        try:
+            return time.mktime(time.strptime(value, fmt))
+        except ValueError:
+            continue
+    raise SystemExit(
+        f"error: cannot parse time {value!r} "
+        "(use unix seconds or YYYY-MM-DD [HH:MM[:SS]])"
+    )
+
+
+def _runs_ledger(args):
+    """The ledger the ``runs`` subcommands operate on (or exit 2)."""
+    from repro.obs.ledger import RunLedger, default_ledger_path
+
+    path = args.ledger or default_ledger_path()
+    if not path:
+        print("error: the run ledger is disabled (REPRO_LEDGER_DIR "
+              "is empty); pass --ledger PATH", file=sys.stderr)
+        raise SystemExit(2)
+    return RunLedger(path)
+
+
+def _when(started_unix) -> str:
+    try:
+        return time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(float(started_unix))
+        )
+    except (TypeError, ValueError, OverflowError):
+        return "?"
+
+
+def cmd_runs_list(args) -> int:
+    """Tabulate (or dump) matching ledger records, oldest first."""
+    import json
+
+    ledger = _runs_ledger(args)
+    records = ledger.records(
+        command=args.command_filter,
+        experiment=args.experiment,
+        outcome=args.outcome,
+        spec=args.spec,
+        since=_parse_when(args.since),
+        until=_parse_when(args.until),
+    )
+    if args.limit and args.limit > 0:
+        records = records[-args.limit:]
+    if args.json:
+        print(json.dumps(records, indent=2))
+        return 0
+    if not records:
+        print(f"no matching ledger records in {ledger.path}")
+        return 0
+    rows = []
+    for record in records:
+        points = record.get("points") or {}
+        cache = record.get("cache") or {}
+        resources = record.get("resources") or {}
+        hit_rate = cache.get("hit_rate")
+        rows.append([
+            record.get("id", "?"),
+            _when(record.get("started_unix")),
+            record.get("command", "?"),
+            record.get("experiment") or "—",
+            record.get("outcome", "?"),
+            points.get("total", "—"),
+            "—" if hit_rate is None else f"{hit_rate:.0%}",
+            f"{record.get('wall_s', 0.0):.2f}",
+            f"{resources.get('cpu_s', 0.0):.2f}",
+        ])
+    print(format_table(
+        ["id", "started", "command", "experiment", "outcome",
+         "points", "hit", "wall s", "cpu s"],
+        rows,
+    ))
+    return 0
+
+
+def _find_record(ledger, id_prefix: str):
+    try:
+        return ledger.find(id_prefix)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+
+
+def cmd_runs_show(args) -> int:
+    """Render one ledger record in full."""
+    import json
+
+    ledger = _runs_ledger(args)
+    record = _find_record(ledger, args.id)
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    points = record.get("points") or {}
+    cache = record.get("cache") or {}
+    resources = record.get("resources") or {}
+    print(f"id          : {record.get('id')}")
+    print(f"command     : {record.get('command')}")
+    print(f"experiment  : {record.get('experiment') or '—'}")
+    print(f"outcome     : {record.get('outcome')}")
+    print(f"started     : {_when(record.get('started_unix'))}")
+    print(f"wall        : {record.get('wall_s', 0.0):.2f} s")
+    print(f"spec hash   : {record.get('spec_hash') or '—'}")
+    print(f"code version: {record.get('code_version')} "
+          f"(git {str(record.get('git_sha', ''))[:12]})")
+    if points:
+        print(f"points      : {points.get('total')} total — "
+              f"{points.get('executed')} executed, "
+              f"{points.get('cached')} cached, "
+              f"{points.get('failed')} failed, "
+              f"{points.get('interrupted', 0)} interrupted")
+    if cache:
+        print(f"cache       : {cache.get('hits')} hit(s), "
+              f"{cache.get('misses')} miss(es) "
+              f"({cache.get('hit_rate', 0.0):.0%} hit rate)")
+    if resources:
+        print(f"resources   : cpu {resources.get('cpu_s', 0.0):.2f} s, "
+              f"peak rss {resources.get('peak_rss_kb', 0.0):.0f} KB, "
+              f"{resources.get('workers', 0)} worker(s)")
+    if record.get("error"):
+        first_line = str(record["error"]).strip().splitlines()
+        print(f"error       : {first_line[-1] if first_line else '?'}")
+    runs = record.get("runs") or []
+    if runs:
+        print()
+        rows = [
+            [
+                run.get("label", "?"),
+                run.get("status", "?"),
+                f"{run.get('wall_s') or 0.0:.2f}",
+                f"{run.get('cpu_s') or 0.0:.2f}",
+                f"{run.get('peak_rss_kb') or 0.0:.0f}",
+                run.get("pid") if run.get("pid") is not None else "—",
+            ]
+            for run in runs
+        ]
+        print(format_table(
+            ["point", "status", "wall s", "cpu s", "rss KB", "pid"], rows
+        ))
+    return 0
+
+
+def cmd_runs_diff(args) -> int:
+    """Compare two ledger records (cache hits, wall, resources)."""
+    import json
+
+    from repro.obs.ledger import diff_records, format_diff
+
+    ledger = _runs_ledger(args)
+    a = _find_record(ledger, args.a)
+    b = _find_record(ledger, args.b)
+    diff = diff_records(a, b)
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+        return 0
+    print(format_diff(diff))
+    return 0
+
+
+def cmd_runs_gc(args) -> int:
+    """Prune ledger records whose cached results were all evicted."""
+    ledger = _runs_ledger(args)
+    kept, pruned = ledger.gc(
+        cache_root=args.cache_dir, dry_run=args.dry_run
+    )
+    verb = "would prune" if args.dry_run else "pruned"
+    print(f"ledger  : {verb} {pruned} record(s), kept {kept} "
+          f"({ledger.path})")
     return 0
 
 
@@ -653,6 +926,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write a benchmarks-results JSON here")
     p_sweep.add_argument("--quiet", action="store_true",
                          help="suppress live per-point progress")
+    p_sweep.add_argument("--live", action="store_true",
+                         help="in-place progress view (done/total, ETA, "
+                              "cache-hit rate, worker utilization); "
+                              "falls back to plain progress lines when "
+                              "stdout is not a TTY")
     p_sweep.add_argument("--trace", default=None, metavar="OUT.json",
                          help="write a Chrome trace of the sweep timeline "
                               "(per-worker spans with cache-hit "
@@ -685,7 +963,73 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the markdown report here")
     p_bench.add_argument("--html", default=None, metavar="OUT.html",
                          help="also write an HTML report here")
+    p_bench.add_argument("--json", default=None, metavar="OUT.json",
+                         help="also write the machine-readable report "
+                              "here (CI artifact)")
     p_bench.set_defaults(func=cmd_bench_report)
+
+    p_runs = sub.add_parser(
+        "runs",
+        help="query the run ledger (what ran, when, at what cost)",
+    )
+    p_runs.add_argument("--ledger", default=None, metavar="LEDGER.jsonl",
+                        help="ledger file (default: $REPRO_LEDGER_DIR or "
+                             "the cache dir + /ledger.jsonl)")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    p_runs_list = runs_sub.add_parser("list", help="tabulate ledger records")
+    p_runs_list.add_argument("--command", dest="command_filter",
+                             default=None, metavar="CMD",
+                             help="exact command filter (sweep, simulate, "
+                                  "compare, bench:<name>, ...)")
+    p_runs_list.add_argument("--experiment", default=None,
+                             help="exact experiment/spec name filter")
+    p_runs_list.add_argument("--outcome", default=None,
+                             choices=["ok", "error", "timeout",
+                                      "interrupted"],
+                             help="outcome filter")
+    p_runs_list.add_argument("--spec", default=None, metavar="HASHPREFIX",
+                             help="spec-hash prefix filter")
+    p_runs_list.add_argument("--since", default=None, metavar="WHEN",
+                             help="records started at/after WHEN "
+                                  "(unix seconds or YYYY-MM-DD)")
+    p_runs_list.add_argument("--until", default=None, metavar="WHEN",
+                             help="records started at/before WHEN")
+    p_runs_list.add_argument("--limit", type=int, default=None, metavar="N",
+                             help="only the newest N matches")
+    p_runs_list.add_argument("--json", action="store_true",
+                             help="dump matching records as JSON")
+    p_runs_list.set_defaults(func=cmd_runs_list)
+
+    p_runs_show = runs_sub.add_parser(
+        "show", help="render one ledger record in full"
+    )
+    p_runs_show.add_argument("id", help="record id (unique prefix ok)")
+    p_runs_show.add_argument("--json", action="store_true",
+                             help="dump the record as JSON")
+    p_runs_show.set_defaults(func=cmd_runs_show)
+
+    p_runs_diff = runs_sub.add_parser(
+        "diff",
+        help="compare two records (points, cache hits, wall, resources)",
+    )
+    p_runs_diff.add_argument("a", help="baseline record id (prefix ok)")
+    p_runs_diff.add_argument("b", help="comparison record id (prefix ok)")
+    p_runs_diff.add_argument("--json", action="store_true",
+                             help="dump the structured diff as JSON")
+    p_runs_diff.set_defaults(func=cmd_runs_diff)
+
+    p_runs_gc = runs_sub.add_parser(
+        "gc",
+        help="prune records whose cached results were all evicted",
+    )
+    p_runs_gc.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="cache root to check against (default: "
+                                "$REPRO_CACHE_DIR or .repro-cache)")
+    p_runs_gc.add_argument("--dry-run", action="store_true",
+                           help="report what would be pruned, touch "
+                                "nothing")
+    p_runs_gc.set_defaults(func=cmd_runs_gc)
 
     p_out = sub.add_parser("outages", help="outage statistics of a trace")
     _add_trace_arguments(p_out)
@@ -732,6 +1076,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # Conventional SIGINT status, no traceback.  Commands that can
+        # do better (sweep) catch SweepInterrupted first, write their
+        # ledger record, and return 130 themselves.
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # stdout reader went away (e.g. ``repro bench-report | head``):
         # exit with the conventional SIGPIPE status, no traceback.

@@ -46,6 +46,7 @@ from repro.exp.report import (
 )
 from repro.exp.runner import (
     RunRecord,
+    SweepInterrupted,
     SweepOutcome,
     SweepRunner,
     execute_run,
@@ -62,6 +63,7 @@ __all__ = [
     "ExperimentSpec",
     "ResultCache",
     "RunRecord",
+    "SweepInterrupted",
     "SweepOutcome",
     "SweepRunner",
     "config_hash",

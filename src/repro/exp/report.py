@@ -78,7 +78,9 @@ def outcome_payload(
             "executed": outcome.executed,
             "cached": outcome.cached,
             "failed": outcome.failed,
+            "interrupted": outcome.interrupted,
             "wall_s": outcome.wall_s,
+            "resources": outcome.resource_usage(),
             "runs": [
                 {
                     "index": record.index,
@@ -86,6 +88,9 @@ def outcome_payload(
                     "status": record.status,
                     "label": record.label,
                     "wall_s": record.wall_s,
+                    "cpu_s": record.cpu_s,
+                    "peak_rss_kb": record.peak_rss_kb,
+                    "pid": record.pid,
                     "error": record.error,
                 }
                 for record in outcome.records

@@ -33,6 +33,21 @@ from repro.system.result import SimulationResult
 STATUS_OK = "ok"
 STATUS_CACHED = "cached"
 STATUS_FAILED = "failed"
+STATUS_INTERRUPTED = "interrupted"
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """Ctrl-C landed mid-sweep; carries the partial outcome.
+
+    Subclasses :class:`KeyboardInterrupt` so callers that only handle
+    the stock interrupt keep working; callers that want the partial
+    bookkeeping (the CLI's ledger record, exit code 130) catch this
+    and read :attr:`outcome`.
+    """
+
+    def __init__(self, outcome: "SweepOutcome") -> None:
+        super().__init__("sweep interrupted")
+        self.outcome = outcome
 
 
 # -- config materialisation (worker side) ---------------------------------
@@ -168,19 +183,24 @@ def execute_run(config: Dict) -> Dict:
     """Worker entry point: run one resolved config to completion.
 
     Returns ``{"result": <SimulationResult dict>, "wall_s": float,
-    "spans": [...], "pid": int}``.  The spans are plain dicts with
-    absolute Unix timestamps — the only tracer form that can cross
-    the process boundary — which the runner merges into its
-    :class:`~repro.obs.spans.SpanTracer` under a ``worker-<pid>``
-    thread.  Exceptions propagate to the caller (the runner records
-    them).
+    "resources": {...}, "spans": [...], "pid": int}``.  The spans are
+    plain dicts with absolute Unix timestamps — the only tracer form
+    that can cross the process boundary — which the runner merges into
+    its :class:`~repro.obs.spans.SpanTracer` under a ``worker-<pid>``
+    thread.  ``resources`` is the run's ``getrusage`` delta (CPU
+    seconds) plus the worker's lifetime peak RSS (see
+    :mod:`repro.obs.resources`), shipped through the same
+    result-collection path.  Exceptions propagate to the caller (the
+    runner records them).
     """
     import os
 
+    from repro.obs.resources import sample_resources, usage_between
     from repro.system.presets import standard_rectifier
     from repro.system.simulator import SystemSimulator
 
     label = config.get("label") or "?"
+    usage_before = sample_resources()
     started = time.perf_counter()
     build_began = time.time()
     trace = build_trace(config)
@@ -197,6 +217,7 @@ def execute_run(config: Dict) -> Dict:
     return {
         "result": result.to_dict(),
         "wall_s": time.perf_counter() - started,
+        "resources": usage_between(usage_before, sample_resources()),
         "pid": os.getpid(),
         "spans": [
             {
@@ -226,11 +247,18 @@ class RunRecord:
         index: position in sweep order.
         config: the fully-resolved run config.
         key: content hash of ``config`` (the cache key).
-        status: ``"ok"``, ``"cached"`` or ``"failed"``.
+        status: ``"ok"``, ``"cached"``, ``"failed"`` or
+            ``"interrupted"``.
         result: the simulation result dict (``None`` when failed).
         error: failure description (``None`` unless failed).
         wall_s: wall-clock seconds the simulation took (the *original*
             run's time for cache hits).
+        cpu_s: CPU seconds this invocation spent on the run (0 for
+            cache hits — recalling a result costs no simulation CPU).
+        peak_rss_kb: executing worker's lifetime peak RSS at run
+            completion, KB (0 for cache hits).
+        pid: executing worker process id (``None`` for cache hits and
+            failures that never reached a worker).
     """
 
     index: int
@@ -240,6 +268,9 @@ class RunRecord:
     result: Optional[Dict] = None
     error: Optional[str] = None
     wall_s: float = 0.0
+    cpu_s: float = 0.0
+    peak_rss_kb: float = 0.0
+    pid: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -266,6 +297,7 @@ class SweepOutcome:
     executed: int = 0
     cached: int = 0
     failed: int = 0
+    interrupted: int = 0
     wall_s: float = 0.0
 
     def __iter__(self):
@@ -291,11 +323,29 @@ class SweepOutcome:
             )
         return self
 
+    def resource_usage(self) -> Dict:
+        """Aggregated worker resource usage (see
+        :func:`repro.obs.resources.aggregate_usage`)."""
+        from repro.obs.resources import aggregate_usage
+
+        return aggregate_usage(
+            {
+                "cpu_s": record.cpu_s,
+                "peak_rss_kb": record.peak_rss_kb,
+                "pid": record.pid,
+            }
+            for record in self.records
+            if record.pid is not None
+        )
+
     def summary(self) -> str:
         """One-line accounting string."""
+        note = (
+            f", {self.interrupted} interrupted" if self.interrupted else ""
+        )
         return (
             f"{len(self.records)} point(s): {self.executed} executed, "
-            f"{self.cached} cached, {self.failed} failed "
+            f"{self.cached} cached, {self.failed} failed{note} "
             f"in {self.wall_s:.2f}s"
         )
 
@@ -321,6 +371,11 @@ class SweepRunner:
             cache-lookup/simulate) with worker spans merged from the
             run payloads, exportable as a Chrome trace
             (``repro sweep --trace``).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when set, the sweep publishes post-run labeled aggregates
+            (``cache_hit_total`` by outcome, ``worker_cpu_s`` /
+            ``worker_peak_rss_kb`` by worker pid) — nothing per-point,
+            so the zero-overhead-when-disabled discipline holds.
     """
 
     def __init__(
@@ -330,6 +385,7 @@ class SweepRunner:
         timeout_s: Optional[float] = None,
         bus: Optional[EventBus] = None,
         tracer=None,
+        metrics=None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -340,6 +396,7 @@ class SweepRunner:
         self.timeout_s = timeout_s
         self.bus = bus
         self.tracer = tracer
+        self.metrics = metrics
         if tracer is not None and cache is not None and cache.tracer is None:
             # One tracer serves the whole sweep: cache lookups get
             # their own spans with hit attribution.
@@ -355,6 +412,10 @@ class SweepRunner:
         record.status = STATUS_OK
         record.result = payload["result"]
         record.wall_s = payload["wall_s"]
+        resources = payload.get("resources") or {}
+        record.cpu_s = float(resources.get("cpu_s", 0.0) or 0.0)
+        record.peak_rss_kb = float(resources.get("peak_rss_kb", 0.0) or 0.0)
+        record.pid = payload.get("pid")
         if self.tracer is not None and payload.get("spans"):
             self.tracer.import_worker(payload["spans"], payload.get("pid", 0))
         if self.cache is not None:
@@ -364,6 +425,7 @@ class SweepRunner:
                     "config": record.config,
                     "result": record.result,
                     "wall_s": record.wall_s,
+                    "resources": resources,
                 },
             )
         return record
@@ -419,12 +481,26 @@ class SweepRunner:
             if record.status == STATUS_CACHED:
                 self._emit_point(record, len(records))
 
-        if self.jobs == 1 or len(pending) <= 1:
-            for record in pending:
-                self._run_serial(record)
-                self._emit_point(record, len(records))
-        else:
-            self._run_pool(pending, len(records))
+        interrupted = False
+        try:
+            if self.jobs == 1 or len(pending) <= 1:
+                for record in pending:
+                    self._run_serial(record)
+                    self._emit_point(record, len(records))
+            else:
+                self._run_pool(pending, len(records))
+        except KeyboardInterrupt:
+            # Records the interruption never reached keep no error and
+            # no result — mark them so the ledger and the CLI can tell
+            # "never ran" from "ran and failed".
+            interrupted = True
+            for record in records:
+                if (
+                    record.status == STATUS_FAILED
+                    and record.result is None
+                    and record.error is None
+                ):
+                    record.status = STATUS_INTERRUPTED
 
         outcome.executed = sum(
             1 for r in records if r.status == STATUS_OK
@@ -432,16 +508,54 @@ class SweepRunner:
         outcome.failed = sum(
             1 for r in records if r.status == STATUS_FAILED
         )
+        outcome.interrupted = sum(
+            1 for r in records if r.status == STATUS_INTERRUPTED
+        )
         outcome.wall_s = time.perf_counter() - started
+        self._publish_metrics(outcome)
         self._emit(
             ev.SWEEP_END,
             total=len(records),
             executed=outcome.executed,
             cached=outcome.cached,
             failed=outcome.failed,
+            interrupted=outcome.interrupted,
             wall_s=outcome.wall_s,
         )
+        if interrupted:
+            raise SweepInterrupted(outcome)
         return outcome
+
+    def _publish_metrics(self, outcome: SweepOutcome) -> None:
+        """Post-run labeled aggregates (no-op without a registry)."""
+        if self.metrics is None:
+            return
+        hits = self.metrics.counter(
+            "cache_hit_total",
+            "sweep cache lookups by outcome",
+            labels=("outcome",),
+        )
+        hits.labels(outcome="hit").inc(outcome.cached)
+        hits.labels(outcome="miss").inc(
+            len(outcome.records) - outcome.cached
+        )
+        cpu = self.metrics.counter(
+            "worker_cpu_s", "CPU seconds per worker", labels=("pid",)
+        )
+        rss = self.metrics.gauge(
+            "worker_peak_rss_kb", "peak RSS per worker (KB)",
+            labels=("pid",),
+        )
+        by_pid: Dict[int, List[float]] = {}
+        for record in outcome.records:
+            if record.pid is None:
+                continue
+            entry = by_pid.setdefault(record.pid, [0.0, 0.0])
+            entry[0] += record.cpu_s
+            entry[1] = max(entry[1], record.peak_rss_kb)
+        for pid, (cpu_s, peak) in sorted(by_pid.items()):
+            cpu.labels(pid=str(pid)).inc(cpu_s)
+            rss.labels(pid=str(pid)).set(peak)
 
     def _emit_point(self, record: RunRecord, total: int) -> None:
         data = {
@@ -456,6 +570,10 @@ class SweepRunner:
             data["error"] = record.error
         if record.result is not None:
             data["forward_progress"] = record.result.get("forward_progress")
+        if record.pid is not None:
+            data["pid"] = record.pid
+            data["cpu_s"] = record.cpu_s
+            data["peak_rss_kb"] = record.peak_rss_kb
         self._emit(ev.SWEEP_POINT, **data)
 
     def _run_serial(self, record: RunRecord) -> RunRecord:
@@ -482,29 +600,40 @@ class SweepRunner:
             # Collect in submission order: ordered results for free,
             # and a timed-out straggler only blocks its own record —
             # later futures keep computing while we wait on it.
-            for record, future in futures:
-                collect_began = time.time()
-                try:
-                    self._finish(record, future.result(timeout=self.timeout_s))
-                except FutureTimeout:
-                    future.cancel()
-                    self._fail(
-                        record,
-                        f"timed out after {self.timeout_s:.1f}s",
-                    )
-                except Exception as exc:
-                    self._fail(record, f"{type(exc).__name__}: {exc}")
-                if self.tracer is not None:
-                    # The runner-side view: how long this record held
-                    # up the in-order collection loop.
-                    self.tracer.add(
-                        f"collect:{record.label}",
-                        collect_began,
-                        time.time(),
-                        key=record.key,
-                        status=record.status,
-                    )
-                self._emit_point(record, total)
+            try:
+                for record, future in futures:
+                    collect_began = time.time()
+                    try:
+                        self._finish(
+                            record, future.result(timeout=self.timeout_s)
+                        )
+                    except FutureTimeout:
+                        future.cancel()
+                        self._fail(
+                            record,
+                            f"timed out after {self.timeout_s:.1f}s",
+                        )
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        self._fail(record, f"{type(exc).__name__}: {exc}")
+                    if self.tracer is not None:
+                        # The runner-side view: how long this record
+                        # held up the in-order collection loop.
+                        self.tracer.add(
+                            f"collect:{record.label}",
+                            collect_began,
+                            time.time(),
+                            key=record.key,
+                            status=record.status,
+                        )
+                    self._emit_point(record, total)
+            except KeyboardInterrupt:
+                # Drop everything not yet started; tasks already on a
+                # worker run to completion (a real Ctrl-C also signals
+                # the process group, so workers die with us).
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
 
 
 # -- in-process factory sweeps (legacy analysis API) ----------------------

@@ -20,7 +20,12 @@ is a consumer of that bus:
 * :mod:`repro.obs.spans` — wall-clock span tracing for sweeps
   (``repro sweep --trace``);
 * :mod:`repro.obs.history` — benchmark metric trajectories and the
-  ``repro bench-report`` regression gate.
+  ``repro bench-report`` regression gate;
+* :mod:`repro.obs.ledger` — the persistent run ledger every
+  ``simulate``/``sweep``/``compare``/bench invocation appends to
+  (``repro runs list/show/diff/gc``);
+* :mod:`repro.obs.resources` — per-worker CPU/peak-RSS accounting via
+  ``getrusage``, shipped home in sweep result payloads.
 
 When no bus is attached the instrumented code paths reduce to a
 single ``is not None`` test per tick — simulations without observers
@@ -31,6 +36,18 @@ path.
 
 from repro.obs.events import Event, EventBus, EventLog
 from repro.obs.history import BenchReport, append_record, build_report, read_history
+from repro.obs.ledger import (
+    RunLedger,
+    default_ledger_path,
+    diff_records,
+    format_diff,
+)
+from repro.obs.resources import (
+    ResourceSample,
+    aggregate_usage,
+    sample_resources,
+    usage_between,
+)
 from repro.obs.spans import Span, SpanTracer
 from repro.obs.synth import FastPathEventSynthesizer
 from repro.obs.export import (
@@ -42,7 +59,7 @@ from repro.obs.export import (
 )
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.summary import LiveSummary
+from repro.obs.summary import LiveSummary, SweepMonitor
 
 __all__ = [
     "Event",
@@ -54,13 +71,22 @@ __all__ = [
     "MetricsRegistry",
     "RunManifest",
     "LiveSummary",
+    "SweepMonitor",
     "FastPathEventSynthesizer",
     "Span",
     "SpanTracer",
     "BenchReport",
+    "RunLedger",
+    "ResourceSample",
+    "aggregate_usage",
     "append_record",
     "build_report",
+    "default_ledger_path",
+    "diff_records",
+    "format_diff",
     "read_history",
+    "sample_resources",
+    "usage_between",
     "chrome_trace",
     "load_chrome_trace",
     "write_chrome_trace",

@@ -23,7 +23,8 @@ import math
 import os
 import tempfile
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 #: Default on-disk location, relative to the repository root.
 DEFAULT_HISTORY_PATH = os.path.join("benchmarks", "results", "history.jsonl")
@@ -45,13 +46,20 @@ def is_gated_metric(name: str) -> bool:
 # -- recording -------------------------------------------------------------
 
 
+#: History files already warned about (one skipped-lines warning per
+#: path per process, so a rebuilt report does not spam).
+_WARNED_PATHS: Set[str] = set()
+
+
 def read_history(path: str) -> List[Dict]:
     """Every record in a history file, oldest first.
 
     Missing files read as empty; torn/corrupt lines are skipped (an
-    interrupted append must not poison the whole trajectory).
+    interrupted append must not poison the whole trajectory) with one
+    :class:`RuntimeWarning` per file per process saying how many.
     """
     records: List[Dict] = []
+    skipped = 0
     try:
         handle = open(path)
     except OSError:
@@ -64,9 +72,18 @@ def read_history(path: str) -> List[Dict]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
+                skipped += 1
                 continue
             if isinstance(record, dict) and "experiment" in record:
                 records.append(record)
+    if skipped and path not in _WARNED_PATHS:
+        _WARNED_PATHS.add(path)
+        warnings.warn(
+            f"{path}: skipped {skipped} unparseable line(s) "
+            "(torn append or corruption)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return records
 
 
@@ -79,6 +96,8 @@ def _write_history(path: str, records: Sequence[Dict]) -> None:
             for record in records:
                 handle.write(json.dumps(record, sort_keys=True))
                 handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         # mkstemp creates 0600; the history is a shared (often
         # committed) artifact, so give it normal file permissions.
         os.chmod(tmp, 0o644)
@@ -283,6 +302,48 @@ class BenchReport:
             lines.append("_No benchmark records found._")
             lines.append("")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe structured form (``nan`` changes become ``None``)."""
+        sections = []
+        for experiment, deltas, baseline, latest in self.sections:
+            sections.append({
+                "experiment": experiment,
+                "baseline_git_sha": (
+                    (baseline or {}).get("manifest") or {}
+                ).get("git_sha"),
+                "latest_git_sha": (
+                    (latest or {}).get("manifest") or {}
+                ).get("git_sha"),
+                "metrics": [
+                    {
+                        "metric": delta.metric,
+                        "baseline": delta.baseline,
+                        "latest": delta.latest,
+                        "change": (
+                            None if math.isnan(delta.change)
+                            else delta.change
+                        ),
+                        "gated": delta.gated,
+                        "regressed": delta.regressed,
+                    }
+                    for delta in deltas
+                ],
+            })
+        return {
+            "passed": self.passed,
+            "max_regression": self.max_regression,
+            "regressions": [
+                {"experiment": experiment, "metric": delta.metric,
+                 "baseline": delta.baseline, "latest": delta.latest}
+                for experiment, delta in self.regressions
+            ],
+            "sections": sections,
+        }
+
+    def to_json(self) -> str:
+        """:meth:`to_dict` as an indented JSON document."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
     def to_html(self) -> str:
         """The markdown report wrapped in a minimal HTML page.

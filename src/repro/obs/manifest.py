@@ -49,6 +49,9 @@ class RunManifest:
         platform: host platform string.
         started_unix: wall-clock start (seconds since epoch).
         duration_s: wall-clock duration, filled by :meth:`finish`.
+        resources: process resource usage (CPU seconds, peak RSS KB),
+            filled by :meth:`finish`; empty on manifests written before
+            it existed.
         extra: anything else worth pinning.
     """
 
@@ -60,6 +63,7 @@ class RunManifest:
     platform: str = ""
     started_unix: float = 0.0
     duration_s: Optional[float] = None
+    resources: Dict = field(default_factory=dict)
     extra: Dict = field(default_factory=dict)
 
     @classmethod
@@ -83,8 +87,11 @@ class RunManifest:
         )
 
     def finish(self) -> "RunManifest":
-        """Stamp the wall-clock duration; returns self for chaining."""
+        """Stamp wall-clock duration and resource usage; returns self."""
+        from repro.obs.resources import sample_resources
+
         self.duration_s = time.time() - self.started_unix
+        self.resources = sample_resources().to_dict()
         return self
 
     def to_dict(self) -> Dict:
@@ -98,6 +105,7 @@ class RunManifest:
             "platform": self.platform,
             "started_unix": self.started_unix,
             "duration_s": self.duration_s,
+            "resources": self.resources,
             "extra": self.extra,
         }
 

@@ -1,0 +1,128 @@
+"""Per-process resource accounting for sweep workers.
+
+The sweep runner wants to know what each run *cost* — CPU seconds and
+peak resident memory — without new dependencies and without touching
+the simulation hot path.  The stdlib :mod:`resource` module answers
+both with one ``getrusage(RUSAGE_SELF)`` call, so the worker entry
+point (:func:`repro.exp.runner.execute_run`) samples once before and
+once after the simulation and ships the delta home inside the result
+payload it already returns.
+
+Semantics worth knowing:
+
+* CPU time is cumulative per process, so :func:`usage_between` yields
+  an exact per-run delta even when a pool worker executes many runs.
+* ``ru_maxrss`` is the process-*lifetime* peak (kilobytes on Linux,
+  bytes on macOS — normalised here), so a per-run "delta" is
+  meaningless; per-run records carry the worker's peak at completion
+  time and sweep-level aggregation takes the max across workers.
+* On platforms without :mod:`resource` (Windows), sampling degrades to
+  zeros — accounting disappears, nothing breaks.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - POSIX-only stdlib module
+    _resource = None
+
+
+def available() -> bool:
+    """True when the platform supports ``getrusage`` sampling."""
+    return _resource is not None
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One ``getrusage(RUSAGE_SELF)`` snapshot.
+
+    Attributes:
+        cpu_user_s: cumulative user-mode CPU seconds.
+        cpu_system_s: cumulative kernel-mode CPU seconds.
+        peak_rss_kb: process-lifetime peak resident set size, KB.
+        pid: sampling process id.
+    """
+
+    cpu_user_s: float
+    cpu_system_s: float
+    peak_rss_kb: float
+    pid: int
+
+    @property
+    def cpu_s(self) -> float:
+        """Total (user + system) CPU seconds."""
+        return self.cpu_user_s + self.cpu_system_s
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form."""
+        return {
+            "cpu_user_s": self.cpu_user_s,
+            "cpu_system_s": self.cpu_system_s,
+            "cpu_s": self.cpu_s,
+            "peak_rss_kb": self.peak_rss_kb,
+            "pid": self.pid,
+        }
+
+
+def sample_resources() -> ResourceSample:
+    """Snapshot this process's cumulative resource usage (or zeros)."""
+    pid = os.getpid()
+    if _resource is None:  # pragma: no cover - non-POSIX fallback
+        return ResourceSample(0.0, 0.0, 0.0, pid)
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    peak = float(usage.ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        peak /= 1024.0
+    return ResourceSample(
+        float(usage.ru_utime), float(usage.ru_stime), peak, pid
+    )
+
+
+def usage_between(before: ResourceSample, after: ResourceSample) -> Dict:
+    """Per-run usage dict: CPU deltas plus the current lifetime peak.
+
+    The clamping to zero guards against clock oddities; the peak RSS
+    is ``after``'s absolute value (see module docstring).
+    """
+    return {
+        "cpu_user_s": max(0.0, after.cpu_user_s - before.cpu_user_s),
+        "cpu_system_s": max(0.0, after.cpu_system_s - before.cpu_system_s),
+        "cpu_s": max(0.0, after.cpu_s - before.cpu_s),
+        "peak_rss_kb": after.peak_rss_kb,
+        "pid": after.pid,
+    }
+
+
+def aggregate_usage(usages: Iterable[Dict]) -> Dict:
+    """Sweep-level rollup of per-run usage dicts.
+
+    CPU seconds sum (each run's delta is disjoint); peak RSS is the
+    max across workers (it is a per-process lifetime peak); ``workers``
+    counts distinct sampling pids.
+    """
+    cpu_user = cpu_system = cpu = 0.0
+    peak = 0.0
+    pids: List[int] = []
+    for usage in usages:
+        if not usage:
+            continue
+        cpu_user += float(usage.get("cpu_user_s", 0.0) or 0.0)
+        cpu_system += float(usage.get("cpu_system_s", 0.0) or 0.0)
+        cpu += float(usage.get("cpu_s", 0.0) or 0.0)
+        peak = max(peak, float(usage.get("peak_rss_kb", 0.0) or 0.0))
+        pid = usage.get("pid")
+        if pid is not None and pid not in pids:
+            pids.append(pid)
+    return {
+        "cpu_user_s": cpu_user,
+        "cpu_system_s": cpu_system,
+        "cpu_s": cpu,
+        "peak_rss_kb": peak,
+        "workers": len(pids),
+    }

@@ -1,9 +1,17 @@
-"""Live run summary: the subscriber behind ``repro observe``.
+"""Live run summaries: the subscribers behind ``repro observe`` and
+``repro sweep --live``.
 
-Tallies the event stream as it happens — event counts, per-state tick
-counts (duty cycle), backup/restore success rates — and can print
-interim progress lines at a fixed simulated-time interval, so a long
-run shows signs of life before the final table.
+:class:`LiveSummary` tallies one simulation's event stream as it
+happens — event counts, per-state tick counts (duty cycle),
+backup/restore success rates — and can print interim progress lines
+at a fixed simulated-time interval, so a long run shows signs of life
+before the final table.
+
+:class:`SweepMonitor` renders a sweep's progress in place on a TTY —
+points done/total, ETA, cache-hit rate, per-worker utilization — from
+the ``sweep.begin`` / ``sweep.point`` / ``sweep.end`` bus stream the
+runner already emits, so monitoring adds no new instrumentation and
+costs nothing when nobody subscribes.
 """
 
 from __future__ import annotations
@@ -122,3 +130,199 @@ class LiveSummary:
                 continue
             lines.append(f"  {name:22s} {self.counts[name]:>8d}")
         return "\n".join(lines)
+
+
+class SweepMonitor:
+    """In-place TTY progress view for ``repro sweep --live``.
+
+    Subscribes to the sweep lifecycle events and redraws one status
+    line per point: done/total with a bar, per-status counts, cache-hit
+    rate, ETA extrapolated from the ``sweep.point`` arrival times, and
+    aggregate worker utilization (busy seconds across workers divided
+    by elapsed wall time x jobs).
+
+    On a TTY the line is redrawn in place (``\\r`` + erase); with
+    ``interactive=False`` (what ``repro sweep --live`` uses when
+    stdout is piped) each point prints one plain line-buffered progress
+    line instead, so logs stay readable.  Events with missing fields
+    (a worker died mid-run) degrade to unknowns rather than wedging
+    the render.
+
+    Args:
+        stream: output stream (default stdout).
+        interactive: force in-place (True) or line-buffered (False)
+            rendering; ``None`` asks ``stream.isatty()``.
+        width: maximum rendered line width.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        interactive: Optional[bool] = None,
+        width: int = 100,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        if interactive is None:
+            isatty = getattr(self.stream, "isatty", None)
+            interactive = bool(isatty()) if callable(isatty) else False
+        self.interactive = interactive
+        self.width = max(40, width)
+        self.total = 0
+        self.jobs = 1
+        self.done = 0
+        self.ok = 0
+        self.cached = 0
+        self.failed = 0
+        self.started_s: Optional[float] = None
+        self.last_s: Optional[float] = None
+        #: Busy wall-seconds per worker pid (executed points only).
+        self.worker_busy: Dict[int, float] = {}
+        #: Total CPU seconds reported by executed points.
+        self.cpu_s = 0.0
+        #: Max worker peak RSS seen (KB).
+        self.peak_rss_kb = 0.0
+        self._finished = False
+
+    # -- subscription -------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "SweepMonitor":
+        """Subscribe to the sweep lifecycle on ``bus``; returns self."""
+        bus.subscribe(
+            self.on_event,
+            names=(ev.SWEEP_BEGIN, ev.SWEEP_POINT, ev.SWEEP_END),
+        )
+        return self
+
+    def on_event(self, event: Event) -> None:
+        data = event.data
+        if event.name == ev.SWEEP_BEGIN:
+            self.total = int(data.get("total") or 0)
+            self.jobs = max(1, int(data.get("jobs") or 1))
+            self.started_s = event.t_s
+            self.last_s = event.t_s
+            self._draw()
+            return
+        if event.name == ev.SWEEP_POINT:
+            self.last_s = event.t_s
+            self.done += 1
+            status = data.get("status")
+            if status == "cached":
+                self.cached += 1
+            elif status == "ok":
+                self.ok += 1
+            else:
+                self.failed += 1
+            if status == "ok":
+                pid = data.get("pid")
+                if pid is not None:
+                    busy = self.worker_busy.get(pid, 0.0)
+                    self.worker_busy[pid] = busy + float(
+                        data.get("wall_s") or 0.0
+                    )
+            self.cpu_s += float(data.get("cpu_s") or 0.0)
+            self.peak_rss_kb = max(
+                self.peak_rss_kb, float(data.get("peak_rss_kb") or 0.0)
+            )
+            self._draw()
+            return
+        if event.name == ev.SWEEP_END:
+            self.last_s = event.t_s
+            self._finished = True
+            self._draw(final=True)
+
+    # -- derived statistics -------------------------------------------------
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall seconds between sweep begin and the last event seen."""
+        if self.started_s is None or self.last_s is None:
+            return 0.0
+        return max(0.0, self.last_s - self.started_s)
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits as a fraction of points seen so far."""
+        return self.cached / self.done if self.done else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Aggregate worker busy fraction (capped at 1.0)."""
+        elapsed = self.elapsed_s
+        if elapsed <= 0.0 or not self.worker_busy:
+            return 0.0
+        busy = sum(self.worker_busy.values())
+        return min(1.0, busy / (elapsed * self.jobs))
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Remaining seconds, extrapolated from executed-point pace.
+
+        Cached points land nearly instantly, so the pace counts only
+        executed/failed points against elapsed wall time; with nothing
+        executed yet (or nothing left) there is no estimate.
+        """
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        paced = self.done - self.cached
+        elapsed = self.elapsed_s
+        if paced <= 0 or elapsed <= 0.0:
+            return None
+        return remaining * (elapsed / paced)
+
+    # -- rendering ----------------------------------------------------------
+
+    def render(self) -> str:
+        """The current status line (no terminal control codes)."""
+        total = self.total or "?"
+        parts = [f"sweep {self.done}/{total}"]
+        if self.total:
+            frac = self.done / self.total
+            cells = 10
+            filled = int(round(frac * cells))
+            parts.append("[" + "#" * filled + "." * (cells - filled) + "]")
+        parts.append(
+            f"{self.ok} ok {self.cached} cached {self.failed} failed"
+        )
+        parts.append(f"hit {self.hit_rate:.0%}")
+        eta = self.eta_s
+        if eta is None:
+            parts.append("eta ?")
+        elif eta > 0:
+            parts.append(f"eta {eta:.0f}s")
+        if self.worker_busy:
+            parts.append(
+                f"util {self.utilization:.0%}/{len(self.worker_busy)}w"
+            )
+        line = " | ".join(parts)
+        return line[: self.width]
+
+    def summary_line(self) -> str:
+        """The post-sweep one-liner (resources + cache accounting)."""
+        pieces = [
+            f"live    : {self.done} point(s) in {self.elapsed_s:.2f}s — "
+            f"{self.ok} ok, {self.cached} cached, {self.failed} failed; "
+            f"cache hit {self.hit_rate:.0%}"
+        ]
+        if self.worker_busy:
+            pieces.append(
+                f"util {self.utilization:.0%} over "
+                f"{len(self.worker_busy)} worker(s)"
+            )
+        if self.cpu_s:
+            pieces.append(f"cpu {self.cpu_s:.2f}s")
+        if self.peak_rss_kb:
+            pieces.append(f"peak rss {self.peak_rss_kb / 1024.0:.1f} MB")
+        return "; ".join(pieces)
+
+    def _draw(self, final: bool = False) -> None:
+        if self.interactive:
+            self.stream.write("\r\x1b[2K" + self.render())
+            if final:
+                self.stream.write("\n" + self.summary_line() + "\n")
+            self.stream.flush()
+        else:
+            # Line-buffered degradation: one plain line per redraw.
+            self.stream.write(
+                (self.summary_line() if final else self.render()) + "\n"
+            )

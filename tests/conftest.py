@@ -10,6 +10,16 @@ from repro.isa.energy import EnergyModel
 from repro.workloads.base import AbstractWorkload
 
 
+@pytest.fixture(autouse=True)
+def _ledger_tmp(tmp_path, monkeypatch):
+    """Keep run-ledger writes out of the repo's .repro-cache.
+
+    Tests exercising the REPRO_LEDGER_DIR switch override this with
+    their own monkeypatch.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for stochastic components."""

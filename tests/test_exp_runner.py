@@ -1,8 +1,10 @@
 """Tests for the parallel sweep runner: determinism, caching, isolation."""
 
+import os
+
 import pytest
 
-from repro.exp import ExperimentSpec, ResultCache, SweepRunner
+from repro.exp import ExperimentSpec, ResultCache, SweepInterrupted, SweepRunner
 from repro.exp.runner import execute_run
 from repro.obs import events as ev
 from repro.obs.events import EventBus
@@ -216,6 +218,193 @@ class TestRunnerApi:
         log = bus.record(names=(ev.SWEEP_POINT,))
         SweepRunner(cache=cache, bus=bus).run(spec.expand())
         assert [e.data["status"] for e in log.events] == ["cached"]
+
+
+class TestResourceAccounting:
+    def test_execute_run_ships_resources(self):
+        payload = execute_run(fast_spec().expand()[0])
+        resources = payload["resources"]
+        assert payload["pid"] == os.getpid()
+        assert resources["pid"] == os.getpid()
+        assert resources["cpu_s"] >= 0.0
+        assert resources["peak_rss_kb"] > 0.0
+        assert resources["cpu_s"] == pytest.approx(
+            resources["cpu_user_s"] + resources["cpu_system_s"]
+        )
+
+    def test_records_carry_resources(self):
+        outcome = SweepRunner().run(fast_spec(seed=[1, 2]).expand())
+        for record in outcome:
+            assert record.pid == os.getpid()
+            assert record.peak_rss_kb > 0.0
+        usage = outcome.resource_usage()
+        assert usage["workers"] == 1
+        assert usage["cpu_s"] == pytest.approx(
+            sum(r.cpu_s for r in outcome)
+        )
+
+    def test_parallel_records_carry_worker_pids(self):
+        outcome = SweepRunner(jobs=2).run(
+            fast_spec(seed=[1, 2, 3, 4]).expand()
+        )
+        pids = {record.pid for record in outcome}
+        assert None not in pids
+        assert os.getpid() not in pids  # ran in pool workers
+        assert 1 <= len(pids) <= 2
+
+    def test_cache_hits_cost_nothing_this_invocation(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = fast_spec(seed=[1])
+        SweepRunner(cache=cache).run(spec.expand())
+        second = SweepRunner(cache=cache).run(spec.expand())
+        record = second.records[0]
+        assert record.status == "cached"
+        assert record.pid is None
+        assert record.cpu_s == 0.0
+        assert second.resource_usage()["workers"] == 0
+
+    def test_point_events_carry_resources(self):
+        bus = EventBus()
+        log = bus.record(names=(ev.SWEEP_POINT,))
+        SweepRunner(bus=bus).run(fast_spec(seed=[1]).expand())
+        data = log.events[0].data
+        assert data["pid"] == os.getpid()
+        assert data["cpu_s"] >= 0.0
+        assert data["peak_rss_kb"] > 0.0
+
+    def test_metrics_published_post_run(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        cache = ResultCache(str(tmp_path))
+        spec = fast_spec(seed=[1, 2])
+        SweepRunner(cache=cache).run(spec.expand())
+        metrics = MetricsRegistry()
+        SweepRunner(cache=cache, metrics=metrics).run(spec.expand())
+        hits = metrics.get("cache_hit_total")
+        assert hits.labels(outcome="hit").value == 2
+        assert hits.labels(outcome="miss").value == 0
+        # Nothing executed, so no per-worker series appear.
+        assert not metrics.get("worker_cpu_s").series()
+
+    def test_worker_metrics_labeled_by_pid(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        SweepRunner(metrics=metrics).run(fast_spec(seed=[1]).expand())
+        series = metrics.get("worker_cpu_s").series()
+        assert list(series) == [(("pid", str(os.getpid())),)]
+        rss = metrics.get("worker_peak_rss_kb")
+        assert rss.labels(pid=str(os.getpid())).value > 0.0
+
+
+def _die_or_run(config):
+    """Pool target: kill the worker outright for marked configs.
+
+    Module-level so it pickles; inherited by fork workers when the
+    test monkeypatches it in as ``execute_run``.
+    """
+    if config.get("mean_uw") == 123.0:  # the death marker
+        os._exit(1)
+    return execute_run(config)
+
+
+class TestWorkerDeath:
+    def test_dead_worker_recorded_sweep_survives(self, monkeypatch):
+        import repro.exp.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "execute_run", _die_or_run)
+        configs = fast_spec(seed=[1, 2, 3]).expand()
+        configs[1] = configs[1] | {"mean_uw": 123.0}
+        outcome = SweepRunner(jobs=2).run(configs)
+        dead = outcome.records[1]
+        assert dead.status == "failed"
+        assert dead.result is None
+        assert dead.error
+        assert dead.pid is None  # never reported home
+        # The sweep completed and produced a full accounting.
+        assert len(outcome) == 3
+        assert outcome.executed + outcome.failed == 3
+
+    def test_dead_worker_still_yields_ledger_record(self, monkeypatch):
+        import time as _time
+
+        import repro.exp.runner as runner_mod
+        from repro.obs.ledger import sweep_record
+
+        monkeypatch.setattr(runner_mod, "execute_run", _die_or_run)
+        configs = fast_spec(seed=[1, 2]).expand()
+        configs[0] = configs[0] | {"mean_uw": 123.0}
+        started = _time.time()
+        outcome = SweepRunner(jobs=2).run(configs)
+        record = sweep_record(
+            "sweep", "t", outcome, started, _time.time()
+        )
+        assert record["outcome"] == "error"
+        assert record["points"]["failed"] >= 1
+        assert len(record["runs"]) == 2
+        assert record["error"]
+
+    def test_dead_worker_does_not_wedge_monitor_or_spans(self, monkeypatch):
+        import io
+
+        import repro.exp.runner as runner_mod
+        from repro.obs import SpanTracer, SweepMonitor
+
+        monkeypatch.setattr(runner_mod, "execute_run", _die_or_run)
+        configs = fast_spec(seed=[1, 2, 3]).expand()
+        configs[2] = configs[2] | {"mean_uw": 123.0}
+        bus = EventBus()
+        monitor = SweepMonitor(
+            stream=io.StringIO(), interactive=False
+        ).attach(bus)
+        tracer = SpanTracer()
+        SweepRunner(jobs=2, bus=bus, tracer=tracer).run(configs)
+        assert monitor.done == 3
+        assert monitor.failed >= 1
+        # Spans merged only from workers that reported home.
+        assert any(s.name == "sweep" for s in tracer.spans)
+
+
+class TestInterrupt:
+    def test_interrupt_carries_partial_outcome(self, monkeypatch):
+        import repro.exp.runner as runner_mod
+
+        calls = {"n": 0}
+
+        def interrupt_on_second(config):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt
+            return execute_run(config)
+
+        monkeypatch.setattr(runner_mod, "execute_run", interrupt_on_second)
+        with pytest.raises(SweepInterrupted) as info:
+            SweepRunner(jobs=1).run(fast_spec(seed=[1, 2, 3]).expand())
+        outcome = info.value.outcome
+        assert isinstance(info.value, KeyboardInterrupt)
+        assert outcome.executed == 1
+        assert outcome.interrupted == 2
+        statuses = [r.status for r in outcome]
+        assert statuses == ["ok", "interrupted", "interrupted"]
+        assert "2 interrupted" in outcome.summary()
+
+    def test_uninterrupted_summary_unchanged(self):
+        outcome = SweepRunner().run(fast_spec(seed=[1]).expand())
+        assert "interrupted" not in outcome.summary()
+
+    def test_interrupt_emits_sweep_end(self, monkeypatch):
+        import repro.exp.runner as runner_mod
+
+        def interrupt(config):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(runner_mod, "execute_run", interrupt)
+        bus = EventBus()
+        log = bus.record(names=(ev.SWEEP_END,))
+        with pytest.raises(SweepInterrupted):
+            SweepRunner(bus=bus).run(fast_spec(seed=[1, 2]).expand())
+        assert len(log.events) == 1
+        assert log.events[0].data["interrupted"] == 2
 
 
 class TestResultHydration:

@@ -1,6 +1,7 @@
 """Benchmark history + regression gate (repro bench-report)."""
 
 import json
+import warnings
 
 import pytest
 
@@ -58,7 +59,8 @@ class TestRecording:
         with open(path, "a") as handle:
             handle.write("{torn json\n")
             handle.write(json.dumps({"not": "a record"}) + "\n")
-        records = read_history(str(path))
+        with pytest.warns(RuntimeWarning):
+            records = read_history(str(path))
         assert len(records) == 1
 
     def test_empty_experiment_rejected(self, tmp_path):
@@ -210,3 +212,79 @@ class TestBenchReportCli:
 
         args = build_parser().parse_args(["bench-report"])
         assert args.max_regression == DEFAULT_MAX_REGRESSION
+
+
+class TestPartialLineWarning:
+    def _torn_history(self, tmp_path, name):
+        path = tmp_path / name
+        write_record(path, "B", {"x.speedup": 1.0})
+        with open(path, "a") as handle:
+            handle.write('{"experiment": "B", "torn')
+        return str(path)
+
+    def test_warns_once_per_path(self, tmp_path):
+        path = self._torn_history(tmp_path, "history.jsonl")
+        with pytest.warns(RuntimeWarning, match="1 unparseable line"):
+            records = read_history(path)
+        assert len(records) == 1  # the clean record still parses
+        # Second read of the same file stays quiet.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(read_history(path)) == 1
+
+    def test_distinct_paths_each_warn(self, tmp_path):
+        first = self._torn_history(tmp_path, "a.jsonl")
+        with pytest.warns(RuntimeWarning):
+            read_history(first)
+        second = self._torn_history(tmp_path, "b.jsonl")
+        with pytest.warns(RuntimeWarning, match="b.jsonl"):
+            read_history(second)
+
+    def test_clean_file_never_warns(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        write_record(path, "B", {"x.speedup": 1.0})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(read_history(str(path))) == 1
+
+
+class TestReportJson:
+    def test_to_json_round_trips(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_record(path, "B", {"x.speedup": 10.0}, run="r1", sha="base")
+        write_record(path, "B", {"x.speedup": 11.0}, run="r2", sha="head")
+        report = build_report(str(path))
+        data = json.loads(report.to_json())
+        assert data["passed"] is True
+        assert data["max_regression"] == DEFAULT_MAX_REGRESSION
+        (section,) = data["sections"]
+        assert section["experiment"] == "B"
+        assert section["latest_git_sha"] == "head"
+        assert section["baseline_git_sha"] == "base"
+        (metric,) = section["metrics"]
+        assert metric["metric"] == "x.speedup"
+        assert metric["change"] == pytest.approx(0.1)
+        assert metric["regressed"] is False
+
+    def test_to_json_serializes_nan_change_as_null(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        # First record: no baseline, so change is undefined (NaN).
+        write_record(path, "B", {"x.speedup": 10.0})
+        data = json.loads(build_report(str(path)).to_json())
+        (metric,) = data["sections"][0]["metrics"]
+        assert metric["change"] is None
+        assert metric["baseline"] is None
+
+    def test_json_lists_regressions(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        baseline = tmp_path / "baseline.jsonl"
+        write_record(baseline, "B", {"x.speedup": 10.0})
+        write_record(history, "B", {"x.speedup": 5.0})
+        data = json.loads(
+            build_report(str(history), baseline_path=str(baseline)).to_json()
+        )
+        assert data["passed"] is False
+        (regression,) = data["regressions"]
+        assert regression["experiment"] == "B"
+        assert regression["metric"] == "x.speedup"
+        assert regression["baseline"] == 10.0

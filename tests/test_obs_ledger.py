@@ -1,0 +1,247 @@
+"""Tests for the run ledger: appends, queries, gc, diffing."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_BASENAME,
+    OUTCOMES,
+    SCHEMA_VERSION,
+    RunLedger,
+    default_ledger_path,
+    diff_records,
+    format_diff,
+    make_record,
+    spec_fingerprint,
+)
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return RunLedger(str(tmp_path / "ledger.jsonl"))
+
+
+def ok_record(**overrides):
+    base = dict(
+        command="sweep", outcome="ok", started_unix=100.0, ended_unix=101.5
+    )
+    base.update(overrides)
+    return make_record(**base)
+
+
+class TestRecordSchema:
+    def test_stamped_fields(self):
+        record = ok_record(experiment="exp", spec_hash="abcd")
+        assert record["schema"] == SCHEMA_VERSION
+        assert len(record["id"]) == 12
+        assert record["wall_s"] == pytest.approx(1.5)
+        assert record["pid"] == os.getpid()
+        assert record["code_version"]
+        assert record["experiment"] == "exp"
+
+    def test_unique_ids(self):
+        assert ok_record()["id"] != ok_record()["id"]
+
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(ValueError, match="unknown outcome"):
+            make_record("sweep", "exploded", 0.0, 1.0)
+        for outcome in OUTCOMES:
+            assert make_record("x", outcome, 0.0, 1.0)["outcome"] == outcome
+
+    def test_optional_blocks_only_when_given(self):
+        bare = ok_record()
+        assert "points" not in bare and "runs" not in bare
+        full = ok_record(
+            points={"total": 2}, cache={"hits": 1},
+            resources={"cpu_s": 0.5}, runs=[{"key": "k"}], error="boom",
+        )
+        assert full["points"] == {"total": 2}
+        assert full["error"] == "boom"
+
+    def test_spec_fingerprint_is_order_sensitive(self):
+        assert spec_fingerprint(["a", "b"]) != spec_fingerprint(["b", "a"])
+        assert len(spec_fingerprint(["a"])) == 16
+
+
+class TestAppendAndRead:
+    def test_roundtrip(self, ledger):
+        appended = ledger.append(ok_record())
+        (read,) = ledger.records()
+        assert read == appended
+
+    def test_missing_file_reads_empty(self, ledger):
+        assert ledger.records() == []
+        assert len(ledger) == 0
+
+    def test_appends_accumulate_in_order(self, ledger):
+        ids = [ledger.append(ok_record())["id"] for _ in range(5)]
+        assert [r["id"] for r in ledger.records()] == ids
+
+    def test_torn_trailing_line_skipped(self, ledger):
+        ledger.append(ok_record())
+        with open(ledger.path, "a") as handle:
+            handle.write('{"command": "sweep", "truncat')
+        assert len(ledger.records()) == 1
+
+    def test_garbage_lines_skipped(self, ledger):
+        ledger.append(ok_record())
+        with open(ledger.path, "a") as handle:
+            handle.write("\n[1, 2]\nnot json\n")
+        ledger.append(ok_record())
+        assert len(ledger.records()) == 2
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError, match="ledger path"):
+            RunLedger("")
+
+
+class TestEnvConfiguration:
+    def test_default_colocates_with_cache(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert default_ledger_path() == str(
+            tmp_path / "c" / LEDGER_BASENAME
+        )
+
+    def test_env_relocates(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "elsewhere"))
+        assert default_ledger_path() == str(
+            tmp_path / "elsewhere" / LEDGER_BASENAME
+        )
+
+    def test_empty_env_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", "")
+        assert default_ledger_path() is None
+        assert RunLedger.from_env() is None
+
+    def test_from_env_enabled(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path))
+        ledger = RunLedger.from_env()
+        ledger.append(ok_record())
+        assert os.path.exists(tmp_path / LEDGER_BASENAME)
+
+
+class TestQueries:
+    def test_filters(self, ledger):
+        ledger.append(ok_record(command="sweep", experiment="a",
+                                spec_hash="1111aaaa"))
+        ledger.append(ok_record(command="simulate", experiment=None,
+                                started_unix=200.0, ended_unix=201.0))
+        ledger.append(make_record("sweep", "error", 300.0, 301.0,
+                                  experiment="b", spec_hash="2222bbbb"))
+        assert len(ledger.records(command="sweep")) == 2
+        assert len(ledger.records(experiment="a")) == 1
+        assert len(ledger.records(outcome="error")) == 1
+        assert len(ledger.records(spec="2222")) == 1
+        assert len(ledger.records(since=150.0)) == 2
+        assert len(ledger.records(until=250.0)) == 2
+        assert len(ledger.records(since=200.0, until=200.0)) == 1
+
+    def test_find_by_prefix(self, ledger):
+        record = ledger.append(ok_record())
+        assert ledger.find(record["id"][:4])["id"] == record["id"]
+
+    def test_find_missing_and_empty(self, ledger):
+        ledger.append(ok_record())
+        with pytest.raises(KeyError):
+            ledger.find("zzzz")
+        with pytest.raises(KeyError):
+            ledger.find("")
+
+    def test_find_ambiguous_prefix(self, ledger):
+        first, second = ok_record(), ok_record()
+        first["id"] = "aaaa11111111"
+        second["id"] = "aaaa22222222"
+        ledger.append(first)
+        ledger.append(second)
+        with pytest.raises(ValueError, match="ambiguous"):
+            ledger.find("aaaa")
+        assert ledger.find("aaaa1")["id"] == first["id"]
+
+
+class TestGc:
+    def _sweep_rec(self, keys, version="1.0.0"):
+        record = ok_record(runs=[{"key": key} for key in keys])
+        record["code_version"] = version
+        return record
+
+    def test_prunes_fully_evicted_records(self, ledger, tmp_path):
+        cache_root = tmp_path / "cache"
+        alive_dir = cache_root / "1.0.0"
+        alive_dir.mkdir(parents=True)
+        (alive_dir / "alive.json").write_text("{}")
+        ledger.append(self._sweep_rec(["alive", "gone"]))   # one key left
+        ledger.append(self._sweep_rec(["gone1", "gone2"]))  # all evicted
+        ledger.append(ok_record())                          # no runs: kept
+        kept, pruned = ledger.gc(cache_root=str(cache_root))
+        assert (kept, pruned) == (2, 1)
+        assert len(ledger.records()) == 2
+
+    def test_uncached_records_survive(self, ledger, tmp_path):
+        # A run that never wrote the cache (repro compare) has keys
+        # that were never on disk — absence is not eviction.
+        record = self._sweep_rec(["never-cached"])
+        record["uncached"] = True
+        ledger.append(record)
+        kept, pruned = ledger.gc(cache_root=str(tmp_path / "empty"))
+        assert (kept, pruned) == (1, 0)
+
+    def test_dry_run_touches_nothing(self, ledger, tmp_path):
+        ledger.append(self._sweep_rec(["gone"]))
+        kept, pruned = ledger.gc(
+            cache_root=str(tmp_path / "empty"), dry_run=True
+        )
+        assert (kept, pruned) == (0, 1)
+        assert len(ledger.records()) == 1
+
+    def test_rewrite_is_atomic_replacement(self, ledger):
+        ledger.append(ok_record())
+        survivor = ok_record()
+        ledger.rewrite([survivor])
+        assert [r["id"] for r in ledger.records()] == [survivor["id"]]
+        assert json.loads(open(ledger.path).read())  # single clean line
+
+
+class TestDiff:
+    def _pair(self):
+        a = ok_record(
+            spec_hash="same", points={"total": 4, "executed": 4,
+                                      "cached": 0, "failed": 0},
+            cache={"hits": 0, "misses": 4, "hit_rate": 0.0},
+            resources={"cpu_s": 2.0, "peak_rss_kb": 1000.0},
+        )
+        b = ok_record(
+            spec_hash="same", points={"total": 4, "executed": 0,
+                                      "cached": 4, "failed": 0},
+            cache={"hits": 4, "misses": 0, "hit_rate": 1.0},
+            resources={"cpu_s": 0.0, "peak_rss_kb": 0.0},
+        )
+        return a, b
+
+    def test_structured_diff(self):
+        a, b = self._pair()
+        diff = diff_records(a, b)
+        assert diff["same_spec"] is True
+        assert diff["points"]["executed_delta"] == -4
+        assert diff["cache"]["hits_delta"] == 4
+        assert diff["cache"]["hit_rate"] == {"a": 0.0, "b": 1.0}
+        assert diff["resources"]["cpu_s"]["delta"] == -2.0
+
+    def test_different_spec_flagged(self):
+        a, b = self._pair()
+        b["spec_hash"] = "other"
+        assert diff_records(a, b)["same_spec"] is False
+
+    def test_format_diff_renders(self):
+        a, b = self._pair()
+        text = format_diff(diff_records(a, b))
+        assert f"runs {a['id']} -> {b['id']}" in text
+        assert "cache hit : 0% -> 100% (+4 hits)" in text
+        assert "same spec" in text
+
+    def test_diff_tolerates_sparse_records(self):
+        bare_a, bare_b = ok_record(), ok_record()
+        text = format_diff(diff_records(bare_a, bare_b))
+        assert "ok -> ok" in text

@@ -1,0 +1,159 @@
+"""Tests for the live sweep monitor behind ``repro sweep --live``."""
+
+import io
+
+from repro.obs import SweepMonitor
+from repro.obs import events as ev
+from repro.obs.events import Event, EventBus
+
+
+def begin(monitor, total=4, jobs=2, t=100.0):
+    monitor.on_event(
+        Event(ev.SWEEP_BEGIN, t, 0, {"total": total, "jobs": jobs})
+    )
+
+
+def point(monitor, t, status="ok", pid=None, wall_s=0.0, cpu_s=0.0,
+          rss=0.0, **extra):
+    data = {"status": status, "wall_s": wall_s, "cpu_s": cpu_s,
+            "peak_rss_kb": rss, **extra}
+    if pid is not None:
+        data["pid"] = pid
+    monitor.on_event(Event(ev.SWEEP_POINT, t, 0, data))
+
+
+def end(monitor, t):
+    monitor.on_event(Event(ev.SWEEP_END, t, 0, {}))
+
+
+class TestAccounting:
+    def test_counts_and_hit_rate(self):
+        monitor = SweepMonitor(stream=io.StringIO(), interactive=False)
+        begin(monitor)
+        point(monitor, 101.0, status="cached")
+        point(monitor, 102.0, status="ok", pid=7, wall_s=1.0)
+        point(monitor, 103.0, status="failed")
+        assert (monitor.done, monitor.ok, monitor.cached,
+                monitor.failed) == (3, 1, 1, 1)
+        assert monitor.hit_rate == 1 / 3
+
+    def test_eta_paces_on_executed_points_only(self):
+        monitor = SweepMonitor(stream=io.StringIO(), interactive=False)
+        begin(monitor, total=4, t=100.0)
+        point(monitor, 101.0, status="cached")
+        # Cached points give no pace: no estimate yet.
+        assert monitor.eta_s is None
+        point(monitor, 102.0, status="ok", pid=1, wall_s=2.0)
+        # 1 executed in 2 s elapsed, 2 remaining -> ~4 s.
+        assert monitor.eta_s == 4.0
+        point(monitor, 103.0, status="ok", pid=1, wall_s=1.0)
+        point(monitor, 104.0, status="ok", pid=1, wall_s=1.0)
+        assert monitor.eta_s == 0.0
+
+    def test_worker_utilization(self):
+        monitor = SweepMonitor(stream=io.StringIO(), interactive=False)
+        begin(monitor, total=2, jobs=2, t=0.0)
+        point(monitor, 2.0, status="ok", pid=1, wall_s=2.0)
+        point(monitor, 2.0, status="ok", pid=2, wall_s=2.0)
+        # 4 busy seconds over 2 s x 2 jobs = fully utilized.
+        assert monitor.utilization == 1.0
+        assert len(monitor.worker_busy) == 2
+
+    def test_resource_rollup(self):
+        monitor = SweepMonitor(stream=io.StringIO(), interactive=False)
+        begin(monitor)
+        point(monitor, 101.0, status="ok", pid=1, cpu_s=1.5, rss=500.0)
+        point(monitor, 102.0, status="ok", pid=2, cpu_s=0.5, rss=900.0)
+        assert monitor.cpu_s == 2.0
+        assert monitor.peak_rss_kb == 900.0
+
+    def test_missing_fields_degrade_not_crash(self):
+        # A dead worker's point event may carry almost nothing.
+        monitor = SweepMonitor(stream=io.StringIO(), interactive=False)
+        begin(monitor)
+        monitor.on_event(Event(ev.SWEEP_POINT, 101.0, 0, {}))
+        assert monitor.done == 1
+        assert monitor.failed == 1  # unknown status counts as failed
+        assert "1 failed" in monitor.render()
+
+
+class TestRendering:
+    def test_interactive_redraws_in_place(self):
+        stream = io.StringIO()
+        monitor = SweepMonitor(stream=stream, interactive=True)
+        begin(monitor, total=1)
+        point(monitor, 101.0, status="ok", pid=1, wall_s=1.0)
+        end(monitor, 101.0)
+        out = stream.getvalue()
+        assert "\r\x1b[2K" in out
+        assert out.count("\n") == 2  # only the final draw breaks lines
+        assert "live    :" in out
+
+    def test_non_tty_is_line_buffered_plain(self):
+        stream = io.StringIO()
+        monitor = SweepMonitor(stream=stream, interactive=False)
+        begin(monitor, total=2)
+        point(monitor, 101.0, status="ok", pid=1, wall_s=1.0)
+        end(monitor, 101.0)
+        out = stream.getvalue()
+        assert "\r" not in out and "\x1b" not in out
+        assert out.endswith("\n")
+        assert len(out.splitlines()) == 3  # begin, point, final summary
+
+    def test_interactive_autodetects_from_stream(self):
+        assert SweepMonitor(stream=io.StringIO()).interactive is False
+
+        class FakeTty(io.StringIO):
+            def isatty(self):
+                return True
+
+        assert SweepMonitor(stream=FakeTty()).interactive is True
+
+    def test_render_truncates_to_width(self):
+        monitor = SweepMonitor(stream=io.StringIO(), interactive=False,
+                               width=40)
+        begin(monitor, total=100)
+        for index in range(9):
+            point(monitor, 101.0 + index, status="ok", pid=1, wall_s=0.1)
+        assert len(monitor.render()) <= 40
+
+    def test_summary_line_contents(self):
+        monitor = SweepMonitor(stream=io.StringIO(), interactive=False)
+        begin(monitor, total=2, jobs=1, t=0.0)
+        point(monitor, 1.0, status="cached")
+        point(monitor, 2.0, status="ok", pid=1, wall_s=1.0, cpu_s=0.8,
+              rss=2048.0)
+        line = monitor.summary_line()
+        assert "2 point(s)" in line
+        assert "cache hit 50%" in line
+        assert "cpu 0.80s" in line
+        assert "peak rss 2.0 MB" in line
+
+
+class TestBusIntegration:
+    def test_attach_subscribes_to_sweep_events_only(self):
+        bus = EventBus()
+        stream = io.StringIO()
+        monitor = SweepMonitor(stream=stream, interactive=False).attach(bus)
+        bus.emit(ev.SWEEP_BEGIN, 100.0, total=1, jobs=1)
+        bus.emit(ev.TICK, 100.5, state="run")  # ignored
+        bus.emit(ev.SWEEP_POINT, 101.0, status="ok", pid=1, wall_s=1.0)
+        bus.emit(ev.SWEEP_END, 101.0)
+        assert monitor.done == 1
+        assert monitor._finished is True
+
+    def test_runner_drives_monitor_end_to_end(self):
+        from repro.exp import ExperimentSpec, SweepRunner
+
+        bus = EventBus()
+        stream = io.StringIO()
+        monitor = SweepMonitor(stream=stream, interactive=False).attach(bus)
+        spec = ExperimentSpec(
+            name="mon",
+            base={"source": "wristwatch", "duration_s": 0.2, "seed": 5},
+            axes={"seed": [1, 2]},
+        )
+        SweepRunner(bus=bus).run(spec.expand())
+        assert monitor.done == monitor.total == 2
+        assert monitor.ok == 2
+        assert "2 ok" in stream.getvalue()

@@ -1,0 +1,91 @@
+"""Tests for getrusage-based worker resource accounting."""
+
+import os
+
+import pytest
+
+from repro.obs.resources import (
+    ResourceSample,
+    aggregate_usage,
+    available,
+    sample_resources,
+    usage_between,
+)
+
+
+class TestSampling:
+    def test_available_on_posix(self):
+        assert available() is True  # the CI/test platforms are POSIX
+
+    def test_sample_shape(self):
+        sample = sample_resources()
+        assert sample.pid == os.getpid()
+        assert sample.cpu_user_s >= 0.0
+        assert sample.cpu_system_s >= 0.0
+        assert sample.peak_rss_kb > 0.0  # a live interpreter has RSS
+        assert sample.cpu_s == pytest.approx(
+            sample.cpu_user_s + sample.cpu_system_s
+        )
+
+    def test_to_dict_roundtrips_fields(self):
+        data = sample_resources().to_dict()
+        assert set(data) == {
+            "cpu_user_s", "cpu_system_s", "cpu_s", "peak_rss_kb", "pid",
+        }
+
+    def test_cpu_is_monotonic(self):
+        before = sample_resources()
+        sum(i * i for i in range(200_000))  # burn a little CPU
+        after = sample_resources()
+        assert after.cpu_s >= before.cpu_s
+
+
+class TestUsageBetween:
+    def test_delta_semantics(self):
+        before = ResourceSample(1.0, 0.5, 1000.0, 42)
+        after = ResourceSample(3.0, 1.0, 2000.0, 42)
+        usage = usage_between(before, after)
+        assert usage["cpu_user_s"] == pytest.approx(2.0)
+        assert usage["cpu_system_s"] == pytest.approx(0.5)
+        assert usage["cpu_s"] == pytest.approx(2.5)
+        # Peak RSS is the absolute lifetime value, not a delta.
+        assert usage["peak_rss_kb"] == 2000.0
+        assert usage["pid"] == 42
+
+    def test_negative_deltas_clamped(self):
+        before = ResourceSample(5.0, 5.0, 1000.0, 1)
+        after = ResourceSample(1.0, 1.0, 1000.0, 1)
+        usage = usage_between(before, after)
+        assert usage["cpu_user_s"] == 0.0
+        assert usage["cpu_s"] == 0.0
+
+
+class TestAggregation:
+    def test_sums_cpu_maxes_rss_counts_workers(self):
+        usages = [
+            {"cpu_user_s": 1.0, "cpu_system_s": 0.25, "cpu_s": 1.25,
+             "peak_rss_kb": 500.0, "pid": 1},
+            {"cpu_user_s": 2.0, "cpu_system_s": 0.75, "cpu_s": 2.75,
+             "peak_rss_kb": 900.0, "pid": 2},
+            {"cpu_user_s": 0.5, "cpu_system_s": 0.0, "cpu_s": 0.5,
+             "peak_rss_kb": 400.0, "pid": 1},  # pid 1 again
+        ]
+        agg = aggregate_usage(usages)
+        assert agg["cpu_s"] == pytest.approx(4.5)
+        assert agg["cpu_user_s"] == pytest.approx(3.5)
+        assert agg["peak_rss_kb"] == 900.0
+        assert agg["workers"] == 2
+
+    def test_empty_and_none_entries(self):
+        agg = aggregate_usage([{}, None, {"cpu_s": None, "pid": None}])
+        assert agg == {
+            "cpu_user_s": 0.0, "cpu_system_s": 0.0, "cpu_s": 0.0,
+            "peak_rss_kb": 0.0, "workers": 0,
+        }
+
+    def test_accepts_generators(self):
+        agg = aggregate_usage(
+            {"cpu_s": 1.0, "pid": pid} for pid in (1, 2)
+        )
+        assert agg["workers"] == 2
+        assert agg["cpu_s"] == 2.0
