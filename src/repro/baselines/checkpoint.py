@@ -23,6 +23,8 @@ from typing import Dict, Optional
 
 from repro.core.progress import ForwardProgressLedger
 from repro.nvm.technology import FERAM, NVMTechnology
+from repro.system import fastpath
+from repro.system.fastpath import OffRunPlan
 from repro.system.simulator import TickReport
 from repro.system.thresholds import ThresholdPlan, plan_thresholds
 from repro.workloads.base import Workload
@@ -201,47 +203,32 @@ class CheckpointPlatform:
             return TickReport("run", advance.instructions)
         return TickReport("run", advance.instructions)
 
+    def off_plan(self, dt_s: float) -> Optional[OffRunPlan]:
+        """Dormant-charging plan: sleep toward the start threshold.
+
+        Both trigger variants sleep the same way; the wake runs
+        through the same :meth:`_resume` the per-tick path uses.
+        ``None`` while powered on.
+        """
+        if self._state != "off":
+            return None
+        return OffRunPlan(
+            state="off",
+            target_j=lambda: self.thresholds(dt_s).start_threshold_j,
+            on_charged=None,
+            on_cross=self._resume,
+        )
+
     def fast_forward(self, p_in_w, start, stop, dt_s):
         """Bulk-advance through off/done ticks (fast-path engine).
 
         Same contract as
-        :meth:`repro.core.nvp.NVPPlatform.fast_forward`: skips runs of
-        ``"off"`` ticks charging toward the start threshold (both
-        trigger variants sleep the same way) and ``"done"`` ticks after
-        completion, resuming through the same :meth:`_resume` the
-        per-tick path uses.  Returns ``(state, ticks)`` runs or
-        ``None`` to fall back.
+        :meth:`repro.core.nvp.NVPPlatform.fast_forward`: delegates to
+        the shared :func:`~repro.system.fastpath.fast_forward_offruns`
+        loop driving :meth:`off_plan`.  Returns ``(state, ticks)``
+        runs or ``None`` to fall back.
         """
-        charge_many = getattr(self.storage, "charge_many", None)
-        if charge_many is None:
-            return None
-        if self.workload.finished:
-            consumed, _ = charge_many(p_in_w, start, stop, dt_s, None)
-            return [("done", consumed)] if consumed else None
-        if self._state != "off":
-            return None
-        target = self.thresholds(dt_s).start_threshold_j
-        runs = []
-        pending_off = 0
-        index = start
-        while index < stop:
-            consumed, crossed = charge_many(p_in_w, index, stop, dt_s, target)
-            index += consumed
-            pending_off += consumed
-            if not crossed:
-                break
-            report = self._resume()
-            if report.state == "off":
-                # Resume failed; the crossing tick stays an off tick.
-                continue
-            pending_off -= 1
-            if pending_off:
-                runs.append(("off", pending_off))
-            runs.append((report.state, 1))
-            return runs
-        if pending_off:
-            runs.append(("off", pending_off))
-        return runs or None
+        return fastpath.fast_forward_offruns(self, p_in_w, start, stop, dt_s)
 
     # -- transitions -----------------------------------------------------------
 

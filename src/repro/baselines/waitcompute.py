@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.progress import ForwardProgressLedger
+from repro.system import fastpath
+from repro.system.fastpath import OffRunPlan
 from repro.system.simulator import TickReport
 from repro.workloads.base import Workload
 
@@ -84,15 +86,7 @@ class WaitComputePlatform:
         if self._state == "off":
             self.storage.step(p_in_w, 0.0, dt_s)
             if self.storage.energy_j >= self.unit_energy_target_j():
-                drawn = self.storage.draw(self.boot_energy_j)
-                self.consumed_j += drawn
-                if drawn < self.boot_energy_j:
-                    self.failed_boots += 1
-                    return TickReport("charge")
-                self.boots += 1
-                self._stall_s = self.boot_time_s
-                self._state = "on"
-                return TickReport("restore")
+                return self._boot()
             return TickReport("charge")
 
         # -- running a unit on stored energy ------------------------------
@@ -125,6 +119,36 @@ class WaitComputePlatform:
                 self._state = "off"
         return TickReport("run", advance.instructions)
 
+    def _boot(self) -> TickReport:
+        """Attempt to boot off stored energy once the target is met."""
+        drawn = self.storage.draw(self.boot_energy_j)
+        self.consumed_j += drawn
+        if drawn < self.boot_energy_j:
+            self.failed_boots += 1
+            return TickReport("charge")
+        self.boots += 1
+        self._stall_s = self.boot_time_s
+        self._state = "on"
+        return TickReport("restore")
+
+    def off_plan(self, dt_s: float) -> Optional[OffRunPlan]:
+        """Dormant-charging plan: trickle toward the unit target.
+
+        The target is re-evaluated per charge run (it moves as units
+        complete); the boot attempt on the crossing tick runs through
+        the same :meth:`_boot` the per-tick path uses.  ``None`` while
+        powered on.
+        """
+        del dt_s
+        if self._state != "off":
+            return None
+        return OffRunPlan(
+            state="charge",
+            target_j=self.unit_energy_target_j,
+            on_charged=None,
+            on_cross=self._boot,
+        )
+
     def fast_forward(self, p_in_w, start, stop, dt_s):
         """Bulk-advance through charge/done ticks (fast-path engine).
 
@@ -132,46 +156,11 @@ class WaitComputePlatform:
         :meth:`repro.core.nvp.NVPPlatform.fast_forward`: consumes runs
         of analytically predictable ticks — here ``"charge"`` ticks
         trickle-charging the supercap toward the unit energy target,
-        and ``"done"`` ticks after completion — and returns the
-        ``(state, ticks)`` runs, or ``None`` to fall back to exact
-        ticking.  The boot attempt on the crossing tick replays the
-        per-tick logic verbatim.
+        and ``"done"`` ticks after completion — via the shared
+        :func:`~repro.system.fastpath.fast_forward_offruns` loop
+        driving :meth:`off_plan`.
         """
-        charge_many = getattr(self.storage, "charge_many", None)
-        if charge_many is None:
-            return None
-        if self.workload.finished:
-            consumed, _ = charge_many(p_in_w, start, stop, dt_s, None)
-            return [("done", consumed)] if consumed else None
-        if self._state != "off":
-            return None
-        runs = []
-        pending_charge = 0
-        index = start
-        while index < stop:
-            target = self.unit_energy_target_j()
-            consumed, crossed = charge_many(p_in_w, index, stop, dt_s, target)
-            index += consumed
-            pending_charge += consumed
-            if not crossed:
-                break
-            drawn = self.storage.draw(self.boot_energy_j)
-            self.consumed_j += drawn
-            if drawn < self.boot_energy_j:
-                # Boot failed; the crossing tick stays a charge tick.
-                self.failed_boots += 1
-                continue
-            self.boots += 1
-            self._stall_s = self.boot_time_s
-            self._state = "on"
-            pending_charge -= 1
-            if pending_charge:
-                runs.append(("charge", pending_charge))
-            runs.append(("restore", 1))
-            return runs
-        if pending_charge:
-            runs.append(("charge", pending_charge))
-        return runs or None
+        return fastpath.fast_forward_offruns(self, p_in_w, start, stop, dt_s)
 
     def stats(self) -> Dict[str, float]:
         """Counter snapshot for the simulation result."""

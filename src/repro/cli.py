@@ -203,6 +203,7 @@ def cmd_simulate(args) -> int:
             experiment=args.kernel,
             spec_hash=fingerprint,
             resources=usage_between(usage_before, sample_resources()),
+            n_devices=1,
         ))
 
     trace = _make_trace(args)
@@ -473,6 +474,126 @@ def cmd_sweep(args) -> int:
     return 1 if outcome.failed else 0
 
 
+def cmd_fleet_run(args) -> int:
+    """Run a fleet spec through the batched lockstep kernel."""
+    import argparse
+    import json
+
+    from repro.exp import ResultCache
+    from repro.fleet import (
+        FleetSpec,
+        fleet_summary,
+        render_fleet_summary,
+        replay_device,
+        run_fleet,
+        write_fleet_results,
+    )
+    from repro.obs import EventBus
+    from repro.obs import events as ev
+    from repro.obs.ledger import OUTCOME_INTERRUPTED, sweep_record
+
+    try:
+        spec = FleetSpec.from_file(args.spec)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot load fleet spec: {exc}")
+    try:
+        configs = spec.devices()
+    except ValueError as exc:
+        raise SystemExit(f"error: bad fleet spec: {exc}")
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+        if args.fresh:
+            removed = cache.clear()
+            print(f"cache   : cleared {removed} entr(y/ies) "
+                  f"from {cache.directory}")
+
+    bus = EventBus()
+    if not args.quiet and not args.json:
+        def _progress(event) -> None:
+            data = event.data
+            if event.name == ev.FLEET_BEGIN:
+                print(f"fleet   : {spec.name} — {data['devices']} device(s) "
+                      f"in lockstep (dt={data['dt_s'] * 1e3:.3g}ms)")
+            else:
+                print(f"fleet   : advanced {data['ticks']} tick(s)")
+
+        bus.subscribe(_progress, names=(ev.FLEET_BEGIN, ev.FLEET_END))
+
+    started = time.time()
+    interrupted = False
+    try:
+        outcome = run_fleet(configs, cache=cache, bus=bus)
+    except KeyboardInterrupt:
+        from repro.exp.runner import SweepOutcome
+
+        _ledger_append(sweep_record(
+            "fleet", spec.name, SweepOutcome(), started, time.time(),
+            forced_outcome=OUTCOME_INTERRUPTED, n_devices=len(configs),
+        ))
+        raise
+    record = sweep_record(
+        "fleet", spec.name, outcome, started, time.time(),
+        n_devices=len(configs),
+    )
+    ledger_id = _ledger_append(record)
+    summary = fleet_summary(outcome)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print()
+        print(render_fleet_summary(summary, title=f"fleet {spec.name}"))
+        print(f"cache   : {outcome.cached} hit(s), "
+              f"{outcome.executed} executed ({outcome.wall_s:.2f}s)")
+        if ledger_id:
+            print(f"ledger  : {ledger_id} ({record['outcome']})")
+    if args.results_dir:
+        try:
+            path = write_fleet_results(spec, outcome, args.results_dir)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write results: {exc}")
+        if not args.json:
+            print(f"results : {path}")
+    if args.replay_device is not None:
+        index = args.replay_device
+        if not 0 <= index < len(configs):
+            raise SystemExit(
+                f"error: --replay-device {index} out of range "
+                f"(fleet has {len(configs)} devices)"
+            )
+        # Drill down: re-run one device through the single-device
+        # engine with full observability.  Exact by construction —
+        # fleet results are bit-identical to the single engine.
+        from repro.obs import RunManifest
+
+        replay_args = argparse.Namespace(
+            trace=None, events=args.events, metrics=args.metrics,
+            manifest=args.manifest,
+        )
+        rbus, rlog, rmetrics = _make_observability(replay_args)
+        result, _ = replay_device(
+            configs[index], bus=rbus, metrics=rmetrics
+        )
+        identical = result.to_dict() == outcome.records[index].result
+        if not args.json:
+            print(f"replay  : device {index} — {result.summary()}")
+            print(f"replay  : fleet result "
+                  f"{'bit-identical' if identical else 'MISMATCH'}")
+        manifest = None
+        if args.manifest:
+            manifest = RunManifest.collect(
+                command=f"fleet-replay:{spec.name}",
+                config=dict(configs[index]),
+                n_devices=len(configs),
+                device_index=index,
+            )
+        _write_observability(replay_args, rlog, rmetrics, manifest)
+        if not identical:
+            return 1
+    return 1 if outcome.failed else 0
+
+
 def cmd_bench_report(args) -> int:
     """Diff the benchmark history against a baseline and gate regressions."""
     from repro.obs.history import build_report, read_history
@@ -593,13 +714,14 @@ def cmd_runs_list(args) -> int:
             record.get("experiment") or "—",
             record.get("outcome", "?"),
             points.get("total", "—"),
+            record.get("n_devices") or "—",
             "—" if hit_rate is None else f"{hit_rate:.0%}",
             f"{record.get('wall_s', 0.0):.2f}",
             f"{resources.get('cpu_s', 0.0):.2f}",
         ])
     print(format_table(
         ["id", "started", "command", "experiment", "outcome",
-         "points", "hit", "wall s", "cpu s"],
+         "points", "devices", "hit", "wall s", "cpu s"],
         rows,
     ))
     return 0
@@ -631,6 +753,8 @@ def cmd_runs_show(args) -> int:
     print(f"started     : {_when(record.get('started_unix'))}")
     print(f"wall        : {record.get('wall_s', 0.0):.2f} s")
     print(f"spec hash   : {record.get('spec_hash') or '—'}")
+    if record.get("n_devices") is not None:
+        print(f"devices     : {record['n_devices']}")
     print(f"code version: {record.get('code_version')} "
           f"(git {str(record.get('git_sha', ''))[:12]})")
     if points:
@@ -936,6 +1060,47 @@ def build_parser() -> argparse.ArgumentParser:
                               "(per-worker spans with cache-hit "
                               "attribution; open in Perfetto)")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="batched lockstep simulation of device populations",
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+    p_fleet_run = fleet_sub.add_parser(
+        "run",
+        help="advance a fleet spec through the vectorized kernel",
+    )
+    p_fleet_run.add_argument("spec", help="fleet spec JSON file "
+                                          "(see docs/fleet.md)")
+    p_fleet_run.add_argument("--no-cache", action="store_true",
+                             help="simulate every device, read/write no "
+                                  "cache")
+    p_fleet_run.add_argument("--fresh", action="store_true",
+                             help="clear the cache namespace before running")
+    p_fleet_run.add_argument("--cache-dir", default=None, metavar="DIR",
+                             help="cache root (default: $REPRO_CACHE_DIR "
+                                  "or .repro-cache)")
+    p_fleet_run.add_argument("--results-dir", default=None, metavar="DIR",
+                             help="also write a benchmarks-results JSON here")
+    p_fleet_run.add_argument("--quiet", action="store_true",
+                             help="suppress fleet progress lines")
+    p_fleet_run.add_argument("--json", action="store_true",
+                             help="print the fleet summary as JSON")
+    p_fleet_run.add_argument("--replay-device", type=int, default=None,
+                             metavar="INDEX",
+                             help="after the fleet run, re-run one device "
+                                  "through the single-device engine "
+                                  "(bit-identical) with full observability")
+    p_fleet_run.add_argument("--events", default=None, metavar="OUT.jsonl",
+                             help="with --replay-device: write the "
+                                  "device's event stream here")
+    p_fleet_run.add_argument("--metrics", default=None, metavar="OUT.csv",
+                             help="with --replay-device: write the "
+                                  "device's metrics here")
+    p_fleet_run.add_argument("--manifest", default=None, metavar="OUT.json",
+                             help="with --replay-device: write a run "
+                                  "manifest (stamped with n_devices) here")
+    p_fleet_run.set_defaults(func=cmd_fleet_run)
 
     p_bench = sub.add_parser(
         "bench-report",

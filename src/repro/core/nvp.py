@@ -27,6 +27,8 @@ from repro.core.config import NVPConfig
 from repro.core.progress import ForwardProgressLedger
 from repro.obs import events as ev
 from repro.obs.events import EventBus
+from repro.system import fastpath
+from repro.system.fastpath import OffRunPlan
 from repro.system.simulator import TickReport
 from repro.system.thresholds import ThresholdPlan, plan_thresholds
 from repro.workloads.base import Workload
@@ -242,17 +244,38 @@ class NVPPlatform:
 
     # -- fast-forward ------------------------------------------------------
 
+    def off_plan(self, dt_s: float) -> Optional[OffRunPlan]:
+        """The dormant-charging plan while powered off.
+
+        Charges toward the start threshold with no load, keeps the
+        retention-age clock (``_off_ticks``) in sync with the consumed
+        ticks, and wakes through the same :meth:`_wake` the per-tick
+        path uses.  ``None`` while powered on.
+        """
+        if self._state != "off":
+            return None
+
+        def on_charged(ticks: int) -> None:
+            self._off_ticks += ticks
+            self._off_elapsed_s = self._off_ticks * dt_s
+
+        return OffRunPlan(
+            state="off",
+            target_j=lambda: self.thresholds(dt_s).start_threshold_j,
+            on_charged=on_charged,
+            on_cross=self._wake,
+        )
+
     def fast_forward(self, p_in_w, start, stop, dt_s):
         """Advance through analytically predictable ticks in bulk.
 
         Covers the two steady states the per-tick loop wastes most of
         its time in: ``"off"`` (charging toward the start threshold
         with no load) and ``"done"`` (workload finished, storage still
-        integrating the trace).  Delegates the arithmetic to the
-        storage element's ``charge_many`` so every float operation
-        matches the exact path bit-for-bit; the wake attempt on the
-        threshold-crossing tick runs through the same :meth:`_wake` the
-        per-tick path uses.
+        integrating the trace).  Delegates to the shared
+        :func:`~repro.system.fastpath.fast_forward_offruns` loop
+        driving :meth:`off_plan`, so every float operation matches the
+        exact path bit-for-bit.
 
         Args:
             p_in_w: per-tick DC input power, indexable (the simulator
@@ -267,48 +290,7 @@ class NVPPlatform:
             cannot be fast-forwarded (the simulator then falls back to
             exact ticking).
         """
-        charge_many = getattr(self.storage, "charge_many", None)
-        if charge_many is None:
-            return None
-        if self.workload.finished:
-            consumed, _ = charge_many(p_in_w, start, stop, dt_s, None)
-            return [("done", consumed)] if consumed else None
-        if self._state != "off":
-            return None
-        bus = self.bus
-        if bus is not None:
-            # Stamp the bus clock so emits from inside the bulk
-            # operation (threshold recompute now, wake events below)
-            # carry the tick the exact engine would have used.
-            bus.set_clock(start, dt_s)
-        target = self.thresholds(dt_s).start_threshold_j
-        runs = []
-        pending_off = 0
-        index = start
-        while index < stop:
-            consumed, crossed = charge_many(p_in_w, index, stop, dt_s, target)
-            index += consumed
-            self._off_ticks += consumed
-            self._off_elapsed_s = self._off_ticks * dt_s
-            pending_off += consumed
-            if not crossed:
-                break
-            if bus is not None:
-                # The crossing tick is the last one consumed.
-                bus.set_clock(index - 1, dt_s)
-            report = self._wake()
-            if report.state == "off":
-                # Restore failed; the crossing tick stays an off tick
-                # and charging resumes.
-                continue
-            pending_off -= 1
-            if pending_off:
-                runs.append(("off", pending_off))
-            runs.append((report.state, 1))
-            return runs
-        if pending_off:
-            runs.append(("off", pending_off))
-        return runs or None
+        return fastpath.fast_forward_offruns(self, p_in_w, start, stop, dt_s)
 
     # -- internal transitions ------------------------------------------------
 

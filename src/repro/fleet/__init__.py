@@ -1,0 +1,47 @@
+"""Fleet subsystem: batched lockstep simulation of device populations.
+
+The fleet engine advances N heterogeneous devices — each with its own
+platform preset, capacitor sizing, RNG seed, and trace offset —
+through simulated time together.  Dormant devices (off/charge/done)
+live in a struct-of-arrays layout and bulk-advance through one
+vectorized charge step per tick; active devices tick exactly.  Every
+device's :class:`~repro.system.result.SimulationResult` is bit-for-bit
+identical to running the single-device engine on its sub-trace.
+
+See ``docs/fleet.md`` for the layout and equivalence guarantees.
+"""
+
+from repro.fleet.kernel import (
+    FleetKernel,
+    replay_device,
+    run_fleet,
+)
+from repro.fleet.report import (
+    fleet_payload,
+    fleet_summary,
+    render_fleet_summary,
+    write_fleet_results,
+)
+from repro.fleet.soa import FleetArrays, storage_soa_params
+from repro.fleet.spec import (
+    DEVICE_OFFSET_KEY,
+    FleetSpec,
+    device_config_hash,
+    resolve_device_config,
+)
+
+__all__ = [
+    "DEVICE_OFFSET_KEY",
+    "FleetArrays",
+    "FleetKernel",
+    "FleetSpec",
+    "device_config_hash",
+    "fleet_payload",
+    "fleet_summary",
+    "render_fleet_summary",
+    "replay_device",
+    "resolve_device_config",
+    "run_fleet",
+    "storage_soa_params",
+    "write_fleet_results",
+]

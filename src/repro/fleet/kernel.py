@@ -1,0 +1,478 @@
+"""The fleet kernel: N heterogeneous devices advanced in lockstep.
+
+One :class:`FleetKernel` walks a whole fleet through simulated time
+tick by tick.  Dormant devices (off/charge/done) live in the
+struct-of-arrays state (:class:`repro.fleet.soa.FleetArrays`) and
+bulk-advance through one vectorized charge step per tick; devices that
+are powered on tick exactly through their own platform state machine,
+just like the single-device engine.  Wake attempts on
+threshold-crossing ticks run through the platform's
+:class:`~repro.system.fastpath.OffRunPlan` hooks — the very hooks the
+single-device fast path drives — so every transition executes the
+same Python code in both engines.
+
+The per-device :class:`~repro.system.result.SimulationResult` is
+therefore **bit-for-bit identical** to running
+:class:`~repro.system.simulator.SystemSimulator` on the device's own
+sub-trace (property-tested in ``tests/test_fastpath_equivalence.py``):
+
+* the vectorized charge step reproduces ``charge_many`` — and hence
+  repeated ``storage.step(p, 0.0, dt)`` — exactly (see
+  :mod:`repro.fleet.soa`);
+* run-length state-time accounting uses the same
+  merge-and-flush-on-transition accumulator as the engine, with
+  dormant runs merged as integer tick counts before the single
+  ``count * dt`` product;
+* harvested energy is the same cumulative-sum prefix the engine's
+  vectorized pre-pass reads;
+* results are materialised through the shared
+  :func:`repro.system.simulator.assemble_result`.
+
+Devices whose storage does not implement the SoA contract (or whose
+platform has no ``off_plan``) simply stay on the exact per-tick path —
+correctness never depends on the vectorization being available.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exp.runner import (
+    STATUS_CACHED,
+    STATUS_OK,
+    RunRecord,
+    SweepOutcome,
+    build_platform,
+    build_trace,
+    build_workload,
+)
+from repro.fleet.soa import FleetArrays, storage_soa_params
+from repro.fleet.spec import (
+    DEVICE_OFFSET_KEY,
+    device_config_hash,
+    resolve_device_config,
+)
+from repro.obs import events as ev
+from repro.obs.resources import sample_resources, usage_between
+from repro.system.presets import standard_rectifier
+from repro.system.simulator import SystemSimulator, assemble_result
+
+#: Device lifecycle modes inside the kernel.
+MODE_ACTIVE = "active"
+MODE_PASSIVE = "passive"
+MODE_FINAL = "final"
+
+#: Config keys that determine a device's (pre-offset) trace and its
+#: rectified power array; devices agreeing on all of them share one
+#: concatenated power segment.
+_TRACE_KEYS = (
+    "source", "duration_s", "seed", "mean_uw", "profile_index",
+    "profile_count", "rectifier",
+)
+
+
+class _FleetDevice:
+    """Book-keeping for one device row."""
+
+    __slots__ = (
+        "index", "config", "platform", "storage", "off_plan_fn", "soa",
+        "row", "base", "n_ticks", "stop_when_finished",
+        "state_time", "run_state", "run_ticks",
+        "completion_time", "finished_seen", "ticks_run",
+        "mode", "dormant_state", "plan", "result",
+    )
+
+    def __init__(self, index: int, config: Dict) -> None:
+        self.index = index
+        self.config = config
+        self.state_time: Dict[str, float] = {}
+        self.run_state: Optional[str] = None
+        self.run_ticks = 0
+        self.completion_time: Optional[float] = None
+        self.finished_seen = False
+        self.ticks_run = 0
+        self.mode = MODE_ACTIVE
+        self.dormant_state: Optional[str] = None
+        self.plan = None
+        self.result = None
+
+    @property
+    def label(self) -> str:
+        return self.config.get("label") or self.platform.label
+
+
+class FleetKernel:
+    """Advance a fleet of resolved device configs in lockstep.
+
+    Args:
+        configs: fully-resolved device configs
+            (:func:`repro.fleet.spec.resolve_device_config` output), one
+            per device, in fleet order.
+        bus: optional event bus for ``fleet.begin`` / ``fleet.device`` /
+            ``fleet.end`` lifecycle events.  Devices themselves run
+            without a bus — per-device observability comes from
+            :func:`replay_device`, which is exact because fleet results
+            are bit-identical to the single engine's.
+    """
+
+    def __init__(self, configs: List[Dict], bus=None) -> None:
+        if not configs:
+            raise ValueError("fleet needs at least one device")
+        self.bus = bus
+        self.devices: List[_FleetDevice] = []
+        self._active: List[_FleetDevice] = []
+        self._pending_active: List[_FleetDevice] = []
+        self._ends_by_tick: Dict[int, List[_FleetDevice]] = {}
+        self.n_passive = 0
+        self.ticks_advanced = 0
+
+        # -- shared trace segments ------------------------------------
+        # Devices agreeing on the trace-determining keys share one
+        # rectified power array; each device indexes it from its own
+        # offset, so the per-tick values equal the single engine's
+        # pre-pass over the device's sub-trace (rectification is
+        # elementwise, so rectify-then-slice == slice-then-rectify).
+        groups: Dict[Tuple, Tuple[int, object]] = {}
+        parts: List[np.ndarray] = []
+        next_start = 0
+        dt: Optional[float] = None
+        for config in configs:
+            key = tuple(config[name] for name in _TRACE_KEYS)
+            if key not in groups:
+                trace = build_trace(config)
+                if dt is None:
+                    dt = trace.dt_s
+                elif trace.dt_s != dt:
+                    raise ValueError(
+                        "fleet devices must share one tick duration"
+                    )
+                if config["rectifier"]:
+                    p_dc = standard_rectifier().output_power_array(
+                        trace.samples_w
+                    )
+                else:
+                    p_dc = trace.samples_w
+                groups[key] = (next_start, trace)
+                parts.append(np.ascontiguousarray(p_dc, dtype=np.float64))
+                next_start += len(trace)
+        self.dt = float(dt)
+        self.P = parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+        # -- device rows ----------------------------------------------
+        self.arrays = FleetArrays(len(configs), self.dt)
+        for row, config in enumerate(configs):
+            dev = _FleetDevice(row, config)
+            dev.row = row
+            start, trace = groups[tuple(config[name] for name in _TRACE_KEYS)]
+            offset = trace.offset_ticks(config[DEVICE_OFFSET_KEY])
+            dev.base = start + offset
+            dev.n_ticks = len(trace) - offset
+            dev.stop_when_finished = bool(config["stop_when_finished"])
+            workload = build_workload(config)
+            dev.platform = build_platform(config, workload)
+            dev.storage = getattr(dev.platform, "storage", None)
+            dev.off_plan_fn = getattr(dev.platform, "off_plan", None)
+            dev.soa = storage_soa_params(dev.storage)
+            if dev.soa is not None:
+                self.arrays.set_params(row, dev.soa, dev.base)
+            else:
+                self.arrays.base[row] = dev.base
+            self.devices.append(dev)
+            self._ends_by_tick.setdefault(dev.n_ticks, []).append(dev)
+        self.n_live = len(self.devices)
+        for dev in self.devices:
+            self._route(dev)
+        self._active.extend(self._pending_active)
+        self._pending_active.clear()
+
+    # -- state-time accounting ----------------------------------------
+
+    def _account(self, dev: _FleetDevice, state: str, count: int) -> None:
+        """Merge ``count`` ticks of ``state`` into the device's runs.
+
+        Same accumulator the single engine keeps: consecutive
+        same-state runs merge as integer tick counts; a transition
+        flushes the previous run with one ``ticks * dt`` product.
+        """
+        if state == dev.run_state:
+            dev.run_ticks += count
+        else:
+            if dev.run_ticks:
+                dev.state_time[dev.run_state] = (
+                    dev.state_time.get(dev.run_state, 0.0)
+                    + dev.run_ticks * self.dt
+                )
+            dev.run_state = state
+            dev.run_ticks = count
+
+    # -- passive-row management ----------------------------------------
+
+    def _route(self, dev: _FleetDevice) -> None:
+        """Park the device on the vectorized path if it is dormant."""
+        if dev.soa is not None:
+            if dev.platform.finished:
+                # Finished but still integrating the trace: a pure
+                # "done" charge run with an unreachable target.
+                dev.mode = MODE_PASSIVE
+                dev.dormant_state = "done"
+                dev.plan = None
+                self.arrays.load_row(dev.row, dev.storage, math.inf)
+                self.n_passive += 1
+                return
+            if dev.off_plan_fn is not None:
+                plan = dev.off_plan_fn(self.dt)
+                if plan is not None:
+                    dev.mode = MODE_PASSIVE
+                    dev.dormant_state = plan.state
+                    dev.plan = plan
+                    self.arrays.load_row(
+                        dev.row, dev.storage, plan.target_j()
+                    )
+                    self.n_passive += 1
+                    return
+        dev.mode = MODE_ACTIVE
+        self._pending_active.append(dev)
+
+    def _flush_row(self, dev: _FleetDevice) -> None:
+        """Account pending dormant ticks and sync the storage object."""
+        pend = int(self.arrays.pending[dev.row])
+        if pend:
+            if dev.plan is not None and dev.plan.on_charged is not None:
+                dev.plan.on_charged(pend)
+            self._account(dev, dev.dormant_state, pend)
+            self.arrays.pending[dev.row] = 0
+        self.arrays.store_row(dev.row, dev.storage)
+
+    def _handle_crossings(self, rows: np.ndarray) -> None:
+        """Run wake attempts for rows that crossed their target."""
+        arrays = self.arrays
+        for row in rows:
+            dev = self.devices[row]
+            self._flush_row(dev)
+            report = dev.plan.on_cross()
+            if report.state == dev.dormant_state:
+                # Wake failed; the crossing tick stays dormant.  The
+                # attempt may have drawn stored energy (failed
+                # restore), so re-sync the row from the storage.
+                arrays.energy[dev.row] = dev.storage.energy_j
+                arrays.target[dev.row] = dev.plan.target_j()
+                continue
+            # The crossing tick belongs to the wake, not the dormant
+            # run — same re-attribution the shared fast-forward loop
+            # performs.
+            dev.run_ticks -= 1
+            self._account(dev, report.state, 1)
+            arrays.retire_row(dev.row)
+            dev.mode = MODE_ACTIVE
+            dev.plan = None
+            dev.dormant_state = None
+            self.n_passive -= 1
+            # Joins the exact path from the *next* tick: the crossing
+            # tick was consumed by the vectorized step.
+            self._pending_active.append(dev)
+
+    # -- exact path ----------------------------------------------------
+
+    def _tick_active(self, i: int) -> None:
+        dt = self.dt
+        power = self.P
+        still: List[_FleetDevice] = []
+        for dev in self._active:
+            if dev.mode is not MODE_ACTIVE:
+                continue
+            report = dev.platform.tick(float(power[dev.base + i]), dt)
+            self._account(dev, report.state, 1)
+            finished = dev.platform.finished
+            if not dev.finished_seen and finished:
+                dev.finished_seen = True
+                dev.completion_time = (i + 1) * dt
+                if dev.stop_when_finished:
+                    self._finalize(dev, i + 1)
+                    continue
+            if finished:
+                if dev.soa is not None:
+                    self._route(dev)
+                    continue
+                if dev.storage is None:
+                    # No storage to keep integrating (the oracle): the
+                    # remaining ticks are pure "done" no-ops, account
+                    # them in bulk and finish the device now.
+                    remaining = dev.n_ticks - (i + 1)
+                    if remaining:
+                        self._account(dev, "done", remaining)
+                    self._finalize(dev, dev.n_ticks)
+                    continue
+            elif dev.soa is not None and dev.off_plan_fn is not None:
+                plan = dev.off_plan_fn(dt)
+                if plan is not None:
+                    dev.mode = MODE_PASSIVE
+                    dev.dormant_state = plan.state
+                    dev.plan = plan
+                    self.arrays.load_row(dev.row, dev.storage, plan.target_j())
+                    self.n_passive += 1
+                    continue
+            still.append(dev)
+        self._active = still
+
+    # -- completion ----------------------------------------------------
+
+    def _finalize(self, dev: _FleetDevice, ticks_run: int) -> None:
+        if dev.mode == MODE_PASSIVE:
+            self._flush_row(dev)
+            self.arrays.retire_row(dev.row)
+            self.n_passive -= 1
+        dt = self.dt
+        if dev.run_ticks:
+            dev.state_time[dev.run_state] = (
+                dev.state_time.get(dev.run_state, 0.0)
+                + dev.run_ticks * dt
+            )
+            dev.run_ticks = 0
+        if ticks_run:
+            # Same prefix sum the engine's vectorized pre-pass reads:
+            # cumsum over the device's sub-trace, times dt.
+            cum = np.cumsum(self.P[dev.base:dev.base + dev.n_ticks])
+            harvested = float(cum[ticks_run - 1] * dt)
+        else:
+            harvested = 0.0
+        dev.result = assemble_result(
+            dev.platform, dev.state_time, ticks_run, dt,
+            dev.completion_time, harvested,
+        )
+        dev.ticks_run = ticks_run
+        dev.mode = MODE_FINAL
+        self.n_live -= 1
+        if self.bus is not None:
+            self.bus.emit(
+                ev.FLEET_DEVICE,
+                index=dev.index,
+                label=dev.label,
+                ticks=ticks_run,
+                completed=dev.platform.finished,
+                forward_progress=dev.result.forward_progress,
+            )
+
+    # -- main loop -----------------------------------------------------
+
+    def run(self) -> List:
+        """Advance every device to completion; per-device results."""
+        arrays = self.arrays
+        power = self.P
+        if self.bus is not None:
+            self.bus.emit(
+                ev.FLEET_BEGIN, devices=len(self.devices), dt_s=self.dt
+            )
+        i = 0
+        while self.n_live:
+            enders = self._ends_by_tick.get(i)
+            if enders:
+                for dev in enders:
+                    if dev.mode is not MODE_FINAL:
+                        self._finalize(dev, dev.n_ticks)
+                if not self.n_live:
+                    break
+            if self.n_passive:
+                crossed = arrays.charge_tick(arrays.gather_power(power, i))
+                if crossed is not None:
+                    self._handle_crossings(crossed)
+            if self._active:
+                self._tick_active(i)
+            if self._pending_active:
+                self._active.extend(self._pending_active)
+                self._pending_active.clear()
+            i += 1
+        self.ticks_advanced = i
+        if self.bus is not None:
+            self.bus.emit(
+                ev.FLEET_END, devices=len(self.devices), ticks=i
+            )
+        return [dev.result for dev in self.devices]
+
+
+def replay_device(config: Dict, **sim_kwargs):
+    """Re-run one fleet device through the single-device engine.
+
+    Returns ``(result, simulator)``.  Because fleet results are
+    bit-identical to the single engine, this is the fleet's
+    drill-down path: full observability (event bus, metrics, exact
+    ticking) for any one device without re-running the fleet.
+    """
+    resolved = resolve_device_config(config)
+    trace = build_trace(resolved)
+    offset = resolved[DEVICE_OFFSET_KEY]
+    if offset:
+        trace = trace.tail(offset)
+    workload = build_workload(resolved)
+    platform = build_platform(resolved, workload)
+    simulator = SystemSimulator(
+        trace,
+        platform,
+        rectifier=standard_rectifier() if resolved["rectifier"] else None,
+        stop_when_finished=resolved["stop_when_finished"],
+        **sim_kwargs,
+    )
+    return simulator.run(), simulator
+
+
+def run_fleet(configs: List[Dict], cache=None, bus=None) -> SweepOutcome:
+    """Run a fleet with cache preflight; returns sweep-shaped records.
+
+    Every device is content-hashed (:func:`device_config_hash`) and
+    checked against the result cache exactly like a sweep point — a
+    cached device is skipped, everything else goes through one
+    :class:`FleetKernel` pass and is written back to the cache, so
+    fleet runs are resumable and interoperable with ``repro sweep``
+    results (an offset-0 device shares the sweep's cache entry).
+
+    Wall/CPU attribution: the kernel advances all pending devices
+    together, so per-record costs are the even share of the batch.
+    """
+    records: List[RunRecord] = []
+    pending: List[RunRecord] = []
+    for index, config in enumerate(configs):
+        record = RunRecord(
+            index=index, config=config, key=device_config_hash(config)
+        )
+        entry = cache.get(record.key) if cache is not None else None
+        if entry is not None and "result" in entry:
+            record.status = STATUS_CACHED
+            record.result = entry["result"]
+            record.wall_s = float(entry.get("wall_s") or 0.0)
+        records.append(record)
+        if record.status != STATUS_CACHED:
+            pending.append(record)
+    started = time.perf_counter()
+    if pending:
+        usage_before = sample_resources()
+        kernel = FleetKernel([record.config for record in pending], bus=bus)
+        results = kernel.run()
+        usage = usage_between(usage_before, sample_resources())
+        wall_share = (time.perf_counter() - started) / len(pending)
+        cpu_share = usage["cpu_s"] / len(pending)
+        pid = os.getpid()
+        for record, result in zip(pending, results):
+            record.status = STATUS_OK
+            record.result = result.to_dict()
+            record.wall_s = wall_share
+            record.cpu_s = cpu_share
+            record.peak_rss_kb = usage["peak_rss_kb"]
+            record.pid = pid
+            if cache is not None:
+                cache.put(record.key, {
+                    "config": record.config,
+                    "result": record.result,
+                    "wall_s": record.wall_s,
+                })
+    return SweepOutcome(
+        records=records,
+        executed=len(pending),
+        cached=len(records) - len(pending),
+        failed=0,
+        interrupted=0,
+        wall_s=time.perf_counter() - started,
+    )

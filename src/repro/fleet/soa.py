@@ -1,0 +1,207 @@
+"""Struct-of-arrays state for the batched fleet kernel.
+
+One :class:`FleetArrays` holds the storage state of *every* device in
+the fleet as parallel float64 numpy arrays, master-indexed by device
+row.  The heart of the subsystem is :meth:`FleetArrays.charge_tick`:
+one vectorized zero-load charge tick that evaluates, elementwise, the
+exact per-tick float chain of
+:meth:`repro.storage.capacitor.Capacitor.charge_many` — so a dormant
+device advanced through the arrays ends up with bit-for-bit the same
+stored energy and cumulative ledger as the scalar loop.
+
+Why this is exact and not merely close:
+
+* numpy float64 elementwise ops are the same IEEE-754 operations the
+  scalar interpreter performs, and the chain is written op for op in
+  :meth:`charge_many`'s order (``(2.0 * e) / C`` before the sqrt, the
+  headroom clip before the leak, ``((v * v) / R) * dt``);
+* scalar branches become masks applied in branch order: the
+  blocked/zero-input override comes *after* the overflow adjustment,
+  exactly as the scalar ``if``/``else`` structure skips the overflow
+  math for blocked ticks;
+* :meth:`charge_many`'s flat-efficiency hoist (``eta = eta_peak`` when
+  the curve is flat) equals ``np.maximum(eta_floor, eta_peak *
+  (1 - offset²))`` because correctly-rounded multiplication is
+  monotone, so the parabola never exceeds its peak;
+* an :class:`~repro.storage.ideal.IdealStorage` runs through the same
+  chain with the identity parameters its ``soa_params`` supplies
+  (``C = 1``, flat ``eta = 1``, infinite leak resistance): every extra
+  op is an exact float identity (``x * 1.0``, ``x + 0.0``).
+
+Rows whose device is *not* currently dormant stay allocated but
+``alive``-masked out: their target is ``inf`` (no spurious crossings),
+their power gather is redirected to index 0 (no out-of-bounds), and
+their state is reloaded from the device's storage object when they
+next go dormant — so garbage evolution on dead rows is never read.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Parameter keys every ``soa_params()`` implementation must supply.
+PARAM_KEYS = (
+    "capacitance_f",
+    "capacity_j",
+    "leak_ohm",
+    "min_current_a",
+    "eta_peak",
+    "eta_floor",
+    "v_opt_v",
+    "v_span_v",
+)
+
+
+def storage_soa_params(storage) -> Optional[dict]:
+    """The storage element's SoA parameters, or ``None`` if unsupported.
+
+    A storage class opts into batched advancement by exposing
+    ``soa_params`` / ``soa_state`` / ``soa_restore`` (see
+    :class:`repro.storage.capacitor.Capacitor`); anything else falls
+    back to exact per-tick execution in the kernel.
+    """
+    if storage is None:
+        return None
+    getter = getattr(storage, "soa_params", None)
+    if getter is None or not hasattr(storage, "soa_restore"):
+        return None
+    params = getter()
+    missing = [key for key in PARAM_KEYS if key not in params]
+    if missing:
+        raise ValueError(f"soa_params missing keys: {missing}")
+    return params
+
+
+class FleetArrays:
+    """Master struct-of-arrays state for ``n`` device rows.
+
+    Attributes:
+        dt_s: shared tick duration.
+        energy: stored energy per row, joules.
+        target: wake threshold per row (``inf`` disarms a row).
+        base: row's offset into the concatenated fleet power array.
+        pending: dormant ticks consumed since the row's last flush.
+        alive: mask of rows currently advanced by :meth:`charge_tick`.
+    """
+
+    def __init__(self, n: int, dt_s: float) -> None:
+        if n <= 0:
+            raise ValueError("fleet needs at least one device")
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        self.n = n
+        self.dt_s = dt_s
+        # Benign defaults (C=1, flat eta=1, no leak, no min current,
+        # infinite capacity/target) keep dead and non-SoA rows NaN-free
+        # through the vector chain.
+        self.energy = np.zeros(n)
+        self.capacitance = np.ones(n)
+        self.capacity = np.full(n, np.inf)
+        self.leak_ohm = np.full(n, np.inf)
+        self.min_current = np.zeros(n)
+        self.eta_peak = np.ones(n)
+        self.eta_floor = np.ones(n)
+        self.v_opt = np.zeros(n)
+        self.v_span = np.ones(n)
+        self.total_charged = np.zeros(n)
+        self.total_leaked = np.zeros(n)
+        self.total_wasted = np.zeros(n)
+        self.target = np.full(n, np.inf)
+        self.base = np.zeros(n, dtype=np.int64)
+        self.pending = np.zeros(n, dtype=np.int64)
+        self.alive = np.zeros(n, dtype=bool)
+
+    # -- per-row maintenance ----------------------------------------------
+
+    def set_params(self, row: int, params: dict, base: int) -> None:
+        """Install a device's storage parameters and trace base."""
+        self.capacitance[row] = params["capacitance_f"]
+        self.capacity[row] = params["capacity_j"]
+        self.leak_ohm[row] = params["leak_ohm"]
+        self.min_current[row] = params["min_current_a"]
+        self.eta_peak[row] = params["eta_peak"]
+        self.eta_floor[row] = params["eta_floor"]
+        self.v_opt[row] = params["v_opt_v"]
+        self.v_span[row] = params["v_span_v"]
+        self.base[row] = base
+
+    def load_row(self, row: int, storage, target_j: float) -> None:
+        """Sync a row from its storage object and arm its target."""
+        energy, charged, leaked, wasted = storage.soa_state()
+        self.energy[row] = energy
+        self.total_charged[row] = charged
+        self.total_leaked[row] = leaked
+        self.total_wasted[row] = wasted
+        self.target[row] = target_j
+        self.pending[row] = 0
+        self.alive[row] = True
+
+    def store_row(self, row: int, storage) -> None:
+        """Write a row's evolved state back into its storage object."""
+        storage.soa_restore(
+            float(self.energy[row]),
+            float(self.total_charged[row]),
+            float(self.total_leaked[row]),
+            float(self.total_wasted[row]),
+        )
+
+    def retire_row(self, row: int) -> None:
+        """Take a row out of the vectorized path (device woke/ended)."""
+        self.alive[row] = False
+        self.target[row] = np.inf
+
+    def gather_power(self, p_all: np.ndarray, tick: int) -> np.ndarray:
+        """Per-row input power for ``tick`` (dead rows read index 0)."""
+        return p_all[np.where(self.alive, self.base + tick, 0)]
+
+    # -- the vectorized charge step ----------------------------------------
+
+    def charge_tick(self, p: np.ndarray) -> Optional[np.ndarray]:
+        """One zero-load charge tick across every row.
+
+        Evaluates :meth:`Capacitor.charge_many`'s per-tick float chain
+        elementwise (see the module docstring for the bit-exactness
+        argument) and returns the rows whose stored energy crossed
+        their target on this tick, or ``None`` when no row crossed.
+        Dead rows evolve garbage that is never read and, with
+        ``target = inf``, never cross.
+        """
+        dt = self.dt_s
+        e = self.energy
+        v = np.sqrt(2.0 * e / self.capacitance)
+        input_energy = p * dt
+        blocked = (
+            (self.min_current > 0.0) & (v > 0.0)
+            & (p < self.min_current * v)
+        )
+        offset = (v - self.v_opt) / self.v_span
+        eta = np.maximum(
+            self.eta_floor, self.eta_peak * (1.0 - offset * offset)
+        )
+        charged = input_energy * eta
+        wasted = input_energy - charged
+        headroom = self.capacity - e
+        over = charged > headroom
+        wasted = np.where(over, wasted + (charged - headroom), wasted)
+        charged = np.where(over, headroom, charged)
+        # The blocked/zero-input override comes last, mirroring the
+        # scalar branch that skips the whole charge block.
+        zero = blocked | (input_energy == 0.0)
+        charged = np.where(zero, 0.0, charged)
+        wasted = np.where(zero, input_energy, wasted)
+        e = e + charged
+        v = np.sqrt(2.0 * e / self.capacitance)
+        leaked = v * v / self.leak_ohm * dt
+        leaked = np.where(leaked > e, e, leaked)
+        e -= leaked
+        self.energy = e
+        self.total_charged += charged
+        self.total_leaked += leaked
+        self.total_wasted += wasted
+        self.pending += 1
+        crossed = e >= self.target
+        if crossed.any():
+            return np.flatnonzero(crossed)
+        return None

@@ -119,6 +119,34 @@ class PowerTrace:
         i1 = int(round(stop_s / self.dt_s))
         return PowerTrace(self.samples_w[i0:i1].copy(), self.dt_s, self.source)
 
+    def offset_ticks(self, offset_s: float) -> int:
+        """Tick index of a time offset (round to nearest sample).
+
+        The fleet engine staggers devices along one shared trace by
+        starting each at its own offset; this is the one conversion
+        both the batched kernel and the single-device replay path use,
+        so a device's sub-trace is defined identically everywhere.
+
+        Raises:
+            ValueError: offset is negative or at/past the trace end.
+        """
+        if offset_s < 0:
+            raise ValueError("trace offset cannot be negative")
+        index = int(round(offset_s / self.dt_s))
+        if index >= len(self.samples_w):
+            raise ValueError(
+                f"trace offset {offset_s}s is at/past the trace end "
+                f"({self.duration_s}s)"
+            )
+        return index
+
+    def tail(self, offset_s: float) -> "PowerTrace":
+        """The sub-trace from ``offset_s`` to the end of the trace."""
+        index = self.offset_ticks(offset_s)
+        return PowerTrace(
+            self.samples_w[index:].copy(), self.dt_s, self.source
+        )
+
     def repeated(self, times: int) -> "PowerTrace":
         """Return the trace tiled ``times`` times."""
         if times < 1:

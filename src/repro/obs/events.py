@@ -66,6 +66,10 @@ POLICY_DECISION = "policy.decision"
 SWEEP_BEGIN = "sweep.begin"
 SWEEP_POINT = "sweep.point"
 SWEEP_END = "sweep.end"
+#: Fleet-kernel lifecycle (N devices advanced in lockstep).
+FLEET_BEGIN = "fleet.begin"
+FLEET_DEVICE = "fleet.device"
+FLEET_END = "fleet.end"
 
 #: Every event name the stack emits, for validation and summaries.
 EVENT_NAMES: Tuple[str, ...] = (
@@ -91,6 +95,9 @@ EVENT_NAMES: Tuple[str, ...] = (
     SWEEP_BEGIN,
     SWEEP_POINT,
     SWEEP_END,
+    FLEET_BEGIN,
+    FLEET_DEVICE,
+    FLEET_END,
 )
 
 #: Every event name except the per-tick :data:`TICK` sample — the

@@ -132,8 +132,13 @@ def make_record(
     resources: Optional[Dict] = None,
     runs: Optional[List[Dict]] = None,
     error: Optional[str] = None,
+    n_devices: Optional[int] = None,
 ) -> Dict:
     """A schema-stamped ledger record (not yet appended).
+
+    ``n_devices`` distinguishes fleet invocations (N devices advanced
+    by one kernel) from single-device runs in ``repro runs list`` /
+    ``diff``; single-device commands stamp ``1``.
 
     Raises:
         ValueError: for an unknown ``outcome``.
@@ -168,6 +173,8 @@ def make_record(
         record["runs"] = [dict(run) for run in runs]
     if error:
         record["error"] = error
+    if n_devices is not None:
+        record["n_devices"] = int(n_devices)
     return record
 
 
@@ -179,6 +186,7 @@ def sweep_record(
     ended_unix: float,
     forced_outcome: Optional[str] = None,
     cache_attached: bool = True,
+    n_devices: Optional[int] = None,
 ) -> Dict:
     """Fold a :class:`~repro.exp.runner.SweepOutcome` into a record.
 
@@ -253,6 +261,7 @@ def sweep_record(
         resources=aggregate_usage(usages),
         runs=runs,
         error=failures[0].error if failures else None,
+        n_devices=n_devices,
     )
     if not cache_attached:
         record["uncached"] = True

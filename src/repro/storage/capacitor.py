@@ -317,6 +317,57 @@ class Capacitor:
         self.total_wasted_j = total_wasted
         return index - start, crossed
 
+    # -- fleet struct-of-arrays contract -------------------------------------
+
+    def soa_params(self) -> dict:
+        """Scalar parameters for the fleet SoA charge kernel.
+
+        The vectorized kernel (:mod:`repro.fleet.soa`) evaluates the
+        same per-tick float chain as :meth:`charge_many` — sqrt, the
+        efficiency parabola, headroom clip, leak — elementwise across
+        many devices, so these must be exactly the values the scalar
+        loop hoists.  ``capacity_j`` in particular is the same
+        ``0.5 * C * v_max²`` product :meth:`charge_many` computes.
+        """
+        curve = self.efficiency
+        return {
+            "capacitance_f": self.capacitance_f,
+            "capacity_j": 0.5 * self.capacitance_f * self.v_max_v * self.v_max_v,
+            "leak_ohm": self.leak_resistance_ohm,
+            "min_current_a": self.min_charge_current_a,
+            "eta_peak": curve.eta_peak,
+            "eta_floor": curve.eta_floor,
+            "v_opt_v": curve.v_opt_v,
+            "v_span_v": curve.v_span_v,
+        }
+
+    def soa_state(self):
+        """``(energy, charged, leaked, wasted)`` for the fleet kernel."""
+        return (
+            self._energy_j,
+            self.total_charged_j,
+            self.total_leaked_j,
+            self.total_wasted_j,
+        )
+
+    def soa_restore(
+        self,
+        energy_j: float,
+        charged_j: float,
+        leaked_j: float,
+        wasted_j: float,
+    ) -> None:
+        """Adopt state evolved by the fleet SoA kernel.
+
+        The kernel's arithmetic is bit-identical to
+        :meth:`charge_many`, so this is a plain assignment — no
+        clamping, which would break the bit-for-bit guarantee.
+        """
+        self._energy_j = energy_j
+        self.total_charged_j = charged_j
+        self.total_leaked_j = leaked_j
+        self.total_wasted_j = wasted_j
+
     # -- observability -------------------------------------------------------
 
     def bind_gauges(self, registry, platform: str = "storage") -> None:

@@ -7,6 +7,8 @@ capacitor-sizing experiment.
 
 from __future__ import annotations
 
+import math
+
 from repro.storage.capacitor import StorageStep
 
 
@@ -129,6 +131,51 @@ class IdealStorage:
         self.total_charged_j = total_charged
         self.total_wasted_j = total_wasted
         return index - start, crossed
+
+    # -- fleet struct-of-arrays contract -------------------------------------
+
+    def soa_params(self) -> dict:
+        """Capacitor-equivalent parameters for the fleet SoA kernel.
+
+        The vectorized kernel always evaluates the full capacitor
+        chain; with ``C = 1``, a flat unit-efficiency curve, infinite
+        leak resistance and no minimum charge current every extra
+        operation is an exact float identity (``x * 1.0``, ``x + 0.0``,
+        ``max(1.0, y <= 1.0)``), so the ideal store's
+        :meth:`charge_many` is reproduced bit for bit.
+        """
+        return {
+            "capacitance_f": 1.0,
+            "capacity_j": self.capacity_j,
+            "leak_ohm": math.inf,
+            "min_current_a": 0.0,
+            "eta_peak": 1.0,
+            "eta_floor": 1.0,
+            "v_opt_v": 0.0,
+            "v_span_v": 1.0,
+        }
+
+    def soa_state(self):
+        """``(energy, charged, leaked, wasted)`` for the fleet kernel."""
+        return (
+            self._energy_j,
+            self.total_charged_j,
+            self.total_leaked_j,
+            self.total_wasted_j,
+        )
+
+    def soa_restore(
+        self,
+        energy_j: float,
+        charged_j: float,
+        leaked_j: float,
+        wasted_j: float,
+    ) -> None:
+        """Adopt state evolved by the fleet SoA kernel (bit-exact)."""
+        self._energy_j = energy_j
+        self.total_charged_j = charged_j
+        self.total_leaked_j = leaked_j
+        self.total_wasted_j = wasted_j
 
     def __repr__(self) -> str:
         return f"IdealStorage(E={self._energy_j * 1e6:.3g}/{self.capacity_j * 1e6:.3g}uJ)"

@@ -82,6 +82,58 @@ class Platform(Protocol):
         ...
 
 
+#: Platform counters stored as integer result fields.
+_INT_STAT_KEYS = (
+    "forward_progress",
+    "total_executed",
+    "lost_instructions",
+    "units_completed",
+    "backups",
+    "restores",
+    "failed_backups",
+    "failed_restores",
+    "rollbacks",
+)
+
+#: Platform counters stored as float result fields.
+_FLOAT_STAT_KEYS = ("consumed_j", "backup_energy_j", "restore_energy_j")
+
+
+def assemble_result(
+    platform: Platform,
+    state_time: Dict[str, float],
+    ticks_run: int,
+    dt_s: float,
+    completion_time_s: Optional[float],
+    harvested_j: float,
+) -> SimulationResult:
+    """Fold a finished platform's counters into a result.
+
+    Shared by :meth:`SystemSimulator.run` and the fleet kernel
+    (:mod:`repro.fleet.kernel`) so every engine materialises
+    :class:`SimulationResult` fields identically: known counters land
+    as typed fields, everything else the platform reports goes to
+    ``extras``.
+    """
+    stats = platform.stats()
+    result = SimulationResult(
+        label=platform.label,
+        duration_s=ticks_run * dt_s,
+        completed=platform.finished,
+        completion_time_s=completion_time_s,
+        state_time_s=state_time,
+        harvested_j=harvested_j,
+    )
+    for key in _INT_STAT_KEYS:
+        if key in stats:
+            setattr(result, key, int(stats.pop(key)))
+    for key in _FLOAT_STAT_KEYS:
+        if key in stats:
+            setattr(result, key, float(stats.pop(key)))
+    result.extras = {k: float(v) for k, v in stats.items()}
+    return result
+
+
 class SystemSimulator:
     """Walks a power trace through a platform.
 
@@ -332,32 +384,10 @@ class SystemSimulator:
                 ticks=ticks_run,
             )
 
-        stats = self.platform.stats()
-        result = SimulationResult(
-            label=self.platform.label,
-            duration_s=ticks_run * dt,
-            completed=self.platform.finished,
-            completion_time_s=completion_time,
-            state_time_s=state_time,
-            harvested_j=harvested,
+        result = assemble_result(
+            self.platform, state_time, ticks_run, dt, completion_time,
+            harvested,
         )
-        for key in (
-            "forward_progress",
-            "total_executed",
-            "lost_instructions",
-            "units_completed",
-            "backups",
-            "restores",
-            "failed_backups",
-            "failed_restores",
-            "rollbacks",
-        ):
-            if key in stats:
-                setattr(result, key, int(stats.pop(key)))
-        for key in ("consumed_j", "backup_energy_j", "restore_energy_j"):
-            if key in stats:
-                setattr(result, key, float(stats.pop(key)))
-        result.extras = {k: float(v) for k, v in stats.items()}
         if self.metrics is not None:
             self._publish_metrics(result)
         return result

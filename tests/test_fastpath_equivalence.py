@@ -292,3 +292,145 @@ class TestTraceDtype:
         )
         assert strided.samples_w.dtype == np.float64
         assert strided.samples_w.flags["C_CONTIGUOUS"]
+
+
+# -- fleet kernel equivalence -------------------------------------------------
+#
+# The batched fleet kernel (src/repro/fleet/) promises the same
+# bit-identity the fast path does: every device of a fleet must
+# materialise the exact SimulationResult the single-device engine
+# produces on that device's own sub-trace.  Property-tested here over
+# every platform preset, every config-expressible source, both
+# stop_when_finished modes, and nonzero trace offsets — strict
+# equality, no approx.
+
+FLEET_SOURCES = (
+    {"source": "wristwatch"},
+    {"source": "solar"},
+    {"source": "rf"},
+    {"source": "thermal"},
+    {"source": "hybrid"},
+    {"source": "constant", "mean_uw": 30.0},
+    {"source": "profile", "profile_index": 2},
+)
+
+
+def fleet_config(platform, source_kw, **overrides):
+    from repro.fleet import resolve_device_config
+
+    config = {"platform": platform, "duration_s": 1.0}
+    config.update(source_kw)
+    config.update(overrides)
+    return resolve_device_config(config)
+
+
+def assert_fleet_identical(fleet_result, config):
+    from repro.fleet import replay_device
+
+    single, _ = replay_device(config)
+    fast, slow = fleet_result.to_dict(), single.to_dict()
+    assert fast == slow, (
+        f"fleet result differs from single engine for {config['platform']}"
+        f"/{config['source']} offset={config['trace_offset_s']}: "
+        f"{ {k: (fast[k], slow[k]) for k in fast if fast[k] != slow[k]} }"
+    )
+
+
+class TestFleetEquivalence:
+    @pytest.mark.parametrize("platform", sorted(PLATFORM_BUILDERS))
+    @pytest.mark.parametrize(
+        "source_kw", FLEET_SOURCES, ids=[s["source"] for s in FLEET_SOURCES]
+    )
+    @pytest.mark.parametrize("stop_when_finished", [False, True])
+    def test_one_device_fleet_matches_engine(
+        self, platform, source_kw, stop_when_finished
+    ):
+        from repro.fleet import FleetKernel
+
+        config = fleet_config(
+            platform, source_kw, stop_when_finished=stop_when_finished
+        )
+        result = FleetKernel([config]).run()[0]
+        assert_fleet_identical(result, config)
+
+    def test_mixed_fleet_matches_engine_per_device(self):
+        """One heterogeneous kernel: every device exact, all at once."""
+        from repro.fleet import FleetKernel
+
+        configs = []
+        for platform in sorted(PLATFORM_BUILDERS):
+            for source_kw in ({"source": "wristwatch"}, {"source": "rf"}):
+                for offset in (0.0, 0.25, 0.4001):
+                    configs.append(fleet_config(
+                        platform, source_kw, trace_offset_s=offset
+                    ))
+        # Heterogeneous sizing and seeding in the same kernel pass.
+        configs.append(fleet_config(
+            "nvp", {"source": "rf"},
+            platform_seed=3, capacitance_f=300e-9,
+        ))
+        configs.append(fleet_config(
+            "checkpoint", {"source": "solar"},
+            capacitance_f=10e-6, stop_when_finished=True,
+        ))
+        configs.append(fleet_config(
+            "wait", {"source": "solar"}, energy_margin=1.6,
+        ))
+        results = FleetKernel(configs).run()
+        for config, result in zip(configs, results):
+            assert_fleet_identical(result, config)
+
+    def test_offset_device_equals_tail_trace_run(self):
+        """An offset device IS the single engine on the trace tail."""
+        from repro.exp.runner import build_trace
+        from repro.fleet import FleetKernel
+
+        config = fleet_config(
+            "nvp", {"source": "wristwatch"}, trace_offset_s=0.3
+        )
+        fleet_result = FleetKernel([config]).run()[0]
+        tail = build_trace(config).tail(0.3)
+        single, _ = run_sim(
+            PLATFORM_BUILDERS["nvp"], tail, use_fast_forward=None
+        )
+        assert_identical(fleet_result, single)
+
+    def test_fleet_rejects_empty_fleet(self):
+        from repro.fleet import FleetKernel
+
+        with pytest.raises(ValueError):
+            FleetKernel([])
+
+
+class TestOffRunPlanDelegation:
+    """Regression pin: every dormant-capable platform fast-forwards
+    through the one shared loop in system/fastpath.py (the
+    deduplicated charge-many fallback), and the fleet kernel drives
+    the same OffRunPlan hooks."""
+
+    def test_platforms_delegate_to_shared_offrun_loop(self, monkeypatch):
+        from repro.system import fastpath
+
+        calls = []
+        original = fastpath.fast_forward_offruns
+
+        def spy(platform, p_in_w, start, stop, dt_s):
+            calls.append(type(platform).__name__)
+            return original(platform, p_in_w, start, stop, dt_s)
+
+        monkeypatch.setattr(fastpath, "fast_forward_offruns", spy)
+        trace = TRACE_MAKERS["square_outage"](0)
+        for name in ("nvp", "wait", "checkpoint"):
+            run_sim(PLATFORM_BUILDERS[name], trace, use_fast_forward=None)
+        assert {"NVPPlatform", "WaitComputePlatform",
+                "CheckpointPlatform"} <= set(calls)
+
+    def test_off_plan_exposed_by_all_dormant_platforms(self):
+        from repro.system.fastpath import OffRunPlan
+
+        for name in ("nvp", "wait", "checkpoint"):
+            platform = PLATFORM_BUILDERS[name](AbstractWorkload())
+            plan = platform.off_plan(1e-4)
+            assert isinstance(plan, OffRunPlan)
+            assert callable(plan.target_j)
+            assert callable(plan.on_cross)
