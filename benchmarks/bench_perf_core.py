@@ -1,17 +1,21 @@
-"""BENCH_core — wall-clock of the core tick engine, fast vs. exact.
+"""BENCH_core — wall-clock of the core tick engine, engines vs. exact.
 
-Times the same simulation twice — once with the steady-state
-fast-forward engine (the default), once forced onto the exact per-tick
-path (``use_fast_forward=False``) — across the presets that span the
-engine's behaviour space, asserts the two paths return bit-identical
-:class:`~repro.system.result.SimulationResult`s, and publishes
-``benchmarks/results/BENCH_core.json`` as the perf-trajectory baseline
-(see ``docs/performance.md``).
+Times the same simulation four ways — both bulk engines enabled (the
+default: dormant-tick fast-forward + the batched active-tick exact
+kernel), fast-forward only (``use_exact_batch=False``), and forced
+onto the scalar per-tick path (both engines off) — across the presets
+that span the engine's behaviour space, asserts every path returns
+bit-identical :class:`~repro.system.result.SimulationResult`s, and
+publishes ``benchmarks/results/BENCH_core.json`` as the
+perf-trajectory baseline (see ``docs/performance.md``).
 
-Each preset also runs a third time *observed* — an event bus with a
-non-TICK subscriber attached — which must stay on the fast path
-(run-length event synthesis, PR 5) and within
+Each preset also runs *observed* — an event bus with a non-TICK
+subscriber attached — which must keep both bulk engines (run-length
+event synthesis, PR 5) and stay within
 ``NVPSIM_PERF_MAX_OBS_OVERHEAD`` of the unobserved fast wall-clock.
+
+Each row splits ticks by phase: ``dormant_ticks`` were fast-forwarded,
+``active_ticks`` executed (batched or scalar) while powered on.
 
 Environment knobs::
 
@@ -21,9 +25,18 @@ Environment knobs::
     NVPSIM_PERF_MIN_SPEEDUP_CHARGE
                                  floor asserted on the charge-dominated
                                  preset (default 2.0)
+    NVPSIM_PERF_MIN_SPEEDUP_BATCH
+                                 floor asserted on the run-dominated
+                                 oracle preset, which only the batched
+                                 exact kernel can speed up (default 2.0)
     NVPSIM_PERF_MAX_OBS_OVERHEAD max observed/fast wall-clock ratio
                                  asserted on floored presets
                                  (default 1.3)
+    NVPSIM_PERF_MAX_OBS_OVERHEAD_ACTIVE
+                                 same ceiling for run-dominated
+                                 presets, where event synthesis has no
+                                 dormant bulk to amortise against
+                                 (default 2.5)
 
 Run standalone (CI perf-smoke does) with::
 
@@ -55,8 +68,14 @@ MIN_SPEEDUP_OUTAGE = float(os.environ.get("NVPSIM_PERF_MIN_SPEEDUP", "3.0"))
 MIN_SPEEDUP_CHARGE = float(
     os.environ.get("NVPSIM_PERF_MIN_SPEEDUP_CHARGE", "2.0")
 )
+MIN_SPEEDUP_BATCH = float(
+    os.environ.get("NVPSIM_PERF_MIN_SPEEDUP_BATCH", "2.0")
+)
 MAX_OBS_OVERHEAD = float(
     os.environ.get("NVPSIM_PERF_MAX_OBS_OVERHEAD", "1.3")
+)
+MAX_OBS_OVERHEAD_ACTIVE = float(
+    os.environ.get("NVPSIM_PERF_MAX_OBS_OVERHEAD_ACTIVE", "2.5")
 )
 
 #: Trace seed (fixed: the perf trajectory must compare like with like).
@@ -73,19 +92,19 @@ def wristwatch() -> object:
 
 
 #: (preset, platform builder, trace factory, asserted min speedup).
-#: ``oracle_guard`` never fast-forwards while running — it guards
-#: against the fast path taxing run-dominated workloads (no floor).
+#: ``oracle_guard`` never fast-forwards while running — its floor is
+#: carried entirely by the batched active-tick exact kernel.
 PRESETS = (
     ("outage_heavy_nvp", build_nvp, outage_heavy_trace, MIN_SPEEDUP_OUTAGE),
     ("charge_dominated_wait", build_wait_compute, outage_heavy_trace,
      MIN_SPEEDUP_CHARGE),
     ("outage_heavy_checkpoint", build_checkpoint, outage_heavy_trace, None),
     ("wristwatch_nvp", build_nvp, wristwatch, None),
-    ("oracle_guard", build_oracle, wristwatch, None),
+    ("oracle_guard", build_oracle, wristwatch, MIN_SPEEDUP_BATCH),
 )
 
 
-def _timed_run(builder, trace, use_fast_forward, bus=None):
+def _timed_run(builder, trace, use_fast_forward, use_exact_batch, bus=None):
     simulator = SystemSimulator(
         trace,
         builder(AbstractWorkload()),
@@ -93,6 +112,7 @@ def _timed_run(builder, trace, use_fast_forward, bus=None):
         stop_when_finished=False,
         bus=bus,
         use_fast_forward=use_fast_forward,
+        use_exact_batch=use_exact_batch,
     )
     started = time.perf_counter()
     result = simulator.run()
@@ -103,14 +123,16 @@ def run_presets():
     rows = []
     for preset, builder, make_trace, min_speedup in PRESETS:
         trace = make_trace()
-        exact_result, exact_s, _ = _timed_run(builder, trace, False)
-        fast_result, fast_s, simulator = _timed_run(builder, trace, None)
+        exact_result, exact_s, _ = _timed_run(builder, trace, False, False)
+        fast_result, fast_s, simulator = _timed_run(builder, trace, None, None)
+        nobatch_result, nobatch_s, _ = _timed_run(builder, trace, None, False)
         bus = EventBus()
         log = bus.record(names=ev.NON_TICK_EVENT_NAMES)
         observed_result, observed_s, observed_sim = _timed_run(
-            builder, trace, None, bus=bus
+            builder, trace, None, None, bus=bus
         )
         identical = fast_result.to_dict() == exact_result.to_dict()
+        nobatch_identical = nobatch_result.to_dict() == exact_result.to_dict()
         observed_identical = (
             observed_result.to_dict() == exact_result.to_dict()
         )
@@ -120,16 +142,23 @@ def run_presets():
             "platform": fast_result.label,
             "ticks": len(trace),
             "ticks_fast_forwarded": simulator.ticks_fast_forwarded,
+            "ticks_batched": simulator.ticks_batched,
             "ticks_exact": simulator.ticks_exact,
+            "active_ticks": simulator.ticks_batched + simulator.ticks_exact,
+            "dormant_ticks": simulator.ticks_fast_forwarded,
             "exact_s": exact_s,
             "fast_s": fast_s,
+            "nobatch_s": nobatch_s,
             "observed_s": observed_s,
             "obs_overhead": observed_s / fast_s if fast_s > 0 else 1.0,
             "events": len(log),
             "speedup": speedup,
+            "batch_speedup": nobatch_s / fast_s if fast_s > 0 else 1.0,
             "identical": identical,
+            "nobatch_identical": nobatch_identical,
             "observed_identical": observed_identical,
             "observed_fast_forwarded": observed_sim.ticks_fast_forwarded,
+            "observed_batched": observed_sim.ticks_batched,
             "min_speedup": min_speedup,
         })
     return rows
@@ -140,15 +169,24 @@ def check_rows(rows):
         assert row["identical"], (
             f"{row['preset']}: fast path diverged from the exact path"
         )
+        assert row["nobatch_identical"], (
+            f"{row['preset']}: fast-forward-only path diverged"
+        )
         assert row["observed_identical"], (
             f"{row['preset']}: observed fast path diverged"
         )
         # Engine selection depends only on the subscription set, so
-        # the observed run must fast-forward the exact same ticks.
+        # the observed run must route the exact same ticks through
+        # each engine.
         assert row["observed_fast_forwarded"] == row["ticks_fast_forwarded"], (
             f"{row['preset']}: observed run fast-forwarded "
             f"{row['observed_fast_forwarded']} ticks, unobserved "
             f"{row['ticks_fast_forwarded']}"
+        )
+        assert row["observed_batched"] == row["ticks_batched"], (
+            f"{row['preset']}: observed run batched "
+            f"{row['observed_batched']} ticks, unobserved "
+            f"{row['ticks_batched']}"
         )
         assert row["events"] >= 2, (
             f"{row['preset']}: observed run produced no events"
@@ -160,9 +198,15 @@ def check_rows(rows):
                 f"{floor:.1f}x (exact {row['exact_s']:.3f}s, "
                 f"fast {row['fast_s']:.3f}s)"
             )
-            assert row["observed_s"] <= MAX_OBS_OVERHEAD * row["fast_s"], (
+            # A run-dominated preset has no dormant bulk to amortise
+            # event synthesis against, so its ceiling is looser.
+            ceiling = (
+                MAX_OBS_OVERHEAD if row["dormant_ticks"]
+                else MAX_OBS_OVERHEAD_ACTIVE
+            )
+            assert row["observed_s"] <= ceiling * row["fast_s"], (
                 f"{row['preset']}: observed run {row['observed_s']:.3f}s "
-                f"exceeds {MAX_OBS_OVERHEAD:.2f}x the unobserved fast "
+                f"exceeds {ceiling:.2f}x the unobserved fast "
                 f"path ({row['fast_s']:.3f}s)"
             )
 
@@ -170,31 +214,36 @@ def check_rows(rows):
 def publish(rows):
     print_header(
         "BENCH_core",
-        f"core tick engine: fast-forward vs exact "
+        f"core tick engine: bulk engines vs exact "
         f"({PERF_DURATION_S:g}s traces)",
         config={
             "duration_s": PERF_DURATION_S,
             "min_speedup_outage": MIN_SPEEDUP_OUTAGE,
             "min_speedup_charge": MIN_SPEEDUP_CHARGE,
+            "min_speedup_batch": MIN_SPEEDUP_BATCH,
         },
     )
     publish_table(
-        ["preset", "platform", "ticks", "ff ticks", "exact ticks",
-         "exact s", "fast s", "observed s", "obs x", "speedup",
-         "identical"],
+        ["preset", "platform", "ticks", "dormant", "batched", "exact",
+         "exact s", "fast s", "nobatch s", "observed s", "obs x",
+         "speedup", "batch x", "identical"],
         [
             [
                 row["preset"],
                 row["platform"],
                 row["ticks"],
-                row["ticks_fast_forwarded"],
+                row["dormant_ticks"],
+                row["ticks_batched"],
                 row["ticks_exact"],
                 f"{row['exact_s']:.3f}",
                 f"{row['fast_s']:.3f}",
+                f"{row['nobatch_s']:.3f}",
                 f"{row['observed_s']:.3f}",
                 f"{row['obs_overhead']:.2f}x",
                 f"{row['speedup']:.2f}x",
-                row["identical"] and row["observed_identical"],
+                f"{row['batch_speedup']:.2f}x",
+                row["identical"] and row["nobatch_identical"]
+                and row["observed_identical"],
             ]
             for row in rows
         ],
@@ -205,11 +254,19 @@ def publish(rows):
     for row in rows:
         preset = row["preset"]
         metrics[f"{preset}.speedup"] = row["speedup"]
+        metrics[f"{preset}.batch_speedup"] = row["batch_speedup"]
         metrics[f"{preset}.exact_s"] = row["exact_s"]
         metrics[f"{preset}.fast_s"] = row["fast_s"]
+        metrics[f"{preset}.nobatch_s"] = row["nobatch_s"]
         metrics[f"{preset}.observed_s"] = row["observed_s"]
         metrics[f"{preset}.obs_overhead"] = row["obs_overhead"]
         metrics[f"{preset}.events"] = row["events"]
+        metrics[f"{preset}.active_ticks_per_s"] = (
+            row["active_ticks"] / row["fast_s"] if row["fast_s"] > 0 else 0.0
+        )
+        metrics[f"{preset}.dormant_ticks_per_s"] = (
+            row["dormant_ticks"] / row["fast_s"] if row["fast_s"] > 0 else 0.0
+        )
         total_ticks += row["ticks"]
         total_fast_s += row["fast_s"]
     metrics["throughput_ticks_per_s"] = (

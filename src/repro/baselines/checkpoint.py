@@ -23,7 +23,7 @@ from typing import Dict, Optional
 
 from repro.core.progress import ForwardProgressLedger
 from repro.nvm.technology import FERAM, NVMTechnology
-from repro.system import fastpath
+from repro.system import exactkernel, fastpath
 from repro.system.fastpath import OffRunPlan
 from repro.system.simulator import TickReport
 from repro.system.thresholds import ThresholdPlan, plan_thresholds
@@ -229,6 +229,42 @@ class CheckpointPlatform:
         runs or ``None`` to fall back.
         """
         return fastpath.fast_forward_offruns(self, p_in_w, start, stop, dt_s)
+
+    def exact_batch(self, p_in_w, start, stop, dt_s):
+        """Batch powered-on ``"run"`` ticks (exact-kernel engine).
+
+        Same contract as
+        :meth:`repro.core.nvp.NVPPlatform.exact_batch`.  The voltage
+        trigger stops before the backup-threshold crossing; the
+        periodic trigger stops before the tick whose instructions trip
+        the checkpoint period (the instructions-since-checkpoint
+        counter is carried through the batch).  Deficits and the
+        finishing tick always stay on the scalar path.
+        """
+        if (
+            self._state != "on"
+            or self.workload.finished
+            or not exactkernel.batchable_workload(self.workload)
+            or getattr(self.storage, "soa_params", None) is None
+        ):
+            return None
+        plan = self.thresholds(dt_s)
+        if self.config.trigger == "voltage":
+            stop_energy = plan.backup_threshold_j
+            period_limit = None
+        else:
+            stop_energy = None
+            period_limit = self.config.period_instructions
+        ticks, counter = exactkernel.get_kernel().storage_run(
+            self, p_in_w, start, stop, dt_s,
+            stop_energy_j=stop_energy,
+            period_limit=period_limit,
+            period_count=self._instr_since_cp,
+        )
+        if not ticks:
+            return None
+        self._instr_since_cp = counter
+        return [("run", ticks)]
 
     # -- transitions -----------------------------------------------------------
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.progress import ForwardProgressLedger
+from repro.system import exactkernel
 from repro.system.simulator import TickReport
 from repro.workloads.base import Workload
 
@@ -45,6 +46,24 @@ class OraclePlatform:
         if self.workload.finished and stop > start:
             return [("done", stop - start)]
         return None
+
+    def exact_batch(self, p_in_w, start, stop, dt_s):
+        """Batch active ticks: the vectorized exact-kernel path.
+
+        The oracle has no storage element, so between workload
+        completions every tick is pure accumulator math — the batched
+        kernel integrates consumed energy with a cumulative sum and
+        bulk-commits the ledger, bit-identical to per-tick execution
+        (see :mod:`repro.system.exactkernel`).  Stops before the
+        finishing tick; returns ``[("run", ticks)]`` or ``None``.
+        """
+        del p_in_w
+        if self.workload.finished or not exactkernel.batchable_workload(
+            self.workload
+        ):
+            return None
+        ticks = exactkernel.get_kernel().oracle_run(self, start, stop, dt_s)
+        return [("run", ticks)] if ticks else None
 
     def stats(self) -> Dict[str, float]:
         """Counter snapshot for the simulation result."""

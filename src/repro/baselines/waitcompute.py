@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.progress import ForwardProgressLedger
-from repro.system import fastpath
+from repro.system import exactkernel, fastpath
 from repro.system.fastpath import OffRunPlan
 from repro.system.simulator import TickReport
 from repro.workloads.base import Workload
@@ -161,6 +161,29 @@ class WaitComputePlatform:
         driving :meth:`off_plan`.
         """
         return fastpath.fast_forward_offruns(self, p_in_w, start, stop, dt_s)
+
+    def exact_batch(self, p_in_w, start, stop, dt_s):
+        """Batch on-unit ``"run"`` ticks (exact-kernel engine).
+
+        Same contract as
+        :meth:`repro.core.nvp.NVPPlatform.exact_batch`.  Stops before
+        any tick whose instructions cross a unit boundary — commits,
+        the post-commit energy check and the possible power-down all
+        execute on the scalar path — and before deficits and the
+        finishing tick.
+        """
+        if (
+            self._state != "on"
+            or self.workload.finished
+            or not exactkernel.batchable_workload(self.workload)
+            or getattr(self.storage, "soa_params", None) is None
+        ):
+            return None
+        ticks, _ = exactkernel.get_kernel().storage_run(
+            self, p_in_w, start, stop, dt_s,
+            stop_at_unit_boundary=True,
+        )
+        return [("run", ticks)] if ticks else None
 
     def stats(self) -> Dict[str, float]:
         """Counter snapshot for the simulation result."""

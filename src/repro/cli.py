@@ -139,6 +139,7 @@ def _profiled_run(simulator, profile_out: Optional[str]):
     print(
         f"profile : top 20 by cumulative time "
         f"(fast-forwarded {simulator.ticks_fast_forwarded} ticks, "
+        f"batched {simulator.ticks_batched}, "
         f"exact {simulator.ticks_exact})",
         file=sys.stderr,
     )
@@ -219,6 +220,7 @@ def cmd_simulate(args) -> int:
         metrics=metrics,
         sample_stride=args.sample_stride,
         use_fast_forward=False if args.no_fast_forward else None,
+        use_exact_batch=False if args.no_exact_batch else None,
     )
     try:
         if args.profile or args.profile_out:
@@ -995,6 +997,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--no-fast-forward", action="store_true",
                        help="force exact per-tick execution "
                             "(disable the steady-state fast path)")
+    p_sim.add_argument("--no-exact-batch", action="store_true",
+                       help="disable the batched active-tick exact "
+                            "kernel (scalar interpreter only)")
     p_sim.add_argument("--sample-stride", type=int, default=0, metavar="N",
                        help="emit a sim.sample event every N ticks "
                             "(0 = off; synthesized on the fast path)")

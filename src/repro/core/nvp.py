@@ -27,7 +27,7 @@ from repro.core.config import NVPConfig
 from repro.core.progress import ForwardProgressLedger
 from repro.obs import events as ev
 from repro.obs.events import EventBus
-from repro.system import fastpath
+from repro.system import exactkernel, fastpath
 from repro.system.fastpath import OffRunPlan
 from repro.system.simulator import TickReport
 from repro.system.thresholds import ThresholdPlan, plan_thresholds
@@ -291,6 +291,41 @@ class NVPPlatform:
             exact ticking).
         """
         return fastpath.fast_forward_offruns(self, p_in_w, start, stop, dt_s)
+
+    def exact_batch(self, p_in_w, start, stop, dt_s):
+        """Advance through predictable powered-on ``"run"`` ticks in bulk.
+
+        The active-path sibling of :meth:`fast_forward` (see
+        :mod:`repro.system.exactkernel`): while powered on with an
+        abstract workload, no governor and no peripherals, the run
+        loop is a straight-line recurrence — the batched kernel
+        executes it bit-for-bit and stops before the first event tick
+        (backup-threshold crossing, power deficit, workload
+        completion), which the scalar path then executes.
+
+        Returns ``[("run", ticks)]`` covering the consumed ticks, or
+        ``None`` when this state cannot be batched (the simulator
+        falls back to exact ticking until the next state transition).
+        """
+        if (
+            self._state != "on"
+            or self.workload.finished
+            or self.governor is not None
+            or (self.peripherals is not None and len(self.peripherals) > 0)
+            or not exactkernel.batchable_workload(self.workload)
+            or getattr(self.storage, "soa_params", None) is None
+        ):
+            return None
+        if self.bus is not None:
+            # Stamp the clock so a lazy threshold recompute is staged
+            # with the tick the exact engine would have used.
+            self.bus.set_clock(start, dt_s)
+        plan = self.thresholds(dt_s)
+        ticks, _ = exactkernel.get_kernel().storage_run(
+            self, p_in_w, start, stop, dt_s,
+            stop_energy_j=plan.backup_threshold_j,
+        )
+        return [("run", ticks)] if ticks else None
 
     # -- internal transitions ------------------------------------------------
 

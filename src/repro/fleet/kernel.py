@@ -25,6 +25,12 @@ sub-trace (property-tested in ``tests/test_fastpath_equivalence.py``):
   ``count * dt`` product;
 * harvested energy is the same cumulative-sum prefix the engine's
   vectorized pre-pass reads;
+* powered-on devices route their predictable ``"run"`` ticks through
+  the platform's ``exact_batch`` capability (the batched exact kernel,
+  :mod:`repro.system.exactkernel`) when available — the same bulk
+  advance the single engine performs, bit-for-bit identical to scalar
+  ticking — running ahead of the lockstep and rejoining at the first
+  event tick;
 * results are materialised through the shared
   :func:`repro.system.simulator.assemble_result`.
 
@@ -81,6 +87,7 @@ class _FleetDevice:
 
     __slots__ = (
         "index", "config", "platform", "storage", "off_plan_fn", "soa",
+        "exact_batch_fn", "skip_until", "batch_armed",
         "row", "base", "n_ticks", "stop_when_finished",
         "state_time", "run_state", "run_ticks",
         "completion_time", "finished_seen", "ticks_run",
@@ -100,6 +107,8 @@ class _FleetDevice:
         self.dormant_state: Optional[str] = None
         self.plan = None
         self.result = None
+        self.skip_until = 0
+        self.batch_armed = True
 
     @property
     def label(self) -> str:
@@ -130,6 +139,7 @@ class FleetKernel:
         self._ends_by_tick: Dict[int, List[_FleetDevice]] = {}
         self.n_passive = 0
         self.ticks_advanced = 0
+        self.ticks_batched = 0
 
         # -- shared trace segments ------------------------------------
         # Devices agreeing on the trace-determining keys share one
@@ -162,6 +172,10 @@ class FleetKernel:
                 next_start += len(trace)
         self.dt = float(dt)
         self.P = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        # Materialised lazily on the first exact-batch attempt: the
+        # batched kernel indexes power per tick, and Python-float list
+        # access beats numpy scalar extraction in its fused loop.
+        self._p_list: Optional[List[float]] = None
 
         # -- device rows ----------------------------------------------
         self.arrays = FleetArrays(len(configs), self.dt)
@@ -177,6 +191,7 @@ class FleetKernel:
             dev.platform = build_platform(config, workload)
             dev.storage = getattr(dev.platform, "storage", None)
             dev.off_plan_fn = getattr(dev.platform, "off_plan", None)
+            dev.exact_batch_fn = getattr(dev.platform, "exact_batch", None)
             dev.soa = storage_soa_params(dev.storage)
             if dev.soa is not None:
                 self.arrays.set_params(row, dev.soa, dev.base)
@@ -269,6 +284,7 @@ class FleetKernel:
             self._account(dev, report.state, 1)
             arrays.retire_row(dev.row)
             dev.mode = MODE_ACTIVE
+            dev.batch_armed = True
             dev.plan = None
             dev.dormant_state = None
             self.n_passive -= 1
@@ -285,8 +301,36 @@ class FleetKernel:
         for dev in self._active:
             if dev.mode is not MODE_ACTIVE:
                 continue
+            if i < dev.skip_until:
+                # A previous exact-batch run already executed this
+                # tick; the device rejoins the lockstep at skip_until.
+                still.append(dev)
+                continue
+            if dev.batch_armed and dev.exact_batch_fn is not None:
+                p_list = self._p_list
+                if p_list is None:
+                    p_list = self._p_list = power.tolist()
+                runs = dev.exact_batch_fn(
+                    p_list, dev.base + i, dev.base + dev.n_ticks, dt
+                )
+                if runs:
+                    batched = 0
+                    for state, n in runs:
+                        self._account(dev, state, n)
+                        batched += n
+                    dev.skip_until = i + batched
+                    self.ticks_batched += batched
+                    still.append(dev)
+                    continue
+                # Probe missed: the next tick is an event tick — run
+                # it exactly, and re-arm on the next state transition
+                # (same disarm-after-miss the single engine uses).
+                dev.batch_armed = False
+            prev_state = dev.run_state
             report = dev.platform.tick(float(power[dev.base + i]), dt)
             self._account(dev, report.state, 1)
+            if report.state != prev_state:
+                dev.batch_armed = True
             finished = dev.platform.finished
             if not dev.finished_seen and finished:
                 dev.finished_seen = True

@@ -1,0 +1,365 @@
+"""Batched execution of the active ON-run tick path, bit-for-bit exact.
+
+Fast-forward (:mod:`repro.system.fastpath`) eliminated dormant-tick
+cost; the scalar per-tick interpreter over *active* execution was the
+remaining floor (the ``oracle_guard`` preset in BENCH_core sat at
+1.0x).  Between irregular events — backup-threshold crossings, power
+deficits, workload unit boundaries and completions, periodic
+checkpoints — a powered-on platform running an
+:class:`~repro.workloads.base.AbstractWorkload` is a straight-line
+recurrence, so whole runs of ticks can be advanced in one call.
+
+This module is that engine.  Platforms expose it as the opt-in
+``exact_batch(p_in_w, start, stop, dt_s)`` capability (the active-path
+sibling of ``fast_forward``): consume a run of predictable ``"run"``
+ticks in bulk, **stopping before the first event tick**, and return
+``(state, ticks)`` runs — or ``None`` when the current state cannot be
+batched, upon which the simulator falls back to exact ticking.  The
+event tick itself always executes on the scalar path, so every state
+transition, backup, collapse and commit runs the same Python code in
+both engines.
+
+Bitwise discipline (the same contract ``charge_many`` /
+:mod:`repro.fleet.soa` follow — every IEEE-754 operation in the same
+order):
+
+* **instruction counts** come from the workload's time-credit
+  recurrence (``budget = dt + credit; count = int(budget / tpi);
+  credit' = min(budget - count * tpi, tpi)``).  The recurrence is
+  inherently sequential (it provably does not cycle), so it runs in a
+  fused loop with every attribute hoisted to a local — no per-tick
+  method dispatch, report objects, or dataclass allocation;
+* **energy integration** for accumulator-only platforms (the oracle
+  has no storage element) is vectorized: the per-tick energies are
+  integrated with :func:`numpy.cumsum`, which for a 1-D float64 array
+  performs the identical left-to-right additions the scalar
+  ``consumed_j += count * epi`` loop performs, with the prior
+  accumulator value as the leading element.  Event boundaries (the
+  workload's finishing tick) are located on the monotone cumulative
+  instruction series;
+* **storage-backed platforms** (NVP, checkpoint, wait-and-compute)
+  have state-dependent per-tick dynamics — conversion efficiency and
+  leakage are functions of the evolving capacitor voltage — so their
+  stored-energy series cannot be time-vectorized without changing the
+  float evaluation order.  Their batched path is a fused scalar loop
+  replicating ``Capacitor.step``'s exact op chain (charge with
+  voltage-dependent efficiency, headroom clip, leak, load draw), with
+  the storage parameterized through the same ``soa_params()`` identity
+  contract the fleet kernel uses, so :class:`~repro.storage.ideal.IdealStorage`
+  runs through identity operations (``x * 1.0``, ``x - 0.0``) that
+  cannot change a bit.
+
+Event ticks are detected on *candidate* values: the loop computes the
+tick's deltas into locals, and on a deficit (or a pre-tick threshold
+crossing, unit boundary, periodic-checkpoint trip, or finishing tick)
+discards them and stops — the scalar path then re-executes the tick
+from the identical platform state.
+
+The kernel sits behind the narrow :class:`ExactKernel` interface so an
+accelerated backend (generated C via cffi, following the
+compiled-simulator-vs-reference-model pattern) can slot in without
+touching any platform; :data:`active_kernel` selects the
+implementation process-wide.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.workloads.base import AbstractWorkload
+
+__all__ = [
+    "ExactKernel",
+    "PythonExactKernel",
+    "active_kernel",
+    "get_kernel",
+    "batchable_workload",
+]
+
+
+def batchable_workload(workload) -> bool:
+    """True when the workload's advance recurrence can be batched.
+
+    Only the plain :class:`~repro.workloads.base.AbstractWorkload`
+    qualifies: its ``advance`` is the closed-form time-credit
+    recurrence the kernel replicates.  Functional (NV16) workloads
+    execute real instructions per tick and subclasses may override
+    ``advance``, so both stay on the scalar interpreter.
+    """
+    return type(workload) is AbstractWorkload
+
+
+class ExactKernel:
+    """Interface of a batched active-tick backend.
+
+    Implementations MUST be bit-for-bit identical to the scalar
+    per-tick path: same IEEE-754 operations, same order, including the
+    ``(count * epi) / dt * dt`` demand round-trip and the candidate
+    discard semantics documented in the module docstring.  Both entry
+    points mutate the platform in place and return the number of ticks
+    consumed (0 when the first tick is already an event tick).
+    """
+
+    #: Human-readable backend name (surfaces in docs/benchmarks).
+    name = "abstract"
+
+    def oracle_run(self, platform, start: int, stop: int, dt_s: float) -> int:
+        """Batch continuously-powered ticks (no storage element).
+
+        Per scalar tick: ``advance(dt_s)``, ``ledger.execute`` +
+        ``ledger.commit``, ``consumed_j += advance.energy_j``.  Stops
+        before the workload's finishing tick.
+        """
+        raise NotImplementedError
+
+    def storage_run(
+        self,
+        platform,
+        p_in_w,
+        start: int,
+        stop: int,
+        dt_s: float,
+        stop_energy_j: Optional[float] = None,
+        period_limit: Optional[int] = None,
+        period_count: int = 0,
+        stop_at_unit_boundary: bool = False,
+    ) -> Tuple[int, int]:
+        """Batch powered-on ticks of a storage-backed platform.
+
+        Per scalar tick: stall-decayed exec budget, workload advance,
+        ``ledger.execute``, storage step at the advance's load power,
+        ``consumed_j += delivered``.  Stops before the first tick
+        where any of these holds:
+
+        * stored energy at tick start ``<= stop_energy_j`` (the NVP /
+          Hibernus voltage trigger; ``None`` disables);
+        * ``period_count`` + the tick's instruction count reaches
+          ``period_limit`` (the Mementos periodic checkpoint;
+          ``None`` disables);
+        * the tick's instructions cross a workload unit boundary
+          (wait-and-compute commits; ``stop_at_unit_boundary``);
+        * the workload would finish;
+        * the storage reports a deficit (power collapse).
+
+        ``period_count`` tracks the platform's instructions-since-
+        checkpoint counter through the batch; the updated value is
+        returned alongside the consumed tick count.
+        """
+        raise NotImplementedError
+
+
+class PythonExactKernel(ExactKernel):
+    """The default backend: fused Python loops + numpy integration."""
+
+    name = "python-fused"
+
+    def oracle_run(self, platform, start: int, stop: int, dt_s: float) -> int:
+        workload = platform.workload
+        tpi = workload._time_per_instr
+        epi = workload._energy_per_instr
+        credit = workload._time_credit_s
+        retired = workload._retired
+        total_units = workload.total_units
+        limit = (
+            total_units * workload.instructions_per_unit
+            if total_units is not None
+            else None
+        )
+        retired_before = retired
+        dt = dt_s
+        counts = []
+        append = counts.append
+        for _ in range(stop - start):
+            # AbstractWorkload.advance(dt): the time-credit recurrence.
+            budget = dt + credit
+            count = int(budget / tpi)
+            if limit is not None and retired + count >= limit:
+                # Finishing tick: the scalar path executes it so
+                # completion accounting stays on the simulator.
+                break
+            time_used = count * tpi
+            rem = budget - time_used
+            credit = rem if rem < tpi else tpi
+            retired += count
+            append(count)
+        ticks = len(counts)
+        if not ticks:
+            return 0
+        # consumed_j += count * epi, tick by tick: np.cumsum over a 1-D
+        # float64 array adds left to right, so seeding element 0 with
+        # the prior accumulator reproduces every partial sum bit for
+        # bit (property-tested in tests/test_exactkernel.py).
+        series = np.empty(ticks + 1, dtype=np.float64)
+        series[0] = platform.consumed_j
+        np.multiply(
+            np.asarray(counts, dtype=np.float64), epi, out=series[1:]
+        )
+        platform.consumed_j = float(np.cumsum(series)[-1])
+        workload._retired = retired
+        workload._time_credit_s = credit
+        # Each tick executes then commits: persistent absorbs any
+        # volatile remainder plus every batched instruction (integer
+        # math — order-free, applied in bulk).
+        ledger = platform.ledger
+        ledger.persistent += ledger.volatile + (retired - retired_before)
+        ledger.volatile = 0
+        ledger.commits += ticks
+        return ticks
+
+    def storage_run(
+        self,
+        platform,
+        p_in_w,
+        start: int,
+        stop: int,
+        dt_s: float,
+        stop_energy_j: Optional[float] = None,
+        period_limit: Optional[int] = None,
+        period_count: int = 0,
+        stop_at_unit_boundary: bool = False,
+    ) -> Tuple[int, int]:
+        workload = platform.workload
+        storage = platform.storage
+        params = storage.soa_params()
+        capacitance = params["capacitance_f"]
+        capacity = params["capacity_j"]
+        leak_ohm = params["leak_ohm"]
+        min_current = params["min_current_a"]
+        eta_peak = params["eta_peak"]
+        eta_floor = params["eta_floor"]
+        v_opt = params["v_opt_v"]
+        v_span = params["v_span_v"]
+        # A flat curve is voltage-independent: max(eta, eta_peak *
+        # (1 - x**2)) == eta exactly (same hoist charge_many makes).
+        flat_eta = eta_peak if eta_floor == eta_peak else None
+        energy, total_charged, total_leaked, total_wasted = storage.soa_state()
+        total_delivered = storage.total_delivered_j
+
+        tpi = workload._time_per_instr
+        epi = workload._energy_per_instr
+        credit = workload._time_credit_s
+        retired = workload._retired
+        total_units = workload.total_units
+        ipu = workload.instructions_per_unit
+        limit = total_units * ipu if total_units is not None else None
+        stall = platform._stall_s
+        consumed = platform.consumed_j
+        ledger = platform.ledger
+        volatile = ledger.volatile
+        threshold = -math.inf if stop_energy_j is None else stop_energy_j
+
+        dt = dt_s
+        sqrt = math.sqrt
+        index = start
+        ticks = 0
+        while index < stop:
+            # Pre-tick trigger check, exactly where the platform state
+            # machine tests it (before the workload advances).
+            if energy <= threshold:
+                break
+            # -- workload candidate (AbstractWorkload.advance) --------
+            exec_budget = dt - stall
+            if exec_budget < 0.0:
+                exec_budget = 0.0
+            new_stall = stall - dt
+            if new_stall < 0.0:
+                new_stall = 0.0
+            budget = exec_budget + credit
+            count = int(budget / tpi)
+            if limit is not None and retired + count >= limit:
+                break  # finishing tick stays scalar
+            if (
+                period_limit is not None
+                and period_count + count >= period_limit
+            ):
+                break  # periodic-checkpoint tick stays scalar
+            if (
+                stop_at_unit_boundary
+                and count
+                and (retired + count) // ipu > retired // ipu
+            ):
+                break  # unit-commit tick stays scalar
+            time_used = count * tpi
+            rem = budget - time_used
+            new_credit = rem if rem < tpi else tpi
+            load_w = (count * epi) / dt
+
+            # -- storage candidate (Capacitor.step's exact op chain) --
+            p_in = p_in_w[index]
+            wasted = 0.0
+            voltage = sqrt(2.0 * energy / capacitance)
+            input_energy = p_in * dt
+            if (
+                min_current > 0.0
+                and voltage > 0.0
+                and p_in < min_current * voltage
+            ) or input_energy == 0.0:
+                charged = 0.0
+                wasted += input_energy
+                new_energy = energy
+            else:
+                if flat_eta is not None:
+                    eta = flat_eta
+                else:
+                    offset = (voltage - v_opt) / v_span
+                    eta = eta_peak * (1.0 - offset * offset)
+                    if eta < eta_floor:
+                        eta = eta_floor
+                charged = input_energy * eta
+                wasted += input_energy - charged
+                headroom = capacity - energy
+                if charged > headroom:
+                    wasted += charged - headroom
+                    charged = headroom
+                new_energy = energy + charged
+            voltage = sqrt(2.0 * new_energy / capacitance)
+            leaked = voltage * voltage / leak_ohm * dt
+            if leaked > new_energy:
+                leaked = new_energy
+            new_energy -= leaked
+            demand = load_w * dt
+            delivered = demand if demand < new_energy else new_energy
+            if delivered < demand - 1e-18:
+                # Deficit (power collapse): discard the candidate and
+                # stop — the scalar path re-executes this tick from
+                # the identical state and runs the collapse handling.
+                break
+            new_energy -= delivered
+
+            # -- commit the tick --------------------------------------
+            energy = new_energy
+            stall = new_stall
+            credit = new_credit
+            retired += count
+            volatile += count
+            period_count += count
+            consumed += delivered
+            total_charged += charged
+            total_leaked += leaked
+            total_wasted += wasted
+            total_delivered += delivered
+            index += 1
+            ticks += 1
+        if ticks:
+            storage.soa_restore(
+                energy, total_charged, total_leaked, total_wasted
+            )
+            storage.total_delivered_j = total_delivered
+            workload._retired = retired
+            workload._time_credit_s = credit
+            platform._stall_s = stall
+            platform.consumed_j = consumed
+            ledger.volatile = volatile
+        return ticks, period_count
+
+
+#: The process-wide backend; a compiled implementation replaces this.
+active_kernel: ExactKernel = PythonExactKernel()
+
+
+def get_kernel() -> ExactKernel:
+    """The currently selected batched-execution backend."""
+    return active_kernel

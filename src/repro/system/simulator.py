@@ -26,7 +26,17 @@ Two engine optimisations keep long traces cheap (see
   synthesized from the run lengths by
   :class:`~repro.obs.synth.FastPathEventSynthesizer`, bitwise
   identical to the exact engine's stream.  Both paths produce
-  bit-identical :class:`SimulationResult`\\ s.
+  bit-identical :class:`SimulationResult`\\ s;
+* a **batched exact kernel**: platforms that implement the optional
+  ``exact_batch(p_in_w, start, stop, dt_s)`` capability
+  (:mod:`repro.system.exactkernel`) advance through runs of
+  predictable *active* ``"run"`` ticks in bulk, bit-for-bit identical
+  to per-tick execution, stopping before every event tick (threshold
+  crossings, deficits, unit boundaries, completions) so events and
+  transitions always run the scalar state machine.  Selection is
+  subscription-sensitive exactly like fast-forward, with its own
+  ``use_exact_batch`` knob and ``sim_ticks{path="exact_batch"}``
+  accounting.
 """
 
 from __future__ import annotations
@@ -68,6 +78,11 @@ class Platform(Protocol):
     capability ``fast_forward(p_in_w, start, stop, dt_s)`` returning a
     list of ``(state, ticks)`` runs (or ``None``); see
     :meth:`repro.core.nvp.NVPPlatform.fast_forward` for the contract.
+    The analogous active-path capability
+    ``exact_batch(p_in_w, start, stop, dt_s)`` bulk-executes
+    predictable powered-on ticks bit-exactly; see
+    :meth:`repro.core.nvp.NVPPlatform.exact_batch` and
+    :mod:`repro.system.exactkernel`.
     """
 
     label: str
@@ -170,6 +185,13 @@ class SystemSimulator:
             ``None`` (a ``sim.tick`` subscriber still forces the
             exact path, since per-tick samples cannot be
             synthesized).
+        use_exact_batch: batched active-path policy, same tri-state
+            semantics as ``use_fast_forward`` applied to the
+            platform's ``exact_batch`` capability
+            (:mod:`repro.system.exactkernel`).  The two knobs are
+            independent: either engine optimisation can be disabled
+            while the other stays on, and results are bit-identical
+            in every combination.
     """
 
     def __init__(
@@ -184,6 +206,7 @@ class SystemSimulator:
         outage_threshold_w: float = DEFAULT_THRESHOLD_W,
         sample_stride: int = 0,
         use_fast_forward: Optional[bool] = None,
+        use_exact_batch: Optional[bool] = None,
     ) -> None:
         if sample_stride < 0:
             raise ValueError("sample_stride cannot be negative")
@@ -199,8 +222,10 @@ class SystemSimulator:
         self.sample_stride = sample_stride
         self.telemetry = telemetry
         self.use_fast_forward = use_fast_forward
+        self.use_exact_batch = use_exact_batch
         #: Tick counts by engine path, filled in by :meth:`run`.
         self.ticks_fast_forwarded = 0
+        self.ticks_batched = 0
         self.ticks_exact = 0
         if telemetry is not None:
             telemetry.subscribe_to(bus)
@@ -248,8 +273,17 @@ class SystemSimulator:
             and getattr(platform, "fast_forward", None) is not None
             and not platform.finished
         )
+        # The batched active-tick engine is selected independently but
+        # under the same subscription sensitivity: only a ``sim.tick``
+        # subscriber forces scalar execution.
+        batch = (
+            self.use_exact_batch is not False
+            and not want_ticks
+            and getattr(platform, "exact_batch", None) is not None
+            and not platform.finished
+        )
         if bus is not None:
-            if fast:
+            if fast or batch:
                 # The synthesizer owns ALL outage emission (fast
                 # segments and interleaved exact ticks alike) so one
                 # state machine sees every tick.
@@ -280,12 +314,14 @@ class SystemSimulator:
         completion_time: Optional[float] = None
         finished = False
         ticks_fast = 0
+        ticks_batch = 0
         ticks_exact = 0
         index = 0
-        # Disarm the fast-forward probe after a miss so a platform
-        # stuck in "run" does not pay a failed call per tick; any state
-        # transition re-arms it.
+        # Disarm the fast-forward and exact-batch probes after a miss
+        # so a platform stuck in an unbatchable state does not pay a
+        # failed call per tick; any state transition re-arms them.
         try_fast = fast
+        try_batch = batch
 
         while index < n_ticks:
             if try_fast:
@@ -321,6 +357,41 @@ class SystemSimulator:
                 if synth is not None and staged:
                     synth.flush_staged(index, staged)
                 try_fast = False
+            if try_batch:
+                if synth is not None:
+                    # Buffer platform emits (a lazy threshold
+                    # recompute at batch start) for in-order merging,
+                    # exactly as the fast-forward path does.
+                    bus.begin_staging()
+                    try:
+                        runs = platform.exact_batch(
+                            p_in_w, index, n_ticks, dt
+                        )
+                    finally:
+                        staged = bus.end_staging()
+                else:
+                    runs = platform.exact_batch(p_in_w, index, n_ticks, dt)
+                    staged = None
+                if runs:
+                    if synth is not None:
+                        synth.integrate(index, runs, staged, run_state)
+                    for state, count in runs:
+                        if state == run_state:
+                            run_ticks += count
+                        else:
+                            if run_ticks:
+                                state_time[run_state] = (
+                                    state_time.get(run_state, 0.0)
+                                    + run_ticks * dt
+                                )
+                            run_state = state
+                            run_ticks = count
+                        index += count
+                        ticks_batch += count
+                    continue
+                if synth is not None and staged:
+                    synth.flush_staged(index, staged)
+                try_batch = False
             p_in = p_in_w[index]
             if bus is not None:
                 t_now = index * dt
@@ -343,6 +414,7 @@ class SystemSimulator:
                 run_state = state
                 run_ticks = 1
                 try_fast = fast
+                try_batch = batch
             else:
                 run_ticks += 1
             if want_samples and (index - 1) % self.sample_stride == 0:
@@ -368,6 +440,7 @@ class SystemSimulator:
         ticks_run = index
         harvested = float(cum_energy_j[ticks_run - 1]) if ticks_run else 0.0
         self.ticks_fast_forwarded = ticks_fast
+        self.ticks_batched = ticks_batch
         self.ticks_exact = ticks_exact
 
         if bus is not None:
@@ -438,6 +511,9 @@ class SystemSimulator:
         )
         ticks.labels(platform=label, path="fast_forward").inc(
             self.ticks_fast_forwarded
+        )
+        ticks.labels(platform=label, path="exact_batch").inc(
+            self.ticks_batched
         )
         ticks.labels(platform=label, path="exact").inc(self.ticks_exact)
         storage = getattr(self.platform, "storage", None)

@@ -18,6 +18,7 @@ from repro.harvest.sources import (
     square_trace,
     wristwatch_trace,
 )
+from repro.obs import events as ev
 from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
 from repro.storage.capacitor import Capacitor, ChargeEfficiency
@@ -142,9 +143,15 @@ class TestFastSlowEquivalence:
         trace = square_trace(400e-6, 0.0, 2.0, 0.08, 3.0)
         fast, sim = run_sim(build_nvp, trace, None)
         assert sim.ticks_fast_forwarded > 0
-        assert sim.ticks_fast_forwarded + sim.ticks_exact == len(trace)
-        _, slow_sim = run_sim(build_nvp, trace, False)
+        assert sim.ticks_batched > 0
+        assert (
+            sim.ticks_fast_forwarded + sim.ticks_batched + sim.ticks_exact
+            == len(trace)
+        )
+        _, slow_sim = run_sim(build_nvp, trace, False,
+                              use_exact_batch=False)
         assert slow_sim.ticks_fast_forwarded == 0
+        assert slow_sim.ticks_batched == 0
         assert slow_sim.ticks_exact == len(trace)
 
 
@@ -172,23 +179,57 @@ class TestBusFallback:
             labels=("platform", "path"),
         )
         fast = counter.labels(platform="nvp", path="fast_forward").value
+        batched = counter.labels(platform="nvp", path="exact_batch").value
         exact = counter.labels(platform="nvp", path="exact").value
         assert fast == sim.ticks_fast_forwarded > 0
+        assert batched == sim.ticks_batched > 0
         assert exact == sim.ticks_exact
-        assert fast + exact == len(trace)
+        assert fast + batched + exact == len(trace)
 
     def test_metrics_labels_on_forced_exact_path(self):
         trace = square_trace(400e-6, 0.0, 2.0, 0.08, 2.0)
         metrics = MetricsRegistry()
         _, sim = run_sim(build_nvp, trace, use_fast_forward=False,
-                         metrics=metrics)
+                         use_exact_batch=False, metrics=metrics)
         counter = metrics.counter(
             "sim_ticks", "simulated ticks by engine path",
             labels=("platform", "path"),
         )
         assert counter.labels(platform="nvp", path="exact").value == len(trace)
         assert counter.labels(platform="nvp", path="fast_forward").value == 0
+        assert counter.labels(platform="nvp", path="exact_batch").value == 0
         assert sim.ticks_fast_forwarded == 0
+        assert sim.ticks_batched == 0
+
+
+class TestSynthesizedEventStreams:
+    """Both bulk engines must synthesize the exact event stream the
+    scalar interpreter emits — `(name, t_s, seq, data)` tuples equal,
+    in order, across platforms and sources."""
+
+    @pytest.mark.parametrize("platform", sorted(PLATFORM_BUILDERS))
+    @pytest.mark.parametrize("trace_kind", sorted(TRACE_MAKERS))
+    def test_streams_bitwise_identical_across_engines(
+        self, platform, trace_kind
+    ):
+        trace = TRACE_MAKERS[trace_kind](3)
+        builder = PLATFORM_BUILDERS[platform]
+
+        def stream(fast, batch):
+            bus = EventBus()
+            log = bus.record(names=ev.NON_TICK_EVENT_NAMES)
+            result, _ = run_sim(
+                builder, trace, use_fast_forward=fast,
+                use_exact_batch=batch, bus=bus, sample_stride=500,
+            )
+            return [(e.name, e.t_s, e.seq, e.data) for e in log], result
+
+        scalar_events, scalar_result = stream(False, False)
+        assert scalar_events
+        for fast, batch in ((None, None), (False, None), (None, False)):
+            events, result = stream(fast, batch)
+            assert events == scalar_events, (fast, batch)
+            assert result.to_dict() == scalar_result.to_dict()
 
 
 class TestChargeManyPrimitive:
