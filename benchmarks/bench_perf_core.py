@@ -29,6 +29,11 @@ Environment knobs::
                                  floor asserted on the run-dominated
                                  oracle preset, which only the batched
                                  exact kernel can speed up (default 2.0)
+    NVPSIM_PERF_MIN_SPEEDUP_ISA  end-to-end floor asserted on the
+                                 compiled (NV16) preset against the
+                                 scalar instruction interpreter with
+                                 the block engine disabled
+                                 (default 2.0)
     NVPSIM_PERF_MAX_OBS_OVERHEAD max observed/fast wall-clock ratio
                                  asserted on floored presets
                                  (default 1.3)
@@ -51,6 +56,7 @@ import time
 from common import print_header, publish_metrics, publish_table
 
 from repro.harvest.sources import square_trace, wristwatch_trace
+from repro.isa import blockengine
 from repro.obs import events as ev
 from repro.obs.events import EventBus
 from repro.system.presets import (
@@ -62,6 +68,7 @@ from repro.system.presets import (
 )
 from repro.system.simulator import SystemSimulator
 from repro.workloads.base import AbstractWorkload
+from repro.workloads.suite import build_kernel, make_functional_workload
 
 PERF_DURATION_S = float(os.environ.get("NVPSIM_BENCH_PERF_DURATION", "60"))
 MIN_SPEEDUP_OUTAGE = float(os.environ.get("NVPSIM_PERF_MIN_SPEEDUP", "3.0"))
@@ -70,6 +77,9 @@ MIN_SPEEDUP_CHARGE = float(
 )
 MIN_SPEEDUP_BATCH = float(
     os.environ.get("NVPSIM_PERF_MIN_SPEEDUP_BATCH", "2.0")
+)
+MIN_SPEEDUP_ISA = float(
+    os.environ.get("NVPSIM_PERF_MIN_SPEEDUP_ISA", "2.0")
 )
 MAX_OBS_OVERHEAD = float(
     os.environ.get("NVPSIM_PERF_MAX_OBS_OVERHEAD", "1.3")
@@ -91,23 +101,48 @@ def wristwatch() -> object:
     return wristwatch_trace(PERF_DURATION_S, seed=PERF_SEED)
 
 
-#: (preset, platform builder, trace factory, asserted min speedup).
+def abstract_workload():
+    return AbstractWorkload()
+
+
+def run_heavy_trace():
+    """90% duty square wave: active (executing) ticks dominate."""
+    return square_trace(400e-6, 0.0, 2.0, 0.9, PERF_DURATION_S)
+
+
+def fir_workload():
+    """A compiled NV16 FIR run sized to outlast the whole trace."""
+    frames = max(2, int(PERF_DURATION_S * 10))
+    return make_functional_workload(build_kernel("fir"), frames=frames)
+
+
+#: (preset, platform builder, workload factory, trace factory,
+#: asserted min speedup, asserted min isa speedup).
 #: ``oracle_guard`` never fast-forwards while running — its floor is
 #: carried entirely by the batched active-tick exact kernel.
+#: ``nvp_fir_compiled`` runs a real NV16 program; its floor compares
+#: the full engine stack against the scalar instruction interpreter
+#: (block engine off, per-tick loop).
 PRESETS = (
-    ("outage_heavy_nvp", build_nvp, outage_heavy_trace, MIN_SPEEDUP_OUTAGE),
-    ("charge_dominated_wait", build_wait_compute, outage_heavy_trace,
-     MIN_SPEEDUP_CHARGE),
-    ("outage_heavy_checkpoint", build_checkpoint, outage_heavy_trace, None),
-    ("wristwatch_nvp", build_nvp, wristwatch, None),
-    ("oracle_guard", build_oracle, wristwatch, MIN_SPEEDUP_BATCH),
+    ("outage_heavy_nvp", build_nvp, abstract_workload, outage_heavy_trace,
+     MIN_SPEEDUP_OUTAGE, None),
+    ("charge_dominated_wait", build_wait_compute, abstract_workload,
+     outage_heavy_trace, MIN_SPEEDUP_CHARGE, None),
+    ("outage_heavy_checkpoint", build_checkpoint, abstract_workload,
+     outage_heavy_trace, None, None),
+    ("wristwatch_nvp", build_nvp, abstract_workload, wristwatch, None, None),
+    ("oracle_guard", build_oracle, abstract_workload, wristwatch,
+     MIN_SPEEDUP_BATCH, None),
+    ("nvp_fir_compiled", build_nvp, fir_workload, run_heavy_trace,
+     None, MIN_SPEEDUP_ISA),
 )
 
 
-def _timed_run(builder, trace, use_fast_forward, use_exact_batch, bus=None):
+def _timed_run(builder, workload_factory, trace, use_fast_forward,
+               use_exact_batch, bus=None):
     simulator = SystemSimulator(
         trace,
-        builder(AbstractWorkload()),
+        builder(workload_factory()),
         rectifier=standard_rectifier(),
         stop_when_finished=False,
         bus=bus,
@@ -121,16 +156,40 @@ def _timed_run(builder, trace, use_fast_forward, use_exact_batch, bus=None):
 
 def run_presets():
     rows = []
-    for preset, builder, make_trace, min_speedup in PRESETS:
+    for (preset, builder, make_workload, make_trace, min_speedup,
+         isa_floor) in PRESETS:
         trace = make_trace()
-        exact_result, exact_s, _ = _timed_run(builder, trace, False, False)
-        fast_result, fast_s, simulator = _timed_run(builder, trace, None, None)
-        nobatch_result, nobatch_s, _ = _timed_run(builder, trace, None, False)
+        exact_result, exact_s, _ = _timed_run(
+            builder, make_workload, trace, False, False
+        )
+        fast_result, fast_s, simulator = _timed_run(
+            builder, make_workload, trace, None, None
+        )
+        nobatch_result, nobatch_s, _ = _timed_run(
+            builder, make_workload, trace, None, False
+        )
         bus = EventBus()
         log = bus.record(names=ev.NON_TICK_EVENT_NAMES)
         observed_result, observed_s, observed_sim = _timed_run(
-            builder, trace, None, None, bus=bus
+            builder, make_workload, trace, None, None, bus=bus
         )
+        noengine_s = None
+        noengine_identical = True
+        if isa_floor is not None:
+            # The scalar instruction interpreter: block engine off,
+            # per-tick advance.  Dormant fast-forward stays on in both
+            # runs, so the ratio isolates active-tick execution plus
+            # batching — the two layers this preset exists to gate.
+            blockengine.set_enabled(False)
+            try:
+                noengine_result, noengine_s, _ = _timed_run(
+                    builder, make_workload, trace, None, False
+                )
+            finally:
+                blockengine.set_enabled(True)
+            noengine_identical = (
+                noengine_result.to_dict() == exact_result.to_dict()
+            )
         identical = fast_result.to_dict() == exact_result.to_dict()
         nobatch_identical = nobatch_result.to_dict() == exact_result.to_dict()
         observed_identical = (
@@ -160,6 +219,16 @@ def run_presets():
             "observed_fast_forwarded": observed_sim.ticks_fast_forwarded,
             "observed_batched": observed_sim.ticks_batched,
             "min_speedup": min_speedup,
+            "noengine_s": noengine_s,
+            "noengine_identical": noengine_identical,
+            "isa_speedup": (
+                noengine_s / fast_s
+                if noengine_s is not None and fast_s > 0 else None
+            ),
+            "instr_per_s": (
+                fast_result.total_executed / fast_s if fast_s > 0 else 0.0
+            ),
+            "isa_floor": isa_floor,
         })
     return rows
 
@@ -191,6 +260,17 @@ def check_rows(rows):
         assert row["events"] >= 2, (
             f"{row['preset']}: observed run produced no events"
         )
+        assert row["noengine_identical"], (
+            f"{row['preset']}: scalar-interpreter path diverged"
+        )
+        isa_floor = row["isa_floor"]
+        if isa_floor is not None:
+            assert row["isa_speedup"] >= isa_floor, (
+                f"{row['preset']}: block engine {row['isa_speedup']:.2f}x "
+                f"< required {isa_floor:.1f}x over the scalar interpreter "
+                f"(interpreter {row['noengine_s']:.3f}s, "
+                f"engine {row['fast_s']:.3f}s)"
+            )
         floor = row["min_speedup"]
         if floor is not None:
             assert row["speedup"] >= floor, (
@@ -221,12 +301,13 @@ def publish(rows):
             "min_speedup_outage": MIN_SPEEDUP_OUTAGE,
             "min_speedup_charge": MIN_SPEEDUP_CHARGE,
             "min_speedup_batch": MIN_SPEEDUP_BATCH,
+            "min_speedup_isa": MIN_SPEEDUP_ISA,
         },
     )
     publish_table(
         ["preset", "platform", "ticks", "dormant", "batched", "exact",
          "exact s", "fast s", "nobatch s", "observed s", "obs x",
-         "speedup", "batch x", "identical"],
+         "speedup", "batch x", "isa x", "identical"],
         [
             [
                 row["preset"],
@@ -242,8 +323,11 @@ def publish(rows):
                 f"{row['obs_overhead']:.2f}x",
                 f"{row['speedup']:.2f}x",
                 f"{row['batch_speedup']:.2f}x",
+                "-" if row["isa_speedup"] is None
+                else f"{row['isa_speedup']:.2f}x",
                 row["identical"] and row["nobatch_identical"]
-                and row["observed_identical"],
+                and row["observed_identical"]
+                and row["noengine_identical"],
             ]
             for row in rows
         ],
@@ -267,6 +351,10 @@ def publish(rows):
         metrics[f"{preset}.dormant_ticks_per_s"] = (
             row["dormant_ticks"] / row["fast_s"] if row["fast_s"] > 0 else 0.0
         )
+        if row["isa_speedup"] is not None:
+            metrics[f"{preset}.isa_speedup"] = row["isa_speedup"]
+            metrics[f"{preset}.noengine_s"] = row["noengine_s"]
+            metrics[f"{preset}.instr_per_s"] = row["instr_per_s"]
         total_ticks += row["ticks"]
         total_fast_s += row["fast_s"]
     metrics["throughput_ticks_per_s"] = (

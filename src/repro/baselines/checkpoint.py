@@ -241,10 +241,11 @@ class CheckpointPlatform:
         counter is carried through the batch).  Deficits and the
         finishing tick always stay on the scalar path.
         """
+        mode = exactkernel.batchable_workload(self.workload)
         if (
             self._state != "on"
             or self.workload.finished
-            or not exactkernel.batchable_workload(self.workload)
+            or not mode
             or getattr(self.storage, "soa_params", None) is None
         ):
             return None
@@ -255,12 +256,25 @@ class CheckpointPlatform:
         else:
             stop_energy = None
             period_limit = self.config.period_instructions
-        ticks, counter = exactkernel.get_kernel().storage_run(
-            self, p_in_w, start, stop, dt_s,
-            stop_energy_j=stop_energy,
-            period_limit=period_limit,
-            period_count=self._instr_since_cp,
-        )
+        kernel = exactkernel.get_kernel()
+        if mode == "recurrence":
+            ticks, counter = kernel.storage_run(
+                self, p_in_w, start, stop, dt_s,
+                stop_energy_j=stop_energy,
+                period_limit=period_limit,
+                period_count=self._instr_since_cp,
+            )
+        else:
+            # Functional (NV16) workloads: ticks really execute through
+            # the block engine; the periodic trigger stops on a
+            # conservative worst-case instruction bound, and the
+            # finishing tick is consumed in-batch.
+            ticks, counter = kernel.isa_storage_run(
+                self, p_in_w, start, stop, dt_s,
+                stop_energy_j=stop_energy,
+                period_limit=period_limit,
+                period_count=self._instr_since_cp,
+            )
         if not ticks:
             return None
         self._instr_since_cp = counter

@@ -58,11 +58,17 @@ class OraclePlatform:
         finishing tick; returns ``[("run", ticks)]`` or ``None``.
         """
         del p_in_w
-        if self.workload.finished or not exactkernel.batchable_workload(
-            self.workload
-        ):
+        mode = exactkernel.batchable_workload(self.workload)
+        if self.workload.finished or not mode:
             return None
-        ticks = exactkernel.get_kernel().oracle_run(self, start, stop, dt_s)
+        kernel = exactkernel.get_kernel()
+        if mode == "recurrence":
+            ticks = kernel.oracle_run(self, start, stop, dt_s)
+        else:
+            # Functional (NV16) workloads: each tick really executes
+            # through the block engine; the finishing tick is consumed
+            # in-batch (the simulator checks finished after the batch).
+            ticks = kernel.isa_oracle_run(self, start, stop, dt_s)
         return [("run", ticks)] if ticks else None
 
     def stats(self) -> Dict[str, float]:

@@ -175,7 +175,12 @@ class WaitComputePlatform:
         if (
             self._state != "on"
             or self.workload.finished
-            or not exactkernel.batchable_workload(self.workload)
+            # Only the closed-form recurrence can predict unit-boundary
+            # crossings before executing the tick; functional ("isa")
+            # workloads stay on the scalar path here because every unit
+            # boundary needs the post-commit energy check to interleave
+            # with execution tick by tick.
+            or exactkernel.batchable_workload(self.workload) != "recurrence"
             or getattr(self.storage, "soa_params", None) is None
         ):
             return None

@@ -143,6 +143,17 @@ def _profiled_run(simulator, profile_out: Optional[str]):
         f"exact {simulator.ticks_exact})",
         file=sys.stderr,
     )
+    engine = getattr(
+        getattr(simulator.platform, "workload", None), "_block_engine", None
+    )
+    if engine is not None:
+        counts = engine.profile_counts()
+        print(
+            f"blocks  : {counts['blocks']} compiled, "
+            f"{counts['fused']} fused block runs, "
+            f"{counts['stepped']} stepped (partial-budget) runs",
+            file=sys.stderr,
+        )
     stats.print_stats(20)
     if profile_out:
         try:
@@ -207,6 +218,10 @@ def cmd_simulate(args) -> int:
             n_devices=1,
         ))
 
+    if getattr(args, "no_block_engine", False):
+        from repro.isa import blockengine
+
+        blockengine.set_enabled(False)
     trace = _make_trace(args)
     workload, build = _make_workload(args)
     platform = PLATFORM_BUILDERS[args.platform](workload)
@@ -1000,6 +1015,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--no-exact-batch", action="store_true",
                        help="disable the batched active-tick exact "
                             "kernel (scalar interpreter only)")
+    p_sim.add_argument("--no-block-engine", action="store_true",
+                       help="execute NV16 kernels instruction by "
+                            "instruction through CPU.step (disable the "
+                            "block-compiled execution engine)")
     p_sim.add_argument("--sample-stride", type=int, default=0, metavar="N",
                        help="emit a sim.sample event every N ticks "
                             "(0 = off; synthesized on the fast path)")

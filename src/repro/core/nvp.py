@@ -307,12 +307,13 @@ class NVPPlatform:
         ``None`` when this state cannot be batched (the simulator
         falls back to exact ticking until the next state transition).
         """
+        mode = exactkernel.batchable_workload(self.workload)
         if (
             self._state != "on"
             or self.workload.finished
             or self.governor is not None
             or (self.peripherals is not None and len(self.peripherals) > 0)
-            or not exactkernel.batchable_workload(self.workload)
+            or not mode
             or getattr(self.storage, "soa_params", None) is None
         ):
             return None
@@ -321,10 +322,20 @@ class NVPPlatform:
             # with the tick the exact engine would have used.
             self.bus.set_clock(start, dt_s)
         plan = self.thresholds(dt_s)
-        ticks, _ = exactkernel.get_kernel().storage_run(
-            self, p_in_w, start, stop, dt_s,
-            stop_energy_j=plan.backup_threshold_j,
-        )
+        kernel = exactkernel.get_kernel()
+        if mode == "recurrence":
+            ticks, _ = kernel.storage_run(
+                self, p_in_w, start, stop, dt_s,
+                stop_energy_j=plan.backup_threshold_j,
+            )
+        else:
+            # Functional (NV16) workloads: the kernel really executes
+            # each tick through the block engine; the finishing tick is
+            # consumed in-batch (the simulator checks finished after).
+            ticks, _ = kernel.isa_storage_run(
+                self, p_in_w, start, stop, dt_s,
+                stop_energy_j=plan.backup_threshold_j,
+            )
         return [("run", ticks)] if ticks else None
 
     # -- internal transitions ------------------------------------------------

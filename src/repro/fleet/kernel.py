@@ -320,6 +320,16 @@ class FleetKernel:
                         batched += n
                     dev.skip_until = i + batched
                     self.ticks_batched += batched
+                    if not dev.finished_seen and dev.platform.finished:
+                        # An "isa"-mode batch consumes the finishing
+                        # tick; record completion one-past it, exactly
+                        # as the scalar branch does.  Passive routing
+                        # waits for the rejoin tick at skip_until.
+                        dev.finished_seen = True
+                        dev.completion_time = (i + batched) * dt
+                        if dev.stop_when_finished:
+                            self._finalize(dev, i + batched)
+                            continue
                     still.append(dev)
                     continue
                 # Probe missed: the next tick is an event tick — run

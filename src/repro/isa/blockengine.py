@@ -1,0 +1,699 @@
+"""Block-compiled execution engine for the NV16 core.
+
+:meth:`repro.isa.cpu.CPU.step` pays one Python call, one ``classify``
+dict chain and one ``StepInfo`` allocation *per instruction* — the last
+scalar-interpreter hot path in the codebase, and the reason real
+kernels (FIR, Sobel, CRC, matmul) crawl while abstract workloads fly
+through the batched exact kernel.  This module compiles a decoded
+program once into basic blocks of specialized register-transfer
+closures and executes straight-line runs as fused loops, bit-for-bit
+identical to a pure ``step()`` loop.
+
+Compilation
+    *Block discovery* finds leaders the classic way: instruction 0,
+    every in-range branch/JAL target, and every instruction following
+    a control transfer (branch, JAL, JALR, HALT).  Long straight-line
+    spans are additionally split every :data:`MAX_BLOCK_LEN`
+    instructions so a tick whose budget covers only part of a giant
+    unrolled span can still fuse its prefix blocks.  Each block holds
+    per-instruction ``(closure, time_s, energy_j, cycles)`` tables,
+    classified through the same :func:`~repro.isa.energy.classify` /
+    :class:`~repro.isa.energy.EnergyModel` lookups ``step()`` performs
+    — evaluated once at compile time instead of once per executed
+    instruction.
+
+Closures
+    Every instruction compiles to a tiny exec-generated function
+    ``fn(regs, memory)`` with all constants folded: ``r0`` reads fold
+    to literal ``0`` (matching ``_read_reg``, even against adversarial
+    restored states where ``regs[0]`` was forced nonzero), masked
+    immediates, shift counts and ``LUI``/link constants are baked in,
+    and pure ALU writes to ``r0`` compile to a no-op (``LD r0, ...``
+    still performs the read: MMIO pops and region counters are
+    architectural side effects).  Terminators return the next PC;
+    ``JALR`` reads ``rs1`` before writing the link register, exactly
+    as ``_execute`` reads operands before dispatch.
+
+Execution
+    :meth:`BlockEngine.run` advances a CPU under
+    :meth:`~repro.workloads.base.FunctionalWorkload.advance`'s time
+    budget.  Float accounting (``time_used += cycles * cycle_time_s``,
+    ``energy += e``, ``cpu.energy_j += e``) is accumulated strictly
+    per instruction in program order — never block-bulk — so every
+    partial sum equals the scalar interpreter's.  A block is executed
+    without per-instruction budget/cap compares only when a
+    conservative guard proves every scalar compare would have passed
+    (the guard over-approximates float accumulation error; blocks that
+    straddle the budget fall back to per-instruction stepping, which
+    is still exact).  Mid-block entry — a restore landing between
+    leaders, a JALR into a block body, or resumption after a budget
+    stop — steps the block tail per instruction and rejoins fused
+    execution at the next leader.
+
+The engine is process-wide switchable (``--no-block-engine`` /
+``NVPSIM_NO_BLOCK_ENGINE=1``) and counts fused vs. stepped block
+executions for ``--profile``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.cpu import ExecutionError
+from repro.isa.energy import EnergyModel, classify
+from repro.isa.instructions import (
+    BRANCH_OPCODES,
+    Instruction,
+    Opcode,
+    to_signed,
+)
+
+__all__ = [
+    "BlockEngine",
+    "SegmentResult",
+    "enabled",
+    "set_enabled",
+    "MAX_BLOCK_LEN",
+]
+
+#: Straight-line spans are split into blocks of at most this many
+#: instructions so partial-budget ticks still fuse whole prefixes.
+MAX_BLOCK_LEN = 128
+
+#: Opcodes that end a basic block (the next instruction is a leader).
+_CONTROL_OPCODES = frozenset(BRANCH_OPCODES) | {
+    Opcode.JAL,
+    Opcode.JALR,
+    Opcode.HALT,
+}
+
+#: Accumulated-float-error over-approximation per summed term; used by
+#: the fused-block budget guard (several times 2**-52, covering both
+#: the compile-time block-sum rounding and the runtime accumulation).
+_GUARD_EPS = 1.0e-15
+
+_ENV_DISABLE = "NVPSIM_NO_BLOCK_ENGINE"
+
+_enabled = os.environ.get(_ENV_DISABLE, "") in ("", "0")
+
+
+def enabled() -> bool:
+    """Whether compiled workloads drive the block engine."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Process-wide engine switch (the ``--no-block-engine`` knob).
+
+    Also mirrors the choice into :data:`os.environ` so sweep workers
+    spawned after the call inherit it.
+    """
+    global _enabled
+    _enabled = bool(flag)
+    if _enabled:
+        os.environ.pop(_ENV_DISABLE, None)
+    else:
+        os.environ[_ENV_DISABLE] = "1"
+
+
+class SegmentResult:
+    """Outcome of one :meth:`BlockEngine.run` segment.
+
+    Attributes:
+        executed: instructions retired by the segment.
+        energy_j: the caller's energy accumulator after the segment
+            (same left-to-right adds the scalar loop performs).
+        time_used_s: the caller's time accumulator after the segment.
+        capped: the segment retired one instruction past the caller's
+            cap (mirroring the scalar ``_unit_retired > max`` raise,
+            which fires *after* the offending instruction executes).
+        fault: an :class:`~repro.isa.cpu.ExecutionError` the scalar
+            interpreter would have raised at this point, or ``None``.
+            The CPU counters already include every instruction retired
+            before the fault, exactly as chained ``step()`` calls
+            would have left them.
+    """
+
+    __slots__ = ("executed", "energy_j", "time_used_s", "capped", "fault")
+
+    def __init__(
+        self,
+        executed: int,
+        energy_j: float,
+        time_used_s: float,
+        capped: bool = False,
+        fault: Optional[ExecutionError] = None,
+    ) -> None:
+        self.executed = executed
+        self.energy_j = energy_j
+        self.time_used_s = time_used_s
+        self.capped = capped
+        self.fault = fault
+
+
+class _Block:
+    """One compiled basic block.
+
+    ``ops`` covers the straight-line body (``(fn, time_s, energy_j,
+    cycles)`` per instruction, dense from ``start``); ``term`` is the
+    compiled control-flow tail at ``limit - 1`` — ``(fn, time_s,
+    energy_j, cycles, halts)`` with ``fn(regs, memory) -> next_pc`` —
+    or ``None`` for a pure fallthrough block.
+    """
+
+    __slots__ = (
+        "start",
+        "limit",
+        "ops",
+        "term",
+        "n_instructions",
+        "body_time_s",
+        "guard_factor",
+    )
+
+    def __init__(self, start: int, limit: int, ops, term) -> None:
+        self.start = start
+        self.limit = limit
+        self.ops = ops
+        self.term = term
+        self.n_instructions = len(ops) + (1 if term is not None else 0)
+        # Upper bound for the fused-budget guard: the largest partial
+        # sum the scalar loop compares against the budget is the one
+        # *before* the final instruction, but bounding the full-block
+        # sum is simpler and only costs boundary ticks a per-op pass.
+        total = 0.0
+        for _fn, t, _e, _c in ops:
+            total += t
+        if term is not None:
+            total += term[1]
+        self.body_time_s = total
+        self.guard_factor = 1.0 + _GUARD_EPS * (self.n_instructions + 4)
+
+
+def _reg_expr(index: int) -> str:
+    """Source for a register read (``_read_reg`` semantics)."""
+    return "0" if index == 0 else f"regs[{index}]"
+
+
+def _compile_fn(source: str, name: str = "fn"):
+    """Exec a single-function source string and return the function."""
+    namespace: Dict[str, object] = {"ts": to_signed}
+    exec(compile(source, "<blockengine>", "exec"), namespace)
+    return namespace[name]
+
+
+def _nop_fn(regs, memory) -> None:
+    return None
+
+
+#: Value-expression templates for the ALU opcodes; ``{a}``/``{b}`` are
+#: register reads, immediates are folded by the caller.  Every write
+#: goes through ``& 0xFFFF`` (``_write_reg``), and signed views go
+#: through the same masked ``to_signed`` helper the interpreter uses —
+#: so even non-canonical restored register values (> 16 bits) produce
+#: identical results.
+_ALU_RR = {
+    Opcode.ADD: "({a} + {b})",
+    Opcode.SUB: "({a} - {b})",
+    Opcode.AND: "({a} & {b})",
+    Opcode.OR: "({a} | {b})",
+    Opcode.XOR: "({a} ^ {b})",
+    Opcode.SHL: "({a} << ({b} % 16))",
+    Opcode.SHR: "({a} >> ({b} % 16))",
+    Opcode.SAR: "(ts({a}) >> ({b} % 16))",
+    Opcode.MUL: "({a} * {b})",
+    Opcode.MULH: "(({a} * {b}) >> 16)",
+    Opcode.DIVU: "(0xFFFF if {b} == 0 else {a} // {b})",
+    Opcode.REMU: "({a} if {b} == 0 else {a} % {b})",
+    Opcode.SLT: "(1 if ts({a}) < ts({b}) else 0)",
+    Opcode.SLTU: "(1 if {a} < {b} else 0)",
+}
+
+_BRANCH_COND = {
+    Opcode.BEQ: "{a} == {b}",
+    Opcode.BNE: "{a} != {b}",
+    Opcode.BLT: "ts({a}) < ts({b})",
+    Opcode.BGE: "ts({a}) >= ts({b})",
+    Opcode.BLTU: "{a} < {b}",
+    Opcode.BGEU: "{a} >= {b}",
+}
+
+
+def _compile_linear(instr: Instruction):
+    """Compile a non-control instruction to ``fn(regs, memory)``."""
+    op = instr.opcode
+    rd = instr.rd
+    a = _reg_expr(instr.rs1)
+    b = _reg_expr(instr.rs2)
+    imm = instr.imm
+    if op in _ALU_RR:
+        if rd == 0:
+            # DIVU/REMU by zero is architecturally defined (no trap),
+            # so a discarded ALU result has no observable effect.
+            return _nop_fn
+        value = _ALU_RR[op].format(a=a, b=b)
+    elif op is Opcode.ADDI:
+        if rd == 0:
+            return _nop_fn
+        value = f"({a} + {imm})"
+    elif op is Opcode.ANDI:
+        if rd == 0:
+            return _nop_fn
+        value = f"({a} & {imm & 0xFFFF})"
+    elif op is Opcode.ORI:
+        if rd == 0:
+            return _nop_fn
+        value = f"({a} | {imm & 0xFFFF})"
+    elif op is Opcode.XORI:
+        if rd == 0:
+            return _nop_fn
+        value = f"({a} ^ {imm & 0xFFFF})"
+    elif op is Opcode.SHLI:
+        if rd == 0:
+            return _nop_fn
+        value = f"({a} << {imm % 16})"
+    elif op is Opcode.SHRI:
+        if rd == 0:
+            return _nop_fn
+        value = f"({a} >> {imm % 16})"
+    elif op is Opcode.SARI:
+        if rd == 0:
+            return _nop_fn
+        value = f"(ts({a}) >> {imm % 16})"
+    elif op is Opcode.SLTI:
+        if rd == 0:
+            return _nop_fn
+        value = f"(1 if ts({a}) < {imm} else 0)"
+    elif op is Opcode.SLTIU:
+        if rd == 0:
+            return _nop_fn
+        value = f"(1 if {a} < {imm & 0xFFFF} else 0)"
+    elif op is Opcode.LUI:
+        if rd == 0:
+            return _nop_fn
+        value = str((imm & 0xFF) << 8)
+    elif op is Opcode.LD:
+        address = f"({a} + {imm}) & 0xFFFF"
+        if rd == 0:
+            # The read still happens: region counters and the MMIO
+            # input-port pop are architectural side effects.
+            return _compile_fn(
+                f"def fn(regs, memory):\n    memory.read({address})\n"
+            )
+        return _compile_fn(
+            f"def fn(regs, memory):\n"
+            f"    regs[{rd}] = memory.read({address}) & 0xFFFF\n"
+        )
+    elif op is Opcode.ST:
+        address = f"({a} + {imm}) & 0xFFFF"
+        return _compile_fn(
+            f"def fn(regs, memory):\n    memory.write({address}, {b})\n"
+        )
+    elif op is Opcode.NOP:
+        return _nop_fn
+    else:  # pragma: no cover - control ops never reach here
+        raise ExecutionError(f"unimplemented opcode {op!r}")
+    return _compile_fn(
+        f"def fn(regs, memory):\n    regs[{rd}] = {value} & 0xFFFF\n"
+    )
+
+
+def _compile_terminator(pc: int, instr: Instruction):
+    """Compile a control instruction to ``fn(regs, memory) -> next_pc``."""
+    op = instr.opcode
+    fallthrough = pc + 1
+    a = _reg_expr(instr.rs1)
+    b = _reg_expr(instr.rs2)
+    imm = instr.imm
+    if op in BRANCH_OPCODES:
+        cond = _BRANCH_COND[op].format(a=a, b=b)
+        target = imm & 0xFFFF
+        return _compile_fn(
+            f"def fn(regs, memory):\n"
+            f"    return {target} if {cond} else {fallthrough}\n"
+        )
+    if op is Opcode.JAL:
+        link = fallthrough & 0xFFFF
+        target = imm & 0xFFFF
+        if instr.rd == 0:
+            return _compile_fn(
+                f"def fn(regs, memory):\n    return {target}\n"
+            )
+        return _compile_fn(
+            f"def fn(regs, memory):\n"
+            f"    regs[{instr.rd}] = {link}\n"
+            f"    return {target}\n"
+        )
+    if op is Opcode.JALR:
+        link = fallthrough & 0xFFFF
+        if instr.rd == 0:
+            return _compile_fn(
+                f"def fn(regs, memory):\n"
+                f"    return ({a} + {imm}) & 0xFFFF\n"
+            )
+        # rs1 is read before the link write, matching ``_execute``'s
+        # operand-fetch-then-dispatch order when rd == rs1.
+        return _compile_fn(
+            f"def fn(regs, memory):\n"
+            f"    target = ({a} + {imm}) & 0xFFFF\n"
+            f"    regs[{instr.rd}] = {link}\n"
+            f"    return target\n"
+        )
+    if op is Opcode.HALT:
+        # Handled structurally: the run loop sets ``halted`` and falls
+        # through to pc + 1, exactly as ``_execute`` does.
+        return None
+    raise ExecutionError(f"unimplemented opcode {op!r}")  # pragma: no cover
+
+
+class BlockEngine:
+    """A program compiled to basic blocks of specialized closures.
+
+    One engine serves every CPU instance a
+    :class:`~repro.workloads.base.FunctionalWorkload` creates (the
+    per-unit fresh CPUs share the same program and energy model);
+    closures capture only compile-time constants and act on the
+    ``(regs, memory)`` passed per call.
+
+    Attributes:
+        fused_blocks: blocks executed wholesale by the fused loop
+            (the profile "hit" count).
+        stepped_blocks: block executions that fell back to
+            per-instruction stepping — mid-block entries and
+            budget/cap boundary straddles (the profile "miss" count).
+    """
+
+    def __init__(
+        self,
+        program: Sequence[Instruction],
+        energy_model: EnergyModel,
+    ) -> None:
+        self.n_instructions = len(program)
+        #: Recompile trigger: the operating point the tables were
+        #: classified against (``EnergyModel.scaled`` returns copies,
+        #: so in practice this never changes for a live workload).
+        self.model_signature = (
+            energy_model.frequency_hz,
+            energy_model.vdd,
+            energy_model.static_power_w,
+        )
+        self.fused_blocks = 0
+        self.stepped_blocks = 0
+        self._blocks: List[_Block] = []
+        #: pc -> owning block, dense over the program.
+        self._block_at: List[_Block] = []
+        self._compile(program, energy_model)
+
+    # -- compilation -------------------------------------------------------
+
+    def _compile(self, program: Sequence[Instruction], model: EnergyModel) -> None:
+        n = len(program)
+        if n == 0:
+            return
+        leaders = {0}
+        for pc, instr in enumerate(program):
+            op = instr.opcode
+            if op in _CONTROL_OPCODES:
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+                if op is not Opcode.JALR and op is not Opcode.HALT:
+                    target = instr.imm & 0xFFFF
+                    if target < n:
+                        leaders.add(target)
+        starts = sorted(leaders)
+        cycle_time = model.cycle_time_s
+        bounds = []
+        for i, start in enumerate(starts):
+            limit = starts[i + 1] if i + 1 < len(starts) else n
+            # Split giant straight-line spans so partial budgets fuse.
+            while limit - start > MAX_BLOCK_LEN:
+                bounds.append((start, start + MAX_BLOCK_LEN))
+                start += MAX_BLOCK_LEN
+            bounds.append((start, limit))
+        for start, limit in bounds:
+            last = program[limit - 1]
+            has_term = last.opcode in _CONTROL_OPCODES
+            ops = []
+            for pc in range(start, limit - 1 if has_term else limit):
+                instr = program[pc]
+                cls = classify(instr)
+                cycles = model.instruction_cycles(cls)
+                ops.append((
+                    _compile_linear(instr),
+                    cycles * cycle_time,
+                    model.instruction_energy(cls),
+                    cycles,
+                ))
+            term = None
+            if has_term:
+                cls = classify(last)
+                cycles = model.instruction_cycles(cls)
+                term = (
+                    _compile_terminator(limit - 1, last),
+                    cycles * cycle_time,
+                    model.instruction_energy(cls),
+                    cycles,
+                    last.opcode is Opcode.HALT,
+                )
+            block = _Block(start, limit, ops, term)
+            self._blocks.append(block)
+            self._block_at.extend([block] * (limit - start))
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of compiled basic blocks."""
+        return len(self._blocks)
+
+    def profile_counts(self) -> Dict[str, int]:
+        """Fused/stepped block counters (the ``--profile`` report)."""
+        return {
+            "blocks": self.n_blocks,
+            "fused": self.fused_blocks,
+            "stepped": self.stepped_blocks,
+        }
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        cpu,
+        budget_s: float,
+        time_used_s: float,
+        energy_j: float,
+        cap_remaining: int,
+    ) -> SegmentResult:
+        """Execute until the budget, a HALT, the cap, or a fault.
+
+        Semantically identical to the scalar loop::
+
+            while time_used < budget:
+                info = cpu.step()                  # may raise
+                time_used += info.cycles * cycle_time_s
+                energy += info.energy_j
+                executed += 1
+                if executed > cap_remaining: -> capped
+                if cpu.state.halted: -> stop
+
+        Args:
+            cpu: the :class:`~repro.isa.cpu.CPU` to advance (its
+                program must be the one this engine compiled).
+            budget_s: the advance loop's total budget.
+            time_used_s: the advance loop's time accumulator on entry.
+            energy_j: the advance loop's energy accumulator on entry.
+            cap_remaining: instructions the current unit may still
+                retire before ``max_instructions_per_unit`` trips.
+
+        Returns:
+            A :class:`SegmentResult`; CPU state and counters are
+            written back on every exit path.
+        """
+        state = cpu.state
+        if state.halted:
+            return SegmentResult(
+                0, energy_j, time_used_s,
+                fault=ExecutionError("cannot step a halted core"),
+            )
+        regs = state.regs
+        memory = cpu.memory
+        pc = state.pc
+        n = self.n_instructions
+        block_at = self._block_at
+        time_used = time_used_s
+        energy = energy_j
+        cpu_energy = cpu.energy_j
+        cycles = 0
+        executed = 0
+        budget = budget_s
+        halted = False
+        capped = False
+        fault: Optional[ExecutionError] = None
+        fused = 0
+        stepped = 0
+
+        while time_used < budget:
+            if not 0 <= pc < n:
+                fault = ExecutionError(
+                    f"PC {pc:#06x} outside program of {n} words"
+                )
+                break
+            blk = block_at[pc]
+            ops = blk.ops
+            term = blk.term
+            if (
+                pc == blk.start
+                and executed + blk.n_instructions <= cap_remaining
+                and (time_used + blk.body_time_s) * blk.guard_factor
+                < budget
+            ):
+                # Fused: the guard proves every per-instruction budget
+                # compare would pass and the cap cannot trip, so only
+                # the architectural work and the (order-preserving)
+                # per-instruction accounting remain.
+                fused += 1
+                for fn, t, e, c in ops:
+                    fn(regs, memory)
+                    time_used += t
+                    energy += e
+                    cpu_energy += e
+                    cycles += c
+                executed += len(ops)
+                if term is None:
+                    pc = blk.limit
+                    continue
+                tfn, t, e, c, halts = term
+                if halts:
+                    pc = blk.limit
+                    halted = True
+                else:
+                    pc = tfn(regs, memory)
+                time_used += t
+                energy += e
+                cpu_energy += e
+                cycles += c
+                executed += 1
+                if halted:
+                    break
+                continue
+            # Per-instruction tail: mid-block entry or a block that
+            # straddles the budget/cap boundary.
+            stepped += 1
+            i = pc - blk.start
+            n_lin = len(ops)
+            stop = False
+            while i < n_lin:
+                if time_used >= budget:
+                    pc = blk.start + i
+                    stop = True
+                    break
+                fn, t, e, c = ops[i]
+                fn(regs, memory)
+                time_used += t
+                energy += e
+                cpu_energy += e
+                cycles += c
+                executed += 1
+                i += 1
+                if executed > cap_remaining:
+                    pc = blk.start + i
+                    capped = True
+                    stop = True
+                    break
+            if stop:
+                break
+            if term is None:
+                pc = blk.limit
+                continue
+            if time_used >= budget:
+                pc = blk.limit - 1
+                break
+            tfn, t, e, c, halts = term
+            if halts:
+                pc = blk.limit
+                halted = True
+            else:
+                pc = tfn(regs, memory)
+            time_used += t
+            energy += e
+            cpu_energy += e
+            cycles += c
+            executed += 1
+            if executed > cap_remaining:
+                capped = True
+                break
+            if halted:
+                break
+
+        state.pc = pc
+        if halted:
+            state.halted = True
+        cpu.energy_j = cpu_energy
+        cpu.cycles += cycles
+        cpu.instructions_retired += executed
+        self.fused_blocks += fused
+        self.stepped_blocks += stepped
+        return SegmentResult(executed, energy, time_used, capped, fault)
+
+    def run_count(self, cpu, count: int) -> int:
+        """Execute exactly ``count`` instructions (or until HALT).
+
+        The budget-free sibling of :meth:`run`, used by the
+        equivalence property tests to land the engine on an arbitrary
+        instruction boundary.  Accounting matches ``count`` chained
+        :meth:`~repro.isa.cpu.CPU.step` calls bit for bit; raises the
+        same :class:`~repro.isa.cpu.ExecutionError` the interpreter
+        would — including "cannot step a halted core" when a HALT
+        retires before ``count`` is reached (counters already include
+        the instructions retired before the fault).
+
+        Returns:
+            ``count`` (the HALT-as-last-instruction case included).
+        """
+        state = cpu.state
+        regs = state.regs
+        memory = cpu.memory
+        pc = state.pc
+        n = self.n_instructions
+        block_at = self._block_at
+        cpu_energy = cpu.energy_j
+        cycles = 0
+        executed = 0
+        halted = False
+        fault: Optional[ExecutionError] = None
+        while executed < count:
+            if state.halted or halted:
+                fault = ExecutionError("cannot step a halted core")
+                break
+            if not 0 <= pc < n:
+                fault = ExecutionError(
+                    f"PC {pc:#06x} outside program of {n} words"
+                )
+                break
+            blk = block_at[pc]
+            ops = blk.ops
+            i = pc - blk.start
+            if i < len(ops):
+                fn, _t, e, c = ops[i]
+                fn(regs, memory)
+                pc += 1
+            else:
+                tfn, _t, e, c, halts = blk.term
+                if halts:
+                    pc = blk.limit
+                    halted = True
+                else:
+                    pc = tfn(regs, memory)
+            cpu_energy += e
+            cycles += c
+            executed += 1
+        state.pc = pc
+        if halted:
+            state.halted = True
+        cpu.energy_j = cpu_energy
+        cpu.cycles += cycles
+        cpu.instructions_retired += executed
+        if fault is not None:
+            raise fault
+        return executed

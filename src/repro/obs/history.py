@@ -13,8 +13,8 @@ of each experiment against a baseline — the committed history, a
 separate baseline file, or the previous record in the same history —
 and fails (exit nonzero) when a gated metric drops by more than
 ``max_regression``.  Gated metrics are the higher-is-better ones:
-anything whose name mentions ``throughput``, ``speedup`` or
-``ticks_per_s``.
+anything whose name mentions ``throughput``, ``speedup``,
+``ticks_per_s`` or ``instr_per_s``.
 """
 
 from __future__ import annotations
@@ -36,7 +36,7 @@ DEFAULT_MAX_REGRESSION = 0.2
 #: A metric gates the build when its name contains one of these —
 #: higher is better for all of them.
 GATED_METRIC_MARKERS: Tuple[str, ...] = (
-    "throughput", "speedup", "ticks_per_s",
+    "throughput", "speedup", "ticks_per_s", "instr_per_s",
 )
 
 

@@ -69,8 +69,6 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.workloads.base import AbstractWorkload
-
 __all__ = [
     "ExactKernel",
     "PythonExactKernel",
@@ -79,17 +77,37 @@ __all__ = [
     "batchable_workload",
 ]
 
+#: Conservative relative margin used by the ISA pre-checks.  Covers the
+#: accumulated float rounding of per-instruction time/energy sums for
+#: runs up to ~10^7 instructions per tick (error ~n * 2^-52 << 1e-8).
+_ISA_MARGIN = 1.0e-8
 
-def batchable_workload(workload) -> bool:
-    """True when the workload's advance recurrence can be batched.
 
-    Only the plain :class:`~repro.workloads.base.AbstractWorkload`
-    qualifies: its ``advance`` is the closed-form time-credit
-    recurrence the kernel replicates.  Functional (NV16) workloads
-    execute real instructions per tick and subclasses may override
-    ``advance``, so both stay on the scalar interpreter.
+def batchable_workload(workload) -> Optional[str]:
+    """The workload's batchable-advance mode, or ``None``.
+
+    Workloads advertise batchability through the
+    ``supports_exact_batch`` capability (see
+    :class:`~repro.workloads.base.Workload`):
+
+    * ``"recurrence"`` — ``advance`` is the closed-form
+      :class:`~repro.workloads.base.AbstractWorkload` time-credit
+      recurrence; the kernel replays it via
+      :meth:`ExactKernel.oracle_run` / :meth:`ExactKernel.storage_run`.
+    * ``"isa"`` — ``advance`` executes real NV16 instructions
+      (:class:`~repro.workloads.base.FunctionalWorkload`); the kernel
+      drives the workload's own ``advance`` tick by tick via
+      :meth:`ExactKernel.isa_oracle_run` /
+      :meth:`ExactKernel.isa_storage_run`.
+    * ``None`` — scalar ticking only.
+
+    Subclasses that override neither ``advance`` nor ``finished`` keep
+    their base class's mode (the PR 8 exact-type check silently dropped
+    such subclasses to the scalar path).  The return value is truthy
+    iff batchable, so existing boolean gates keep working; platforms
+    dispatch on the mode string.
     """
-    return type(workload) is AbstractWorkload
+    return getattr(workload, "supports_exact_batch", None)
 
 
 class ExactKernel:
@@ -147,6 +165,58 @@ class ExactKernel:
         ``period_count`` tracks the platform's instructions-since-
         checkpoint counter through the batch; the updated value is
         returned alongside the consumed tick count.
+        """
+        raise NotImplementedError
+
+    def isa_oracle_run(self, platform, start: int, stop: int, dt_s: float) -> int:
+        """Batch continuously-powered ticks of a functional workload.
+
+        The per-tick recurrence is the workload's own ``advance``
+        (which drives the NV16 block engine), so the tick is executed
+        for real; the batching win is eliminating the simulator's
+        per-tick overhead (bus staging, report objects, state-machine
+        dispatch) and bulk-applying the integer ledger commits.
+        Unlike :meth:`oracle_run`, the finishing tick *is* consumed
+        in-batch (the caller observes ``platform.finished`` after the
+        batch); the batch simply stops after it.
+        """
+        raise NotImplementedError
+
+    def isa_storage_run(
+        self,
+        platform,
+        p_in_w,
+        start: int,
+        stop: int,
+        dt_s: float,
+        stop_energy_j: Optional[float] = None,
+        period_limit: Optional[int] = None,
+        period_count: int = 0,
+    ) -> Tuple[int, int]:
+        """Batch powered-on storage-backed ticks of a functional workload.
+
+        Same stop conditions as :meth:`storage_run`, but the per-tick
+        instruction count and energy come from really executing the
+        workload's ``advance`` (block engine), so event ticks cannot be
+        predicted from a closed form.  Instead each tick passes two
+        *conservative* pre-checks before ``advance`` is called:
+
+        * ``period_count`` plus a worst-case instruction bound
+          (``int(budget / min_instruction_time * (1 + eps)) + 2``)
+          stays below ``period_limit``;
+        * post-charge/leak stored energy (computable exactly before the
+          advance — it does not depend on the load) covers a worst-case
+          demand bound (``(budget + max_instruction_time) * max_power``
+          plus margins, where ``max_power`` is the worst
+          energy-per-second over the instruction classes).
+
+        A failed pre-check stops the batch and the tick re-executes on
+        the scalar path from identical state — conservative stops only
+        cost a fallback tick, never exactness.  The finishing tick is
+        consumed in-batch, then the batch stops.  There is no
+        ``stop_at_unit_boundary`` variant: unit-boundary semantics
+        cannot be pre-checked conservatively, so wait-and-compute keeps
+        functional workloads on the scalar path.
         """
         raise NotImplementedError
 
@@ -353,6 +423,169 @@ class PythonExactKernel(ExactKernel):
             platform._stall_s = stall
             platform.consumed_j = consumed
             ledger.volatile = volatile
+        return ticks, period_count
+
+    def isa_oracle_run(self, platform, start: int, stop: int, dt_s: float) -> int:
+        workload = platform.workload
+        ledger = platform.ledger
+        consumed = platform.consumed_j
+        advance = workload.advance
+        total = 0
+        ticks = 0
+        try:
+            while ticks < stop - start:
+                # Really execute the tick: advance drives the block
+                # engine; counts/energy are the workload's own.
+                adv = advance(dt_s)
+                total += adv.instructions
+                consumed += adv.energy_j
+                ticks += 1
+                if workload.finished:
+                    break
+        finally:
+            # Also reached when advance raises (stuck unit / execution
+            # fault): committed ticks are written back so the platform
+            # matches the scalar path's state at the raising tick.
+            if ticks:
+                platform.consumed_j = consumed
+                ledger.persistent += ledger.volatile + total
+                ledger.volatile = 0
+                ledger.commits += ticks
+        return ticks
+
+    def isa_storage_run(
+        self,
+        platform,
+        p_in_w,
+        start: int,
+        stop: int,
+        dt_s: float,
+        stop_energy_j: Optional[float] = None,
+        period_limit: Optional[int] = None,
+        period_count: int = 0,
+    ) -> Tuple[int, int]:
+        workload = platform.workload
+        storage = platform.storage
+        params = storage.soa_params()
+        capacitance = params["capacitance_f"]
+        capacity = params["capacity_j"]
+        leak_ohm = params["leak_ohm"]
+        min_current = params["min_current_a"]
+        eta_peak = params["eta_peak"]
+        eta_floor = params["eta_floor"]
+        v_opt = params["v_opt_v"]
+        v_span = params["v_span_v"]
+        flat_eta = eta_peak if eta_floor == eta_peak else None
+        energy, total_charged, total_leaked, total_wasted = storage.soa_state()
+        total_delivered = storage.total_delivered_j
+
+        min_time, max_time, max_power = workload.advance_bounds()
+        advance = workload.advance
+        stall = platform._stall_s
+        consumed = platform.consumed_j
+        ledger = platform.ledger
+        total_instr = 0
+        threshold = -math.inf if stop_energy_j is None else stop_energy_j
+
+        dt = dt_s
+        margin = 1.0 + _ISA_MARGIN
+        sqrt = math.sqrt
+        index = start
+        ticks = 0
+        try:
+            while index < stop:
+                # Pre-tick trigger check, where the state machine tests it.
+                if energy <= threshold:
+                    break
+                exec_budget = dt - stall
+                if exec_budget < 0.0:
+                    exec_budget = 0.0
+                new_stall = stall - dt
+                if new_stall < 0.0:
+                    new_stall = 0.0
+                # Worst-case instruction count this tick could retire.
+                worst_budget = exec_budget + workload._time_credit_s
+                worst_count = int(worst_budget / min_time * margin) + 2
+                if (
+                    period_limit is not None
+                    and period_count + worst_count >= period_limit
+                ):
+                    break  # might trip the periodic checkpoint: go scalar
+                # -- storage candidate (Capacitor.step's exact op chain;
+                #    charge and leak do not depend on the load, so they
+                #    can be computed before the workload advances) -----
+                p_in = p_in_w[index]
+                wasted = 0.0
+                voltage = sqrt(2.0 * energy / capacitance)
+                input_energy = p_in * dt
+                if (
+                    min_current > 0.0
+                    and voltage > 0.0
+                    and p_in < min_current * voltage
+                ) or input_energy == 0.0:
+                    charged = 0.0
+                    wasted += input_energy
+                    new_energy = energy
+                else:
+                    if flat_eta is not None:
+                        eta = flat_eta
+                    else:
+                        offset = (voltage - v_opt) / v_span
+                        eta = eta_peak * (1.0 - offset * offset)
+                        if eta < eta_floor:
+                            eta = eta_floor
+                    charged = input_energy * eta
+                    wasted += input_energy - charged
+                    headroom = capacity - energy
+                    if charged > headroom:
+                        wasted += charged - headroom
+                        charged = headroom
+                    new_energy = energy + charged
+                voltage = sqrt(2.0 * new_energy / capacitance)
+                leaked = voltage * voltage / leak_ohm * dt
+                if leaked > new_energy:
+                    leaked = new_energy
+                new_energy -= leaked
+                # Conservative deficit pre-check: worst-case demand
+                # (time-budget times the worst energy-per-second, the
+                # last instruction overshooting by at most max_time,
+                # plus float-rounding margins) must be coverable, else
+                # the tick might collapse — leave it to the scalar path.
+                worst_demand = (
+                    (worst_budget + max_time) * max_power * margin + 1e-15
+                )
+                if new_energy < worst_demand:
+                    break
+                # -- commit the tick: really execute the instructions --
+                adv = advance(exec_budget)
+                demand = (adv.energy_j / dt) * dt
+                delivered = demand  # guaranteed < new_energy above
+                new_energy -= delivered
+                energy = new_energy
+                stall = new_stall
+                total_instr += adv.instructions
+                period_count += adv.instructions
+                consumed += delivered
+                total_charged += charged
+                total_leaked += leaked
+                total_wasted += wasted
+                total_delivered += delivered
+                index += 1
+                ticks += 1
+                if workload.finished:
+                    break  # finishing tick consumed in-batch
+        finally:
+            # Also reached when advance raises mid-batch: prior ticks'
+            # storage/ledger effects are written back so the platform
+            # matches the scalar path's state at the raising tick.
+            if ticks:
+                storage.soa_restore(
+                    energy, total_charged, total_leaked, total_wasted
+                )
+                storage.total_delivered_j = total_delivered
+                platform._stall_s = stall
+                platform.consumed_j = consumed
+                ledger.volatile += total_instr
         return ticks, period_count
 
 

@@ -388,6 +388,16 @@ class SystemSimulator:
                             run_ticks = count
                         index += count
                         ticks_batch += count
+                    if not finished and platform.finished:
+                        # An "isa"-mode batch consumes the finishing
+                        # tick (unlike the recurrence kernel, which
+                        # stops before it), so completion accounting
+                        # runs here with the same index-past-the-tick
+                        # timestamp the scalar path records.
+                        finished = True
+                        completion_time = index * dt
+                        if self.stop_when_finished:
+                            break
                     continue
                 if synth is not None and staged:
                     synth.flush_staged(index, staged)

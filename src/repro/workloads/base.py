@@ -20,6 +20,7 @@ import abc
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from repro.isa import blockengine
 from repro.isa.cpu import CPU
 from repro.isa.energy import DEFAULT_MIX, EnergyModel, InstrClass
 from repro.isa.memory import MemoryMap
@@ -42,6 +43,33 @@ class AdvanceResult:
 
 class Workload(abc.ABC):
     """A resumable, snapshot-able computation."""
+
+    @property
+    def supports_exact_batch(self) -> Optional[str]:
+        """Batchable-advance capability, or ``None``.
+
+        The batched exact kernel (:mod:`repro.system.exactkernel`)
+        can consume runs of predictable ticks only when it knows what
+        ``advance`` will do.  Workloads advertise that through this
+        capability protocol:
+
+        * ``"recurrence"`` — ``advance`` is the closed-form
+          time-credit recurrence of :class:`AbstractWorkload`; the
+          kernel replays it in a fused loop without calling the
+          workload at all.
+        * ``"isa"`` — ``advance`` executes a real NV16 program with
+          :class:`FunctionalWorkload`'s budget envelope; the kernel
+          drives ``advance`` per tick (through the block-compiled
+          engine) and bounds its behaviour with
+          :meth:`FunctionalWorkload.advance_bounds`.
+        * ``None`` — unbatchable; every tick runs on the scalar path.
+
+        Subclasses that override ``advance`` (or ``finished``) lose
+        the capability automatically — the base implementations check
+        that the methods are unoverridden, so a subclass never gets
+        batched against semantics it changed.
+        """
+        return None
 
     @property
     @abc.abstractmethod
@@ -155,6 +183,23 @@ class AbstractWorkload(Workload):
         self._time_credit_s = 0.0
 
     # -- Workload interface ------------------------------------------------
+
+    @property
+    def supports_exact_batch(self) -> Optional[str]:
+        """``"recurrence"`` unless ``advance``/``finished`` is overridden.
+
+        A subclass that overrides neither inherits the exact
+        time-credit recurrence the batched kernel replicates, so it
+        keeps the capability (and the speedup); overriding either
+        drops it back to scalar ticking.
+        """
+        cls = type(self)
+        if (
+            cls.advance is AbstractWorkload.advance
+            and cls.finished is AbstractWorkload.finished
+        ):
+            return "recurrence"
+        return None
 
     @property
     def finished(self) -> bool:
@@ -271,6 +316,10 @@ class FunctionalWorkload(Workload):
         self.cpu = self._fresh_cpu()
         # Planning estimates, refined after the first completed unit.
         self._estimated_unit_instructions: Optional[int] = None
+        # Lazily compiled block engine (shared by every per-unit CPU;
+        # its closures act only on the (regs, memory) passed per call).
+        self._block_engine = None
+        self._advance_bounds: Optional[tuple] = None
 
     def _fresh_cpu(self) -> CPU:
         cpu = CPU(self.program.instructions, MemoryMap(), self.energy_model)
@@ -280,7 +329,30 @@ class FunctionalWorkload(Workload):
             cpu.memory.load_image(self.data_images[frame])
         return cpu
 
+    def _engine(self):
+        """The compiled block engine, or ``None`` when disabled."""
+        if not blockengine.enabled():
+            return None
+        engine = self._block_engine
+        model = self.energy_model
+        signature = (model.frequency_hz, model.vdd, model.static_power_w)
+        if engine is None or engine.model_signature != signature:
+            engine = blockengine.BlockEngine(self.program.instructions, model)
+            self._block_engine = engine
+        return engine
+
     # -- Workload interface ------------------------------------------------
+
+    @property
+    def supports_exact_batch(self) -> Optional[str]:
+        """``"isa"`` unless ``advance``/``finished`` is overridden."""
+        cls = type(self)
+        if (
+            cls.advance is FunctionalWorkload.advance
+            and cls.finished is FunctionalWorkload.finished
+        ):
+            return "isa"
+        return None
 
     @property
     def finished(self) -> bool:
@@ -318,6 +390,32 @@ class FunctionalWorkload(Workload):
         executed = 0
         energy = 0.0
         time_used = 0.0
+        engine = self._engine()
+        if engine is not None:
+            while not self.finished and time_used < budget:
+                if self.cpu.state.halted:
+                    self._complete_unit()
+                    continue
+                segment = engine.run(
+                    self.cpu, budget, time_used, energy,
+                    self.max_instructions_per_unit - self._unit_retired,
+                )
+                executed += segment.executed
+                energy = segment.energy_j
+                time_used = segment.time_used_s
+                self._unit_retired += segment.executed
+                if segment.fault is not None:
+                    raise segment.fault
+                if segment.capped:
+                    raise RuntimeError(
+                        "unit exceeded max_instructions_per_unit; "
+                        "program is likely stuck"
+                    )
+                if self.cpu.state.halted:
+                    self._complete_unit()
+            self._retired += executed
+            self._time_credit_s = max(0.0, budget - time_used)
+            return AdvanceResult(executed, energy, min(time_used, budget))
         while not self.finished and time_used < budget:
             if self.cpu.state.halted:
                 self._complete_unit()
@@ -416,3 +514,31 @@ class FunctionalWorkload(Workload):
         return sum(
             frac * model.instruction_time(cls) for cls, frac in DEFAULT_MIX.items()
         )
+
+    def advance_bounds(self) -> tuple:
+        """Worst-case ``(min_time, max_time, max_power)`` per instruction.
+
+        The batched exact kernel uses these to bound what one
+        ``advance(budget)`` call can do without executing it: no tick
+        can retire more than ``budget / min_time + 1`` instructions,
+        nor draw more than ``(budget + max_time) * max_power`` joules
+        (every instruction's energy is at most its execution time times
+        the worst energy-per-second over the nine instruction classes,
+        and the last instruction may overshoot the budget by at most
+        ``max_time``).  All three are fixed properties of the energy
+        model, so they are computed once.
+        """
+        bounds = self._advance_bounds
+        if bounds is None:
+            model = self.energy_model
+            times = {cls: model.instruction_time(cls) for cls in InstrClass}
+            bounds = (
+                min(times.values()),
+                max(times.values()),
+                max(
+                    model.instruction_energy(cls) / times[cls]
+                    for cls in InstrClass
+                ),
+            )
+            self._advance_bounds = bounds
+        return bounds

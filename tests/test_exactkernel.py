@@ -96,8 +96,8 @@ class TestEngineSelectionMatrix:
         else:
             assert sim.ticks_batched > 0
 
-    def test_functional_workloads_stay_scalar(self):
-        """NV16 kernels execute real instructions: never batched."""
+    def test_functional_workloads_batch_through_isa_kernel(self):
+        """NV16 kernels batch via the block engine + isa kernels."""
         trace = wristwatch_trace(0.3, seed=3)
         platform = build_nvp(
             make_functional_workload(build_kernel("fir"), frames=2)
@@ -107,17 +107,38 @@ class TestEngineSelectionMatrix:
             stop_when_finished=False,
         )
         simulator.run()
-        assert simulator.ticks_batched == 0
+        assert simulator.ticks_batched > 0
 
-    def test_batchable_workload_is_exact_type_check(self):
+    def test_batchable_workload_is_a_capability_protocol(self):
+        """Modes come from supports_exact_batch, not an exact-type check.
+
+        A subclass that overrides neither ``advance`` nor ``finished``
+        keeps its base class's mode (the PR 8 exact-type check silently
+        dropped such subclasses to the scalar path); overriding either
+        hook opts the subclass out.
+        """
         class Custom(AbstractWorkload):
             pass
 
-        assert exactkernel.batchable_workload(AbstractWorkload())
-        assert not exactkernel.batchable_workload(Custom())
-        assert not exactkernel.batchable_workload(
+        class OverridesAdvance(AbstractWorkload):
+            def advance(self, time_budget_s):
+                return super().advance(time_budget_s)
+
+        class OverridesFinished(AbstractWorkload):
+            @property
+            def finished(self):
+                return super().finished
+
+        assert exactkernel.batchable_workload(
+            AbstractWorkload()
+        ) == "recurrence"
+        assert exactkernel.batchable_workload(Custom()) == "recurrence"
+        assert exactkernel.batchable_workload(OverridesAdvance()) is None
+        assert exactkernel.batchable_workload(OverridesFinished()) is None
+        assert exactkernel.batchable_workload(
             make_functional_workload(build_kernel("fir"), frames=1)
-        )
+        ) == "isa"
+        assert exactkernel.batchable_workload(object()) is None
 
 
 # -- kernel-vs-scalar properties ---------------------------------------------
@@ -324,3 +345,118 @@ class TestFleetBatching:
         assert kernel.ticks_batched > 0
         single, _ = replay_device(config)
         assert result.to_dict() == single.to_dict()
+
+
+class TestIsaKernelEquivalence:
+    """Functional (NV16) workloads through the isa batch kernels.
+
+    The block engine makes compiled workloads batchable; these tests
+    pin the sim-level contract: batched runs are bit-identical to
+    scalar ticking across platforms, traces and completion modes, the
+    finishing tick is consumed in-batch, synthesized event streams
+    match, and unit-boundary platforms stay scalar.
+    """
+
+    @staticmethod
+    def run_kernel_sim(builder, trace, kernel="fir", frames=2, batch=None,
+                       swf=False, bus=None, **sim_kwargs):
+        workload = make_functional_workload(build_kernel(kernel), frames=frames)
+        simulator = SystemSimulator(
+            trace,
+            builder(workload),
+            rectifier=standard_rectifier(),
+            stop_when_finished=swf,
+            bus=bus,
+            use_exact_batch=batch,
+            **sim_kwargs,
+        )
+        return simulator.run(), simulator
+
+    @pytest.mark.parametrize("builder", [
+        build_nvp, build_checkpoint, build_oracle,
+    ])
+    @pytest.mark.parametrize("kernel", ["fir", "crc"])
+    @pytest.mark.parametrize("swf", [False, True])
+    def test_batched_run_bit_identical(self, builder, kernel, swf):
+        trace = wristwatch_trace(3.0, seed=7)
+        batched, sim = self.run_kernel_sim(
+            builder, trace, kernel=kernel, batch=None, swf=swf
+        )
+        scalar, _ = self.run_kernel_sim(
+            builder, trace, kernel=kernel, batch=False, swf=swf
+        )
+        assert sim.ticks_batched > 0
+        assert batched.to_dict() == scalar.to_dict()
+
+    def test_periodic_checkpoint_trigger_batches_conservatively(self):
+        from repro.baselines.checkpoint import CheckpointConfig
+
+        config = CheckpointConfig(trigger="periodic", period_instructions=700)
+
+        def builder(workload):
+            return build_checkpoint(workload, config=config)
+
+        trace = wristwatch_trace(3.0, seed=11)
+        batched, sim = self.run_kernel_sim(builder, trace, batch=None)
+        scalar, _ = self.run_kernel_sim(builder, trace, batch=False)
+        assert sim.ticks_batched > 0
+        assert batched.to_dict() == scalar.to_dict()
+
+    def test_finishing_tick_consumed_in_batch(self):
+        """The oracle's whole run — completion included — batches."""
+        trace = wristwatch_trace(1.0, seed=3)
+        result, sim = self.run_kernel_sim(
+            build_oracle, trace, batch=None, swf=True
+        )
+        assert result.completed
+        assert sim.ticks_exact == 0
+        assert sim.ticks_batched > 0
+
+    def test_wait_compute_keeps_functional_workloads_scalar(self):
+        """Unit-boundary commits can't be pre-checked: no isa batching."""
+        trace = wristwatch_trace(2.0, seed=5)
+        batched, sim = self.run_kernel_sim(
+            build_wait_compute, trace, batch=None
+        )
+        scalar, _ = self.run_kernel_sim(build_wait_compute, trace, batch=False)
+        assert sim.ticks_batched == 0
+        assert batched.to_dict() == scalar.to_dict()
+
+    @pytest.mark.parametrize("builder", [build_nvp, build_checkpoint])
+    def test_synthesized_event_streams_identical(self, builder):
+        from repro.obs import events as ev
+
+        trace = wristwatch_trace(2.0, seed=9)
+
+        def stream(batch):
+            bus = EventBus()
+            log = bus.record(names=ev.NON_TICK_EVENT_NAMES)
+            result, _ = self.run_kernel_sim(
+                builder, trace, batch=batch, bus=bus, sample_stride=500,
+            )
+            return [(e.name, e.t_s, e.seq, e.data) for e in log], result
+
+        scalar_events, scalar_result = stream(False)
+        assert scalar_events
+        batched_events, batched_result = stream(None)
+        assert batched_events == scalar_events
+        assert batched_result.to_dict() == scalar_result.to_dict()
+
+    def test_fleet_batches_functional_devices(self):
+        from repro.fleet import FleetKernel, replay_device, resolve_device_config
+
+        configs = [
+            resolve_device_config({
+                "platform": platform, "source": "wristwatch",
+                "duration_s": 2.0, "kernel": "fir", "frames": 2,
+                "stop_when_finished": swf,
+            })
+            for platform in ("nvp", "checkpoint", "oracle")
+            for swf in (False, True)
+        ]
+        kernel = FleetKernel(configs)
+        results = kernel.run()
+        assert kernel.ticks_batched > 0
+        for config, result in zip(configs, results):
+            single, _ = replay_device(config)
+            assert result.to_dict() == single.to_dict(), config["platform"]

@@ -475,3 +475,54 @@ class TestOffRunPlanDelegation:
             assert isinstance(plan, OffRunPlan)
             assert callable(plan.target_j)
             assert callable(plan.on_cross)
+
+
+class TestCompiledWorkloadRouting:
+    """Engine-selection rules for compiled (NV16) workloads.
+
+    The block engine makes these workloads batchable through the isa
+    kernels, but observation still wins: an attached tick subscriber
+    must force the scalar per-tick loop, bit-identically.  And the
+    fleet kernel must route functional devices through the same batch
+    path the single-device simulator uses.
+    """
+
+    @staticmethod
+    def run_functional_sim(builder, trace, **sim_kwargs):
+        from repro.workloads.suite import build_kernel, make_functional_workload
+
+        workload = make_functional_workload(build_kernel("fir"), frames=2)
+        simulator = SystemSimulator(
+            trace,
+            builder(workload),
+            rectifier=standard_rectifier(),
+            **sim_kwargs,
+        )
+        return simulator.run(), simulator
+
+    def test_observed_run_forces_scalar_ticks(self):
+        """A sim.tick subscriber pins compiled workloads to exact ticks."""
+        trace = wristwatch_trace(2.0, seed=13)
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        observed, sim = self.run_functional_sim(build_nvp, trace, bus=bus)
+        assert sim.ticks_batched == 0
+        assert sim.ticks_fast_forwarded == 0
+        assert sim.ticks_exact > 0
+        assert len(seen) > 0
+        plain, unobserved_sim = self.run_functional_sim(build_nvp, trace)
+        assert unobserved_sim.ticks_batched > 0
+        assert_identical(observed, plain)
+
+    def test_fleet_routes_functional_device_through_batch_path(self):
+        from repro.fleet import FleetKernel
+
+        config = fleet_config(
+            "nvp", {"source": "wristwatch"},
+            duration_s=2.0, kernel="fir", frames=2,
+        )
+        kernel = FleetKernel([config])
+        result = kernel.run()[0]
+        assert kernel.ticks_batched > 0
+        assert_fleet_identical(result, config)
