@@ -17,6 +17,13 @@ to exact per-device ticking.  Throughput therefore *grows* with N as
 the vector step amortises (the committed baseline shows ~1.4M →
 ~3M+ device-ticks/s from N=100 to N=10k).
 
+After the scaling sweep, the bench measures the telemetry tax: one
+mid-size fleet advanced twice — telemetry off, then sampling at a
+dashboard-rate cadence — with bit-identical results required and the
+device-ticks/s drop asserted below a budget (the zero-overhead
+contract in :mod:`repro.fleet.telemetry` is one ``None`` check per
+lockstep tick, so the budget is mostly jitter allowance).
+
 Environment knobs::
 
     NVPSIM_BENCH_FLEET_SIZES     comma-separated N list
@@ -25,6 +32,9 @@ Environment knobs::
                                  (default 0.5)
     NVPSIM_BENCH_FLEET_MEAN_UW   mean harvested power, microwatts
                                  (default 8.0)
+    NVPSIM_BENCH_FLEET_MAX_TELEMETRY_OVERHEAD
+                                 max fractional device-ticks/s drop
+                                 with telemetry on (default 0.05)
 
 Run standalone (CI fleet-smoke does) with::
 
@@ -38,7 +48,7 @@ import time
 
 from common import BENCH_SEED, print_header, publish_metrics, publish_table
 
-from repro.fleet import FleetKernel, FleetSpec, replay_device
+from repro.fleet import FleetKernel, FleetSpec, FleetTelemetry, replay_device
 
 SIZES = tuple(
     int(value)
@@ -50,6 +60,9 @@ FLEET_DURATION_S = float(
     os.environ.get("NVPSIM_BENCH_FLEET_DURATION", "0.5")
 )
 FLEET_MEAN_UW = float(os.environ.get("NVPSIM_BENCH_FLEET_MEAN_UW", "8.0"))
+MAX_TELEMETRY_OVERHEAD = float(
+    os.environ.get("NVPSIM_BENCH_FLEET_MAX_TELEMETRY_OVERHEAD", "0.05")
+)
 
 
 def fleet_spec(n: int) -> FleetSpec:
@@ -137,9 +150,64 @@ def main() -> None:
         )
         metrics[f"fleet_throughput_devices_per_s_n{n}"] = n / wall
     publish_table(headers, rows, title="fleet kernel scaling")
+    telemetry_metrics = measure_telemetry_overhead()
+    metrics.update(telemetry_metrics)
     publish_metrics(metrics)
     largest = max(SIZES)
     print(f"\nscale   : {largest} devices advanced concurrently on one core")
+
+
+def measure_telemetry_overhead() -> dict:
+    """Device-ticks/s with dashboard-rate telemetry vs. without.
+
+    Best-of-two wall time per variant (same configs, fresh kernels),
+    bit-identical results required, and the throughput drop asserted
+    under :data:`MAX_TELEMETRY_OVERHEAD`.
+    """
+    n = min(1000, max(SIZES))
+    configs = fleet_spec(n).devices()
+    every_s = FLEET_DURATION_S / 10.0
+
+    def run_once(with_telemetry: bool):
+        kernel = FleetKernel(
+            list(configs),
+            telemetry=FleetTelemetry(every_s=every_s)
+            if with_telemetry else None,
+        )
+        started = time.perf_counter()
+        results = kernel.run()
+        return time.perf_counter() - started, results, kernel
+
+    base_wall, base_results, kernel = min(
+        (run_once(False) for _ in range(2)), key=lambda r: r[0]
+    )
+    tel_wall, tel_results, _ = min(
+        (run_once(True) for _ in range(2)), key=lambda r: r[0]
+    )
+    for off, on in zip(base_results, tel_results):
+        if off.to_dict() != on.to_dict():
+            raise SystemExit(
+                "telemetry changed a device result — the read-only "
+                "contract is broken"
+            )
+    device_ticks = sum(
+        int(round(result.duration_s / kernel.dt))
+        for result in base_results
+    )
+    overhead = tel_wall / base_wall - 1.0
+    print(f"telemetry: {n} devices, {base_wall:.3f}s off vs "
+          f"{tel_wall:.3f}s on ({overhead:+.1%}, budget "
+          f"{MAX_TELEMETRY_OVERHEAD:.0%})")
+    if overhead > MAX_TELEMETRY_OVERHEAD:
+        raise SystemExit(
+            f"telemetry overhead {overhead:.1%} exceeds the "
+            f"{MAX_TELEMETRY_OVERHEAD:.0%} budget"
+        )
+    return {
+        # Contains "ticks_per_s": regression-gated by bench-report.
+        "fleet_telemetry_ticks_per_s": device_ticks / tel_wall,
+        "fleet_telemetry_overhead_frac": max(overhead, 0.0),
+    }
 
 
 if __name__ == "__main__":

@@ -10,7 +10,11 @@ Examples::
     python -m repro sweep spec.json --jobs 4 --results-dir benchmarks/results
     python -m repro sweep spec.json --jobs 4 --trace sweep-trace.json
     python -m repro sweep spec.json --jobs 4 --live
+    python -m repro fleet run fleet.json --telemetry-out fleet.jsonl
+    python -m repro fleet watch fleet.json
+    python -m repro fleet correlate fleet.json --json
     python -m repro runs list --experiment cap-sweep
+    python -m repro runs list --devices-min 100
     python -m repro runs diff a1b2c3 d4e5f6
     python -m repro bench-report --baseline baseline-history.jsonl
     python -m repro outages --source wristwatch --duration 10
@@ -492,13 +496,19 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_fleet_run(args) -> int:
-    """Run a fleet spec through the batched lockstep kernel."""
+    """Run a fleet spec through the batched lockstep kernel.
+
+    Also backs ``repro fleet watch`` (``args.watch``), which attaches
+    the live :class:`~repro.obs.summary.FleetMonitor` dashboard and
+    always samples telemetry.
+    """
     import argparse
     import json
 
     from repro.exp import ResultCache
     from repro.fleet import (
         FleetSpec,
+        FleetTelemetry,
         fleet_summary,
         render_fleet_summary,
         replay_device,
@@ -509,6 +519,8 @@ def cmd_fleet_run(args) -> int:
     from repro.obs import events as ev
     from repro.obs.ledger import OUTCOME_INTERRUPTED, sweep_record
 
+    watch = bool(getattr(args, "watch", False))
+    command = "fleet-watch" if watch else "fleet"
     try:
         spec = FleetSpec.from_file(args.spec)
     except (OSError, ValueError) as exc:
@@ -517,6 +529,20 @@ def cmd_fleet_run(args) -> int:
         configs = spec.devices()
     except ValueError as exc:
         raise SystemExit(f"error: bad fleet spec: {exc}")
+
+    # Telemetry is on when asked for (flags or spec cadence) and
+    # always under `watch` — the dashboard feeds on fleet.sample.
+    every_s = args.telemetry_every
+    if every_s is None:
+        every_s = spec.telemetry_every_s
+    telemetry = None
+    if watch or args.telemetry_out is not None or every_s is not None:
+        try:
+            telemetry = FleetTelemetry(
+                every_s=every_s, out=args.telemetry_out
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
 
     cache = None
     if not args.no_cache:
@@ -527,7 +553,11 @@ def cmd_fleet_run(args) -> int:
                   f"from {cache.directory}")
 
     bus = EventBus()
-    if not args.quiet and not args.json:
+    if watch:
+        from repro.obs.summary import FleetMonitor
+
+        FleetMonitor().attach(bus)
+    elif not args.quiet and not args.json:
         def _progress(event) -> None:
             data = event.data
             if event.name == ev.FLEET_BEGIN:
@@ -539,23 +569,31 @@ def cmd_fleet_run(args) -> int:
         bus.subscribe(_progress, names=(ev.FLEET_BEGIN, ev.FLEET_END))
 
     started = time.time()
-    interrupted = False
     try:
-        outcome = run_fleet(configs, cache=cache, bus=bus)
+        outcome = run_fleet(configs, cache=cache, bus=bus,
+                            telemetry=telemetry)
     except KeyboardInterrupt:
         from repro.exp.runner import SweepOutcome
 
         _ledger_append(sweep_record(
-            "fleet", spec.name, SweepOutcome(), started, time.time(),
+            command, spec.name, SweepOutcome(), started, time.time(),
             forced_outcome=OUTCOME_INTERRUPTED, n_devices=len(configs),
+            telemetry=(
+                telemetry.summary() if telemetry is not None else None
+            ),
         ))
         raise
+    telemetry_summary = (
+        telemetry.summary() if telemetry is not None else None
+    )
     record = sweep_record(
-        "fleet", spec.name, outcome, started, time.time(),
-        n_devices=len(configs),
+        command, spec.name, outcome, started, time.time(),
+        n_devices=len(configs), telemetry=telemetry_summary,
     )
     ledger_id = _ledger_append(record)
     summary = fleet_summary(outcome)
+    if telemetry_summary is not None:
+        summary["telemetry"] = telemetry_summary
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
@@ -563,11 +601,25 @@ def cmd_fleet_run(args) -> int:
         print(render_fleet_summary(summary, title=f"fleet {spec.name}"))
         print(f"cache   : {outcome.cached} hit(s), "
               f"{outcome.executed} executed ({outcome.wall_s:.2f}s)")
+        if telemetry is not None:
+            if telemetry.snapshots:
+                line = (f"telemetry: {telemetry.snapshots} snapshot(s) "
+                        f"every {telemetry.every_s:.4g}s")
+                if telemetry.out:
+                    line += f" -> {telemetry.out}"
+            else:
+                # Telemetry samples the lockstep kernel; a fully
+                # cached fleet never runs it.
+                line = "telemetry: 0 snapshot(s) (all devices cached)"
+            print(line)
         if ledger_id:
             print(f"ledger  : {ledger_id} ({record['outcome']})")
     if args.results_dir:
         try:
-            path = write_fleet_results(spec, outcome, args.results_dir)
+            path = write_fleet_results(
+                spec, outcome, args.results_dir, command=command,
+                telemetry=telemetry_summary,
+            )
         except OSError as exc:
             raise SystemExit(f"error: cannot write results: {exc}")
         if not args.json:
@@ -609,6 +661,42 @@ def cmd_fleet_run(args) -> int:
         if not identical:
             return 1
     return 1 if outcome.failed else 0
+
+
+def cmd_fleet_correlate(args) -> int:
+    """Outage-correlation analysis of a fleet spec (no simulation)."""
+    import json
+
+    from repro.fleet import FleetSpec, correlation_report, render_correlation
+
+    try:
+        spec = FleetSpec.from_file(args.spec)
+        configs = spec.devices()
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot load fleet spec: {exc}")
+    try:
+        report = correlation_report(
+            configs,
+            window_s=args.window,
+            threshold_w=args.threshold,
+            storm_fraction=args.storm_fraction,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write report: {exc}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_correlation(report))
+        if args.out:
+            print(f"report  : {args.out}")
+    return 0
 
 
 def cmd_bench_report(args) -> int:
@@ -709,6 +797,7 @@ def cmd_runs_list(args) -> int:
         spec=args.spec,
         since=_parse_when(args.since),
         until=_parse_when(args.until),
+        devices_min=args.devices_min,
     )
     if args.limit and args.limit > 0:
         records = records[-args.limit:]
@@ -788,6 +877,14 @@ def cmd_runs_show(args) -> int:
         print(f"resources   : cpu {resources.get('cpu_s', 0.0):.2f} s, "
               f"peak rss {resources.get('peak_rss_kb', 0.0):.0f} KB, "
               f"{resources.get('workers', 0)} worker(s)")
+    telemetry = record.get("telemetry") or {}
+    if telemetry:
+        line = f"telemetry   : {telemetry.get('snapshots', 0)} snapshot(s)"
+        if telemetry.get("every_s"):
+            line += f" every {telemetry['every_s']:.4g} s"
+        if telemetry.get("out"):
+            line += f" -> {telemetry['out']}"
+        print(line)
     if record.get("error"):
         first_line = str(record["error"]).strip().splitlines()
         print(f"error       : {first_line[-1] if first_line else '?'}")
@@ -1090,22 +1187,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="batched lockstep simulation of device populations",
     )
     fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def _fleet_common(parser) -> None:
+        parser.add_argument("spec", help="fleet spec JSON file "
+                                         "(see docs/fleet.md)")
+        parser.add_argument("--no-cache", action="store_true",
+                            help="simulate every device, read/write no "
+                                 "cache")
+        parser.add_argument("--fresh", action="store_true",
+                            help="clear the cache namespace before running")
+        parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="cache root (default: $REPRO_CACHE_DIR "
+                                 "or .repro-cache)")
+        parser.add_argument("--results-dir", default=None, metavar="DIR",
+                            help="also write a benchmarks-results JSON here")
+        parser.add_argument("--telemetry-out", default=None,
+                            metavar="OUT.jsonl",
+                            help="append population telemetry snapshots "
+                                 "here (JSONL; a Prometheus textfile "
+                                 "sibling OUT.jsonl.prom tracks the "
+                                 "latest snapshot)")
+        parser.add_argument("--telemetry-every", type=float, default=None,
+                            metavar="SECONDS",
+                            help="telemetry sampling cadence in simulated "
+                                 "seconds (default: the spec's "
+                                 "telemetry_every_s, else ~50 samples "
+                                 "across the longest device)")
+
     p_fleet_run = fleet_sub.add_parser(
         "run",
         help="advance a fleet spec through the vectorized kernel",
     )
-    p_fleet_run.add_argument("spec", help="fleet spec JSON file "
-                                          "(see docs/fleet.md)")
-    p_fleet_run.add_argument("--no-cache", action="store_true",
-                             help="simulate every device, read/write no "
-                                  "cache")
-    p_fleet_run.add_argument("--fresh", action="store_true",
-                             help="clear the cache namespace before running")
-    p_fleet_run.add_argument("--cache-dir", default=None, metavar="DIR",
-                             help="cache root (default: $REPRO_CACHE_DIR "
-                                  "or .repro-cache)")
-    p_fleet_run.add_argument("--results-dir", default=None, metavar="DIR",
-                             help="also write a benchmarks-results JSON here")
+    _fleet_common(p_fleet_run)
     p_fleet_run.add_argument("--quiet", action="store_true",
                              help="suppress fleet progress lines")
     p_fleet_run.add_argument("--json", action="store_true",
@@ -1124,7 +1237,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet_run.add_argument("--manifest", default=None, metavar="OUT.json",
                              help="with --replay-device: write a run "
                                   "manifest (stamped with n_devices) here")
-    p_fleet_run.set_defaults(func=cmd_fleet_run)
+    p_fleet_run.set_defaults(func=cmd_fleet_run, watch=False)
+
+    p_fleet_watch = fleet_sub.add_parser(
+        "watch",
+        help="run a fleet with the live population dashboard "
+             "(in-place on a TTY, line-buffered when piped)",
+    )
+    _fleet_common(p_fleet_watch)
+    p_fleet_watch.set_defaults(
+        func=cmd_fleet_run, watch=True, quiet=False, json=False,
+        replay_device=None, events=None, metrics=None, manifest=None,
+    )
+
+    p_fleet_corr = fleet_sub.add_parser(
+        "correlate",
+        help="cross-device outage correlation from the traces alone "
+             "(no simulation)",
+    )
+    p_fleet_corr.add_argument("spec", help="fleet spec JSON file")
+    p_fleet_corr.add_argument("--window", type=float, default=None,
+                              metavar="SECONDS",
+                              help="co-outage window size (default: "
+                                   "~1%% of the longest device trace)")
+    p_fleet_corr.add_argument("--threshold", type=float,
+                              default=DEFAULT_THRESHOLD_W, metavar="W",
+                              help="outage power threshold in watts "
+                                   "(default: %(default)s)")
+    p_fleet_corr.add_argument("--storm-fraction", type=float, default=0.5,
+                              metavar="FRAC",
+                              help="fleet outage fraction that counts as "
+                                   "a storm (default: %(default)s)")
+    p_fleet_corr.add_argument("--json", action="store_true",
+                              help="print the correlation report as JSON")
+    p_fleet_corr.add_argument("--out", default=None, metavar="OUT.json",
+                              help="also write the report here")
+    p_fleet_corr.set_defaults(func=cmd_fleet_correlate)
 
     p_bench = sub.add_parser(
         "bench-report",
@@ -1184,6 +1332,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(unix seconds or YYYY-MM-DD)")
     p_runs_list.add_argument("--until", default=None, metavar="WHEN",
                              help="records started at/before WHEN")
+    p_runs_list.add_argument("--devices-min", dest="devices_min", type=int,
+                             default=None, metavar="N",
+                             help="only records with at least N devices "
+                                  "(fleet runs)")
     p_runs_list.add_argument("--limit", type=int, default=None, metavar="N",
                              help="only the newest N matches")
     p_runs_list.add_argument("--json", action="store_true",

@@ -13,6 +13,8 @@ See ``docs/fleet.md`` for the layout and equivalence guarantees.
 
 from repro.fleet.kernel import (
     FleetKernel,
+    PowerSegments,
+    build_power_segments,
     replay_device,
     run_fleet,
 )
@@ -29,15 +31,25 @@ from repro.fleet.spec import (
     device_config_hash,
     resolve_device_config,
 )
+from repro.fleet.telemetry import (
+    FleetTelemetry,
+    correlation_report,
+    render_correlation,
+)
 
 __all__ = [
     "DEVICE_OFFSET_KEY",
     "FleetArrays",
     "FleetKernel",
     "FleetSpec",
+    "FleetTelemetry",
+    "PowerSegments",
+    "build_power_segments",
+    "correlation_report",
     "device_config_hash",
     "fleet_payload",
     "fleet_summary",
+    "render_correlation",
     "render_fleet_summary",
     "replay_device",
     "resolve_device_config",

@@ -44,7 +44,7 @@ from __future__ import annotations
 import math
 import os
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -80,6 +80,76 @@ _TRACE_KEYS = (
     "source", "duration_s", "seed", "mean_uw", "profile_index",
     "profile_count", "rectifier",
 )
+
+
+class PowerSegments(NamedTuple):
+    """The fleet's shared rectified-power structure.
+
+    Attributes:
+        P: concatenated rectified power, one segment per distinct
+            trace group, float64.
+        dt_s: the fleet-wide tick duration.
+        bases: per-device start index into ``P`` (group start plus the
+            device's trace offset).
+        n_ticks: per-device tick count (trace length minus offset).
+    """
+
+    P: np.ndarray
+    dt_s: float
+    bases: np.ndarray
+    n_ticks: np.ndarray
+
+
+def build_power_segments(configs: List[Dict]) -> PowerSegments:
+    """Build the concatenated power array + per-device index structure.
+
+    Devices agreeing on the trace-determining keys (:data:`_TRACE_KEYS`)
+    share one rectified segment; each device indexes it from its own
+    offset, so per-tick values equal the single engine's pre-pass over
+    the device's sub-trace (rectification is elementwise, so
+    rectify-then-slice == slice-then-rectify).  This is both the
+    kernel's power substrate and the input the outage-correlation
+    analyzer reads — correlation needs no simulation, only this
+    structure.
+    """
+    if not configs:
+        raise ValueError("fleet needs at least one device")
+    groups: Dict[Tuple, Tuple[int, object]] = {}
+    parts: List[np.ndarray] = []
+    next_start = 0
+    dt: Optional[float] = None
+    for config in configs:
+        key = tuple(config[name] for name in _TRACE_KEYS)
+        if key not in groups:
+            trace = build_trace(config)
+            if dt is None:
+                dt = trace.dt_s
+            elif trace.dt_s != dt:
+                raise ValueError(
+                    "fleet devices must share one tick duration"
+                )
+            if config["rectifier"]:
+                p_dc = standard_rectifier().output_power_array(
+                    trace.samples_w
+                )
+            else:
+                p_dc = trace.samples_w
+            groups[key] = (next_start, trace)
+            parts.append(np.ascontiguousarray(p_dc, dtype=np.float64))
+            next_start += len(trace)
+    bases = np.empty(len(configs), dtype=np.int64)
+    n_ticks = np.empty(len(configs), dtype=np.int64)
+    for row, config in enumerate(configs):
+        start, trace = groups[tuple(config[name] for name in _TRACE_KEYS)]
+        offset = trace.offset_ticks(config[DEVICE_OFFSET_KEY])
+        bases[row] = start + offset
+        n_ticks[row] = len(trace) - offset
+    return PowerSegments(
+        P=parts[0] if len(parts) == 1 else np.concatenate(parts),
+        dt_s=float(dt),
+        bases=bases,
+        n_ticks=n_ticks,
+    )
 
 
 class _FleetDevice:
@@ -127,12 +197,19 @@ class FleetKernel:
             without a bus — per-device observability comes from
             :func:`replay_device`, which is exact because fleet results
             are bit-identical to the single engine's.
+        telemetry: optional :class:`repro.fleet.telemetry.FleetTelemetry`
+            sampled at its own cadence inside the main loop.  ``None``
+            (the default) costs one ``is not None`` check per lockstep
+            tick and nothing else — the zero-overhead-when-disabled
+            discipline — and telemetry only *reads* kernel state, so
+            per-device results are bit-identical either way.
     """
 
-    def __init__(self, configs: List[Dict], bus=None) -> None:
+    def __init__(self, configs: List[Dict], bus=None, telemetry=None) -> None:
         if not configs:
             raise ValueError("fleet needs at least one device")
         self.bus = bus
+        self.telemetry = telemetry
         self.devices: List[_FleetDevice] = []
         self._active: List[_FleetDevice] = []
         self._pending_active: List[_FleetDevice] = []
@@ -141,37 +218,10 @@ class FleetKernel:
         self.ticks_advanced = 0
         self.ticks_batched = 0
 
-        # -- shared trace segments ------------------------------------
-        # Devices agreeing on the trace-determining keys share one
-        # rectified power array; each device indexes it from its own
-        # offset, so the per-tick values equal the single engine's
-        # pre-pass over the device's sub-trace (rectification is
-        # elementwise, so rectify-then-slice == slice-then-rectify).
-        groups: Dict[Tuple, Tuple[int, object]] = {}
-        parts: List[np.ndarray] = []
-        next_start = 0
-        dt: Optional[float] = None
-        for config in configs:
-            key = tuple(config[name] for name in _TRACE_KEYS)
-            if key not in groups:
-                trace = build_trace(config)
-                if dt is None:
-                    dt = trace.dt_s
-                elif trace.dt_s != dt:
-                    raise ValueError(
-                        "fleet devices must share one tick duration"
-                    )
-                if config["rectifier"]:
-                    p_dc = standard_rectifier().output_power_array(
-                        trace.samples_w
-                    )
-                else:
-                    p_dc = trace.samples_w
-                groups[key] = (next_start, trace)
-                parts.append(np.ascontiguousarray(p_dc, dtype=np.float64))
-                next_start += len(trace)
-        self.dt = float(dt)
-        self.P = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        segments = build_power_segments(configs)
+        self.segments = segments
+        self.dt = segments.dt_s
+        self.P = segments.P
         # Materialised lazily on the first exact-batch attempt: the
         # batched kernel indexes power per tick, and Python-float list
         # access beats numpy scalar extraction in its fused loop.
@@ -182,10 +232,8 @@ class FleetKernel:
         for row, config in enumerate(configs):
             dev = _FleetDevice(row, config)
             dev.row = row
-            start, trace = groups[tuple(config[name] for name in _TRACE_KEYS)]
-            offset = trace.offset_ticks(config[DEVICE_OFFSET_KEY])
-            dev.base = start + offset
-            dev.n_ticks = len(trace) - offset
+            dev.base = int(segments.bases[row])
+            dev.n_ticks = int(segments.n_ticks[row])
             dev.stop_when_finished = bool(config["stop_when_finished"])
             workload = build_workload(config)
             dev.platform = build_platform(config, workload)
@@ -421,6 +469,8 @@ class FleetKernel:
             self.bus.emit(
                 ev.FLEET_BEGIN, devices=len(self.devices), dt_s=self.dt
             )
+        telemetry = self.telemetry
+        sample_at = telemetry.bind(self) if telemetry is not None else 0
         i = 0
         while self.n_live:
             enders = self._ends_by_tick.get(i)
@@ -439,8 +489,14 @@ class FleetKernel:
             if self._pending_active:
                 self._active.extend(self._pending_active)
                 self._pending_active.clear()
+            # With telemetry disabled this is the loop's only extra
+            # work: a single None check (the zero-overhead contract).
+            if telemetry is not None and i >= sample_at:
+                sample_at = telemetry.sample(i)
             i += 1
         self.ticks_advanced = i
+        if telemetry is not None:
+            telemetry.finish(i)
         if self.bus is not None:
             self.bus.emit(
                 ev.FLEET_END, devices=len(self.devices), ticks=i
@@ -473,7 +529,9 @@ def replay_device(config: Dict, **sim_kwargs):
     return simulator.run(), simulator
 
 
-def run_fleet(configs: List[Dict], cache=None, bus=None) -> SweepOutcome:
+def run_fleet(
+    configs: List[Dict], cache=None, bus=None, telemetry=None
+) -> SweepOutcome:
     """Run a fleet with cache preflight; returns sweep-shaped records.
 
     Every device is content-hashed (:func:`device_config_hash`) and
@@ -482,6 +540,11 @@ def run_fleet(configs: List[Dict], cache=None, bus=None) -> SweepOutcome:
     :class:`FleetKernel` pass and is written back to the cache, so
     fleet runs are resumable and interoperable with ``repro sweep``
     results (an offset-0 device shares the sweep's cache entry).
+
+    ``telemetry`` (a :class:`repro.fleet.telemetry.FleetTelemetry`) is
+    handed to the kernel and samples only the *executed* devices —
+    cache hits never re-simulate, so they never re-appear in the
+    population time series.
 
     Wall/CPU attribution: the kernel advances all pending devices
     together, so per-record costs are the even share of the batch.
@@ -503,7 +566,10 @@ def run_fleet(configs: List[Dict], cache=None, bus=None) -> SweepOutcome:
     started = time.perf_counter()
     if pending:
         usage_before = sample_resources()
-        kernel = FleetKernel([record.config for record in pending], bus=bus)
+        kernel = FleetKernel(
+            [record.config for record in pending], bus=bus,
+            telemetry=telemetry,
+        )
         results = kernel.run()
         usage = usage_between(usage_before, sample_resources())
         wall_share = (time.perf_counter() - started) / len(pending)

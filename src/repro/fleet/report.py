@@ -115,9 +115,17 @@ def render_fleet_summary(summary: Dict, title: Optional[str] = None) -> str:
 
 
 def fleet_payload(
-    spec: FleetSpec, outcome: SweepOutcome, command: str = "fleet"
+    spec: FleetSpec,
+    outcome: SweepOutcome,
+    command: str = "fleet",
+    telemetry: Optional[Dict] = None,
 ) -> Dict:
-    """The benchmark-results JSON payload for one fleet run."""
+    """The benchmark-results JSON payload for one fleet run.
+
+    ``telemetry`` is a :meth:`repro.fleet.telemetry.FleetTelemetry.summary`
+    dict; when given, it is embedded in the payload and stamped into
+    the run manifest, so the snapshot file is discoverable from both.
+    """
     summary = fleet_summary(outcome)
     headers, rows = summary_table(summary)
     manifest = RunManifest.collect(
@@ -132,6 +140,8 @@ def fleet_payload(
         n_devices=summary["n_devices"],
     )
     manifest.duration_s = outcome.wall_s
+    if telemetry is not None:
+        manifest.stamp_telemetry(telemetry)
     return {
         "experiment": spec.name,
         "description": spec.description,
@@ -140,6 +150,7 @@ def fleet_payload(
         ],
         "fleet": {
             "summary": summary,
+            "telemetry": telemetry,
             "devices": [
                 {
                     "index": record.index,
@@ -170,9 +181,12 @@ def write_fleet_results(
     outcome: SweepOutcome,
     results_dir: str,
     command: str = "fleet",
+    telemetry: Optional[Dict] = None,
 ) -> str:
     """Write ``<results_dir>/<spec.name>.json``; returns the path."""
-    payload = fleet_payload(spec, outcome, command=command)
+    payload = fleet_payload(
+        spec, outcome, command=command, telemetry=telemetry
+    )
     os.makedirs(results_dir, exist_ok=True)
     path = os.path.join(results_dir, f"{spec.name}.json")
     with open(path, "w") as handle:

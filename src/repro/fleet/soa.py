@@ -156,6 +156,17 @@ class FleetArrays:
         """Per-row input power for ``tick`` (dead rows read index 0)."""
         return p_all[np.where(self.alive, self.base + tick, 0)]
 
+    def alive_energy(self) -> np.ndarray:
+        """Stored energy of the rows currently on the vectorized path.
+
+        A read-only telemetry reduction: dormant rows hold the live
+        storage state here (the storage objects are only re-synced on
+        flush), so population energy statistics must read this view,
+        not the per-device objects.  Dead rows evolve garbage and are
+        masked out.
+        """
+        return self.energy[self.alive]
+
     # -- the vectorized charge step ----------------------------------------
 
     def charge_tick(self, p: np.ndarray) -> Optional[np.ndarray]:

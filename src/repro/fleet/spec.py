@@ -27,7 +27,7 @@ from __future__ import annotations
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.exp.spec import _auto_label, config_hash, resolve_config
 
@@ -91,6 +91,10 @@ class FleetSpec:
             ``r`` gets ``platform_seed + r`` and (optionally) a trace
             offset staggered by ``r * stagger_s``.
         stagger_s: per-replica trace-offset increment, seconds.
+        telemetry_every_s: default telemetry sampling cadence for this
+            fleet (simulated seconds).  ``None`` leaves the cadence to
+            the CLI/telemetry defaults; the ``--telemetry-every`` flag
+            overrides it.
         description: free-form note carried into results files.
     """
 
@@ -100,6 +104,7 @@ class FleetSpec:
     mode: str = "grid"
     replicas: int = 1
     stagger_s: float = 0.0
+    telemetry_every_s: Optional[float] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -111,6 +116,8 @@ class FleetSpec:
             raise ValueError("replicas must be >= 1")
         if self.stagger_s < 0:
             raise ValueError("stagger_s cannot be negative")
+        if self.telemetry_every_s is not None and self.telemetry_every_s <= 0:
+            raise ValueError("telemetry_every_s must be positive")
         for axis, values in self.axes.items():
             if not isinstance(values, (list, tuple)) or not values:
                 raise ValueError(f"axis {axis!r} must be a non-empty list")
@@ -187,7 +194,7 @@ class FleetSpec:
             raise ValueError("fleet spec must be a JSON object")
         known = {
             "name", "axes", "base", "mode", "replicas", "stagger_s",
-            "description",
+            "telemetry_every_s", "description",
         }
         unknown = set(data) - known
         if unknown:
@@ -202,6 +209,10 @@ class FleetSpec:
             mode=data.get("mode", "grid"),
             replicas=int(data.get("replicas", 1)),
             stagger_s=float(data.get("stagger_s", 0.0)),
+            telemetry_every_s=(
+                None if data.get("telemetry_every_s") is None
+                else float(data["telemetry_every_s"])
+            ),
             description=data.get("description", ""),
         )
 

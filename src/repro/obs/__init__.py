@@ -13,7 +13,11 @@ is a consumer of that bus:
 * :mod:`repro.obs.manifest` — reproducibility manifest (seed, config,
   git SHA, durations);
 * :mod:`repro.obs.summary` — live textual run summary for the
-  ``repro observe`` CLI subcommand;
+  ``repro observe`` CLI subcommand, plus the sweep and fleet
+  dashboards (``repro sweep --live``, ``repro fleet watch``);
+* :mod:`repro.obs.fleetstats` — streaming population statistics
+  (P² quantiles, fixed-bin histograms, co-outage matrices) behind
+  fleet telemetry;
 * :mod:`repro.obs.synth` — run-length event synthesis, so the
   fast-forward engine serves every non-per-tick subscription
   bit-identically to exact ticking;
@@ -51,15 +55,29 @@ from repro.obs.resources import (
 from repro.obs.spans import Span, SpanTracer
 from repro.obs.synth import FastPathEventSynthesizer
 from repro.obs.export import (
+    SnapshotWriter,
     chrome_trace,
+    flatten_snapshot,
     load_chrome_trace,
+    prometheus_text,
+    read_snapshots,
+    snapshot_prometheus,
     write_chrome_trace,
     write_events_jsonl,
     write_metrics_csv,
+    write_prometheus,
+)
+from repro.obs.fleetstats import (
+    FixedBinHistogram,
+    P2Quantile,
+    QuantileDigest,
+    co_outage_matrix,
+    find_storms,
+    windowed_outages,
 )
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.summary import LiveSummary, SweepMonitor
+from repro.obs.summary import FleetMonitor, LiveSummary, SweepMonitor
 
 __all__ = [
     "Event",
@@ -70,8 +88,21 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "RunManifest",
+    "FixedBinHistogram",
+    "FleetMonitor",
     "LiveSummary",
+    "P2Quantile",
+    "QuantileDigest",
+    "SnapshotWriter",
     "SweepMonitor",
+    "co_outage_matrix",
+    "find_storms",
+    "flatten_snapshot",
+    "prometheus_text",
+    "read_snapshots",
+    "snapshot_prometheus",
+    "windowed_outages",
+    "write_prometheus",
     "FastPathEventSynthesizer",
     "Span",
     "SpanTracer",

@@ -70,6 +70,12 @@ SWEEP_END = "sweep.end"
 FLEET_BEGIN = "fleet.begin"
 FLEET_DEVICE = "fleet.device"
 FLEET_END = "fleet.end"
+#: Periodic fleet-telemetry sample: the payload carries one population
+#: snapshot (``data["snapshot"]``) — devices per state, energy
+#: percentiles, progress rate, outage fraction.  Emitted by
+#: :class:`repro.fleet.telemetry.FleetTelemetry` at its cadence, never
+#: per tick, so it is dashboard-rate by construction.
+FLEET_SAMPLE = "fleet.sample"
 
 #: Every event name the stack emits, for validation and summaries.
 EVENT_NAMES: Tuple[str, ...] = (
@@ -98,6 +104,7 @@ EVENT_NAMES: Tuple[str, ...] = (
     FLEET_BEGIN,
     FLEET_DEVICE,
     FLEET_END,
+    FLEET_SAMPLE,
 )
 
 #: Every event name except the per-tick :data:`TICK` sample — the

@@ -1,4 +1,4 @@
-"""Exporters: JSONL event logs, Chrome trace JSON, CSV metrics dumps.
+"""Exporters: JSONL event logs, Chrome traces, CSV, Prometheus text.
 
 The Chrome exporter emits the Trace Event Format understood by
 Perfetto and ``chrome://tracing``: platform state spans and
@@ -7,13 +7,29 @@ one-shot happenings (failures, wakes, policy decisions) become
 instants (``ph: "i"``), and the stored-energy samples become counter
 events (``ph: "C"``).  Simulation seconds map to trace microseconds,
 so one 0.1 ms tick renders as 100 trace units.
+
+The snapshot layer at the bottom is the transport-agnostic face of
+fleet telemetry: a *snapshot* is any JSON-safe nested mapping of
+numbers.  :func:`flatten_snapshot` lowers it deterministically to
+sorted ``(name, value)`` pairs (keys joined with ``_``),
+:func:`snapshot_prometheus` renders those pairs as Prometheus gauges,
+and :class:`SnapshotWriter` appends the raw snapshots to a JSONL
+time-series file (optionally mirroring the latest snapshot to a
+``.prom`` textfile a node-exporter-style collector can scrape).
+:func:`prometheus_text` does the same for a whole
+:class:`~repro.obs.metrics.MetricsRegistry`.  All output is
+byte-stable for identical inputs: names sorted, labels sorted, floats
+rendered with ``repr`` (shortest round-trip).
 """
 
 from __future__ import annotations
 
 import csv
 import json
-from typing import Dict, Iterable, List, Optional
+import math
+import os
+import re
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.obs import events as ev
 from repro.obs.events import Event, EventLog
@@ -283,3 +299,185 @@ def write_metrics_csv(registry: MetricsRegistry, path: str) -> int:
         for row in rows:
             writer.writerow(row)
     return len(rows)
+
+
+# -- Prometheus text exposition -------------------------------------------
+
+
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Mangle a metric name into the Prometheus charset (dots → ``_``)."""
+    mangled = _PROM_NAME_BAD.sub("_", name)
+    if not mangled or mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def _prom_escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _prom_labels(pairs: Iterable[Tuple[str, str]]) -> str:
+    """``{a="x",b="y"}`` with label names sorted; ``""`` when empty."""
+    rendered = ",".join(
+        f'{_prom_name(str(k))}="{_prom_escape(str(v))}"'
+        for k, v in sorted(pairs)
+    )
+    return "{" + rendered + "}" if rendered else ""
+
+
+def _prom_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry, prefix: str = "") -> str:
+    """Render a whole registry in Prometheus text exposition format.
+
+    Counters and gauges become single samples; histograms expose
+    cumulative ``_bucket{le=...}`` samples plus ``_sum`` / ``_count``.
+    Metric names are sorted, label sets are sorted, so output is
+    byte-stable for identical registry contents.
+    """
+    lines: List[str] = []
+    for metric in registry.metrics():
+        name = _prom_name(prefix + metric.name)
+        if metric.help:
+            lines.append(f"# HELP {name} {_prom_escape(metric.help)}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        for key, child in sorted(metric.series().items()):
+            if metric.kind == "histogram":
+                cumulative = 0
+                for bound, n in zip(child.buckets, child.counts):
+                    cumulative += n
+                    le = "+Inf" if math.isinf(bound) else _prom_value(bound)
+                    labels = _prom_labels(tuple(key) + (("le", le),))
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _prom_labels(key)
+                lines.append(f"{name}_sum{labels} {_prom_value(child.sum)}")
+                lines.append(f"{name}_count{labels} {child.count}")
+            else:
+                labels = _prom_labels(key)
+                lines.append(f"{name}{labels} {_prom_value(child.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricsRegistry, path: str,
+                     prefix: str = "") -> int:
+    """Write registry exposition to a textfile; returns the byte count."""
+    text = prometheus_text(registry, prefix=prefix)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return len(text.encode())
+
+
+# -- telemetry snapshots ---------------------------------------------------
+
+
+def flatten_snapshot(
+    snapshot: Mapping, prefix: str = "", sep: str = "_"
+) -> List[Tuple[str, float]]:
+    """Lower a nested numeric mapping to sorted ``(name, value)`` pairs.
+
+    Keys at each level are joined with ``sep``; booleans become 0/1;
+    non-numeric leaves (strings, ``None``, lists) are skipped.  The
+    result is sorted by name, so two identical snapshots flatten to
+    identical pair lists — the determinism contract every transport
+    (Prometheus text, CSV, assertions) inherits.
+    """
+    pairs: List[Tuple[str, float]] = []
+
+    def walk(node: Mapping, stem: str) -> None:
+        for key, value in node.items():
+            name = f"{stem}{sep}{key}" if stem else str(key)
+            if isinstance(value, Mapping):
+                walk(value, name)
+            elif isinstance(value, bool):
+                pairs.append((name, 1.0 if value else 0.0))
+            elif isinstance(value, (int, float)):
+                pairs.append((name, float(value)))
+
+    walk(snapshot, prefix)
+    pairs.sort()
+    return pairs
+
+
+def snapshot_prometheus(snapshot: Mapping, prefix: str = "fleet_") -> str:
+    """One snapshot as Prometheus gauges (textfile-collector style)."""
+    lines: List[str] = []
+    for name, value in flatten_snapshot(snapshot, sep="_"):
+        lines.append(f"{_prom_name(prefix + name)} {_prom_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class SnapshotWriter:
+    """Append telemetry snapshots to JSONL, mirroring the latest to .prom.
+
+    Each :meth:`append` writes one ``json.dumps(..., sort_keys=True)``
+    line (append mode, flushed per snapshot so a crash loses at most
+    the torn last line) and, when ``prom_path`` is set, atomically
+    replaces that file with the latest snapshot's Prometheus rendering
+    — the textfile-collector contract where scrape always sees a
+    complete exposition.
+    """
+
+    def __init__(self, path: str, prom_path: Optional[str] = None,
+                 prom_prefix: str = "fleet_") -> None:
+        self.path = path
+        self.prom_path = prom_path
+        self.prom_prefix = prom_prefix
+        self.count = 0
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a")
+
+    def append(self, snapshot: Mapping) -> None:
+        self._handle.write(json.dumps(snapshot, sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+        self.count += 1
+        if self.prom_path:
+            tmp = self.prom_path + ".tmp"
+            with open(tmp, "w") as handle:
+                handle.write(
+                    snapshot_prometheus(snapshot, prefix=self.prom_prefix)
+                )
+            os.replace(tmp, self.prom_path)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "SnapshotWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_snapshots(path: str) -> List[Dict]:
+    """Read a JSONL snapshot series back; torn/blank lines are skipped."""
+    out: List[Dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                out.append(record)
+    return out

@@ -1,0 +1,390 @@
+"""Streaming population statistics for fleet-scale simulation.
+
+A 10k-device fleet must never materialize per-device time series just
+to answer "what is the p95 stored energy right now?".  This module
+holds the bounded-memory building blocks the fleet telemetry layer
+(:mod:`repro.fleet.telemetry`) samples into:
+
+* :class:`P2Quantile` — the classic P\\ :sup:`2` streaming quantile
+  estimator (Jain & Chlamtac, 1985): five markers, O(1) memory,
+  O(1) per observation.  Used for scalar per-sample series (outage
+  fraction, progress rate) whose full history is never kept.
+* :class:`QuantileDigest` — a small bundle of P² sketches plus exact
+  count/min/max/sum, summarizing one scalar stream.
+* :class:`FixedBinHistogram` — fixed-edge (linear or log-spaced)
+  histogram with a vectorized :meth:`~FixedBinHistogram.observe_many`
+  for per-device arrays (energy across the whole population, every
+  sample) and deterministic conservative quantiles (upper bin edge).
+
+and the outage-correlation analysis that answers the ROADMAP's
+"cross-device outage correlation" follow-on:
+
+* :func:`windowed_outages` — per-device boolean outage-by-window
+  matrix derived from the shared concatenated trace + per-device
+  offsets (no simulation required).
+* :func:`co_outage_matrix` — pairwise Jaccard co-outage similarity;
+  symmetric with a unit diagonal by construction (two devices that
+  never see an outage are defined as perfectly co-outaged).
+* :func:`find_storms` — contiguous runs of windows where at least
+  ``threshold`` of the fleet is in outage.
+
+Everything here is deterministic: no wall clock, no RNG, so snapshots
+built from these primitives are byte-stable across identical runs and
+usable in golden-file tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "P2Quantile",
+    "QuantileDigest",
+    "FixedBinHistogram",
+    "windowed_outages",
+    "co_outage_matrix",
+    "find_storms",
+]
+
+
+class P2Quantile:
+    """Streaming estimate of one quantile via the P² algorithm.
+
+    Keeps five markers (min, two intermediates, the target quantile,
+    max) and adjusts their heights with piecewise-parabolic
+    interpolation as observations stream in.  Exact for the first five
+    observations; O(1) memory and time afterwards.
+    """
+
+    __slots__ = ("q", "count", "_initial", "_heights", "_positions", "_desired",
+                 "_increments")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.q = float(q)
+        self.count = 0
+        self._initial: List[float] = []
+        self._heights: Optional[List[float]] = None
+        self._positions: Optional[List[float]] = None
+        self._desired: Optional[List[float]] = None
+        self._increments = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+
+    def observe(self, x: float) -> None:
+        """Fold one observation into the sketch."""
+        x = float(x)
+        self.count += 1
+        if self._heights is None:
+            self._initial.append(x)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                q = self.q
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q,
+                                 3.0 + 2.0 * q, 5.0]
+            return
+        h = self._heights
+        pos = self._positions
+        desired = self._desired
+        if x < h[0]:
+            h[0] = x
+            cell = 0
+        elif x >= h[4]:
+            h[4] = x
+            cell = 3
+        else:
+            cell = 0
+            while not (h[cell] <= x < h[cell + 1]):
+                cell += 1
+        for i in range(cell + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            desired[i] += self._increments[i]
+        for i in (1, 2, 3):
+            drift = desired[i] - pos[i]
+            if (drift >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                drift <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if drift >= 0.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h = self._heights
+        pos = self._positions
+        return h[i] + step / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + step)
+            * (h[i + 1] - h[i]) / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - step)
+            * (h[i] - h[i - 1]) / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h = self._heights
+        pos = self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    @property
+    def value(self) -> float:
+        """Current estimate (``nan`` before any observation).
+
+        Exact while fewer than five observations have been seen.
+        """
+        if self._heights is not None:
+            return self._heights[2]
+        if not self._initial:
+            return math.nan
+        ordered = sorted(self._initial)
+        rank = self.q * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+#: Default quantiles a :class:`QuantileDigest` tracks — matches the
+#: fleet report's population percentiles.
+DIGEST_QUANTILES = (0.05, 0.50, 0.95)
+
+
+class QuantileDigest:
+    """Bounded-memory summary of one scalar stream.
+
+    Exact ``count``/``min``/``max``/``sum`` plus one :class:`P2Quantile`
+    per entry of ``quantiles``.
+    """
+
+    __slots__ = ("count", "minimum", "maximum", "total", "_sketches")
+
+    def __init__(self, quantiles: Sequence[float] = DIGEST_QUANTILES) -> None:
+        self.count = 0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+        self._sketches = {float(q): P2Quantile(q) for q in quantiles}
+
+    def observe(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+        self.total += x
+        for sketch in self._sketches.values():
+            sketch.observe(x)
+
+    def quantile(self, q: float) -> float:
+        return self._sketches[float(q)].value
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-safe summary: count/min/max/mean + tracked pXX."""
+        out: Dict[str, float] = {"count": self.count}
+        if self.count:
+            out["min"] = self.minimum
+            out["max"] = self.maximum
+            out["mean"] = self.total / self.count
+            for q, sketch in sorted(self._sketches.items()):
+                out[f"p{round(q * 100):02d}"] = sketch.value
+        return out
+
+
+class FixedBinHistogram:
+    """Fixed-edge histogram with vectorized bulk observation.
+
+    Memory is bounded by the number of bins regardless of how many
+    values stream through; values outside ``[edges[0], edges[-1]]``
+    land in dedicated underflow/overflow buckets so the count never
+    lies.  Quantiles are conservative upper bin edges — deterministic
+    and monotone, which is what golden-file tests need.
+    """
+
+    __slots__ = ("edges", "counts", "underflow", "overflow", "count",
+                 "total", "minimum", "maximum")
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        arr = np.asarray(edges, dtype=np.float64)
+        if arr.ndim != 1 or arr.size < 2:
+            raise ValueError("need at least two bin edges")
+        if not np.all(np.diff(arr) > 0):
+            raise ValueError("bin edges must be strictly increasing")
+        self.edges = arr
+        self.counts = np.zeros(arr.size - 1, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    @classmethod
+    def log_bins(cls, lo: float, hi: float, n_bins: int) -> "FixedBinHistogram":
+        """Log-spaced edges from ``lo`` to ``hi`` (both > 0)."""
+        if not (0.0 < lo < hi):
+            raise ValueError("need 0 < lo < hi for log bins")
+        return cls(np.geomspace(lo, hi, n_bins + 1))
+
+    @classmethod
+    def linear_bins(cls, lo: float, hi: float, n_bins: int) -> "FixedBinHistogram":
+        """Evenly spaced edges from ``lo`` to ``hi``."""
+        if not lo < hi:
+            raise ValueError("need lo < hi")
+        return cls(np.linspace(lo, hi, n_bins + 1))
+
+    def observe(self, x: float) -> None:
+        self.observe_many(np.asarray([x], dtype=np.float64))
+
+    def observe_many(self, values: np.ndarray) -> None:
+        """Fold a whole array of observations in one vector pass."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        self.count += int(values.size)
+        self.total += float(values.sum())
+        self.minimum = min(self.minimum, float(values.min()))
+        self.maximum = max(self.maximum, float(values.max()))
+        # searchsorted: index 0 => underflow, len(edges) => overflow.
+        idx = np.searchsorted(self.edges, values, side="right")
+        self.underflow += int((idx == 0).sum())
+        self.overflow += int((idx == self.edges.size).sum())
+        inside = (idx > 0) & (idx < self.edges.size)
+        if inside.any():
+            self.counts += np.bincount(
+                idx[inside] - 1, minlength=self.counts.size
+            ).astype(np.int64)
+
+    def quantile(self, q: float) -> float:
+        """Conservative quantile: the upper edge of the holding bin.
+
+        Underflow resolves to the exact observed minimum, overflow to
+        the exact observed maximum.  ``nan`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        seen = self.underflow
+        if rank <= seen:
+            return self.minimum
+        cumulative = seen + np.cumsum(self.counts)
+        pos = int(np.searchsorted(cumulative, rank, side="left"))
+        if pos >= self.counts.size:
+            return self.maximum
+        return float(self.edges[pos + 1])
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-safe summary mirroring :meth:`QuantileDigest.summary`."""
+        out: Dict[str, float] = {"count": self.count}
+        if self.count:
+            out["min"] = self.minimum
+            out["max"] = self.maximum
+            out["mean"] = self.total / self.count
+            for q in DIGEST_QUANTILES:
+                out[f"p{round(q * 100):02d}"] = self.quantile(q)
+        return out
+
+
+# -- outage correlation ----------------------------------------------------
+
+
+def windowed_outages(
+    outage_mask: np.ndarray,
+    bases: np.ndarray,
+    n_ticks: np.ndarray,
+    window_ticks: int,
+) -> np.ndarray:
+    """Per-device boolean outage-by-window matrix, shape ``(D, W)``.
+
+    ``outage_mask`` is a boolean mask over the *concatenated* fleet
+    power array (`True` = tick below the outage threshold); device
+    ``d`` owns the slice ``[bases[d], bases[d] + n_ticks[d])``.  A
+    window is ``True`` when the device sees at least one outage tick
+    in it; ticks past a shorter device's trace end count as powered.
+    """
+    if window_ticks < 1:
+        raise ValueError("window_ticks must be >= 1")
+    bases = np.asarray(bases, dtype=np.int64)
+    n_ticks = np.asarray(n_ticks, dtype=np.int64)
+    if bases.shape != n_ticks.shape:
+        raise ValueError("bases and n_ticks must align")
+    n_devices = bases.size
+    longest = int(n_ticks.max()) if n_devices else 0
+    n_windows = (longest + window_ticks - 1) // window_ticks if longest else 0
+    out = np.zeros((n_devices, n_windows), dtype=bool)
+    padded = n_windows * window_ticks
+    for d in range(n_devices):
+        span = int(n_ticks[d])
+        segment = outage_mask[int(bases[d]): int(bases[d]) + span]
+        if padded != span:
+            segment = np.pad(segment, (0, padded - span))
+        out[d] = segment.reshape(n_windows, window_ticks).any(axis=1)
+    return out
+
+
+def co_outage_matrix(windows: np.ndarray) -> np.ndarray:
+    """Pairwise Jaccard co-outage similarity, shape ``(D, D)``.
+
+    ``windows`` is the boolean ``(D, W)`` matrix from
+    :func:`windowed_outages`.  Entry ``(i, j)`` is
+    ``|W_i ∩ W_j| / |W_i ∪ W_j]`` over outage-window sets; two devices
+    with no outage windows at all are defined as perfectly correlated
+    (``1.0``), which makes the diagonal identically one and the matrix
+    symmetric by construction.
+    """
+    windows = np.asarray(windows, dtype=bool)
+    if windows.ndim != 2:
+        raise ValueError("windows must be a (devices, windows) matrix")
+    counts = windows.sum(axis=1, dtype=np.int64)
+    intersection = (windows.astype(np.int64) @ windows.astype(np.int64).T)
+    union = counts[:, None] + counts[None, :] - intersection
+    with np.errstate(invalid="ignore", divide="ignore"):
+        matrix = np.where(union > 0, intersection / np.maximum(union, 1), 1.0)
+    return matrix
+
+
+def find_storms(
+    fractions: np.ndarray,
+    window_s: float,
+    threshold: float = 0.5,
+) -> List[Dict[str, float]]:
+    """Contiguous runs of windows where the fleet-outage fraction is high.
+
+    ``fractions[w]`` is the fraction of devices in outage during window
+    ``w`` (i.e. ``windows.mean(axis=0)``).  Returns one record per
+    storm: start/end seconds, duration, and peak fraction.
+    """
+    fractions = np.asarray(fractions, dtype=np.float64)
+    stormy = fractions >= threshold
+    storms: List[Dict[str, float]] = []
+    start = None
+    for w, flag in enumerate(stormy):
+        if flag and start is None:
+            start = w
+        elif not flag and start is not None:
+            storms.append(_storm_record(fractions, start, w, window_s))
+            start = None
+    if start is not None:
+        storms.append(_storm_record(fractions, start, fractions.size, window_s))
+    return storms
+
+
+def _storm_record(
+    fractions: np.ndarray, start: int, stop: int, window_s: float
+) -> Dict[str, float]:
+    return {
+        "start_s": start * window_s,
+        "end_s": stop * window_s,
+        "duration_s": (stop - start) * window_s,
+        "peak_fraction": float(fractions[start:stop].max()),
+        "windows": stop - start,
+    }

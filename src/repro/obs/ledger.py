@@ -133,12 +133,15 @@ def make_record(
     runs: Optional[List[Dict]] = None,
     error: Optional[str] = None,
     n_devices: Optional[int] = None,
+    telemetry: Optional[Dict] = None,
 ) -> Dict:
     """A schema-stamped ledger record (not yet appended).
 
     ``n_devices`` distinguishes fleet invocations (N devices advanced
     by one kernel) from single-device runs in ``repro runs list`` /
-    ``diff``; single-device commands stamp ``1``.
+    ``diff``; single-device commands stamp ``1``.  ``telemetry`` is a
+    fleet-telemetry summary (snapshot path, cadence, sample count) so
+    ``repro runs show`` can point at a run's dashboard data.
 
     Raises:
         ValueError: for an unknown ``outcome``.
@@ -175,6 +178,8 @@ def make_record(
         record["error"] = error
     if n_devices is not None:
         record["n_devices"] = int(n_devices)
+    if telemetry is not None:
+        record["telemetry"] = dict(telemetry)
     return record
 
 
@@ -187,6 +192,7 @@ def sweep_record(
     forced_outcome: Optional[str] = None,
     cache_attached: bool = True,
     n_devices: Optional[int] = None,
+    telemetry: Optional[Dict] = None,
 ) -> Dict:
     """Fold a :class:`~repro.exp.runner.SweepOutcome` into a record.
 
@@ -262,6 +268,7 @@ def sweep_record(
         runs=runs,
         error=failures[0].error if failures else None,
         n_devices=n_devices,
+        telemetry=telemetry,
     )
     if not cache_attached:
         record["uncached"] = True
@@ -343,12 +350,16 @@ class RunLedger:
         spec: Optional[str] = None,
         since: Optional[float] = None,
         until: Optional[float] = None,
+        devices_min: Optional[int] = None,
     ) -> List[Dict]:
         """Every matching record, oldest first.
 
         A missing file reads as empty; torn or corrupt lines are
         skipped.  ``spec`` matches a ``spec_hash`` prefix; ``since`` /
-        ``until`` bound ``started_unix`` inclusively.
+        ``until`` bound ``started_unix`` inclusively.  ``devices_min``
+        keeps records whose ``n_devices`` is at least that large —
+        the "find my fleet runs" filter (records without the stamp
+        count as single-device).
         """
         out: List[Dict] = []
         try:
@@ -382,6 +393,10 @@ class RunLedger:
                 if since is not None and started < since:
                     continue
                 if until is not None and started > until:
+                    continue
+                if devices_min is not None and int(
+                    record.get("n_devices") or 1
+                ) < devices_min:
                     continue
                 out.append(record)
         return out

@@ -94,6 +94,16 @@ class RunManifest:
         self.resources = sample_resources().to_dict()
         return self
 
+    def stamp_telemetry(self, summary: Dict) -> "RunManifest":
+        """Pin a fleet-telemetry summary (snapshot path, cadence, counts).
+
+        Lands under ``extra["telemetry"]`` so artifacts found on disk
+        can be traced back to the JSONL snapshot series they belong
+        to.  Returns self.
+        """
+        self.extra["telemetry"] = dict(summary)
+        return self
+
     def to_dict(self) -> Dict:
         """JSON-serialisable form."""
         return {
@@ -117,7 +127,15 @@ class RunManifest:
 
     @classmethod
     def read(cls, path: str) -> "RunManifest":
-        """Load a manifest written by :meth:`write`."""
+        """Load a manifest written by :meth:`write`.
+
+        Unknown keys are ignored so manifests written by a newer code
+        version still load (forward compatibility).
+        """
         with open(path) as handle:
             data = json.load(handle)
-        return cls(**data)
+        known = {
+            key: value for key, value in data.items()
+            if key in cls.__dataclass_fields__
+        }
+        return cls(**known)

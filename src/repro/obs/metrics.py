@@ -43,7 +43,10 @@ def _label_key(label_names: Tuple[str, ...], values: Dict[str, str]) -> LabelVal
         raise ValueError(
             f"expected labels {label_names}, got {tuple(sorted(values))}"
         )
-    return tuple((name, str(values[name])) for name in label_names)
+    # Sorted by label name — not registration order — so exported rows
+    # and Prometheus exposition are byte-stable however a metric was
+    # declared (golden-file tests depend on this).
+    return tuple((name, str(values[name])) for name in sorted(label_names))
 
 
 class _Metric:
@@ -371,6 +374,10 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._metrics)
+
+    def metrics(self) -> List[_Metric]:
+        """Every registered metric, sorted by name (exporter order)."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
 
     def rows(self) -> List[Tuple[str, str, str, str, float]]:
         """Every series of every metric as flat CSV-ready rows."""

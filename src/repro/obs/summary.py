@@ -12,6 +12,12 @@ points done/total, ETA, cache-hit rate, per-worker utilization — from
 the ``sweep.begin`` / ``sweep.point`` / ``sweep.end`` bus stream the
 runner already emits, so monitoring adds no new instrumentation and
 costs nothing when nobody subscribes.
+
+:class:`FleetMonitor` is the fleet's live dashboard (``repro fleet
+watch``): it renders the population state bar, energy/progress
+percentiles and the storm indicator from ``fleet.sample`` telemetry
+snapshots, with the same TTY-in-place / line-buffered-when-piped
+discipline as :class:`SweepMonitor`.
 """
 
 from __future__ import annotations
@@ -323,6 +329,207 @@ class SweepMonitor:
             self.stream.flush()
         else:
             # Line-buffered degradation: one plain line per redraw.
+            self.stream.write(
+                (self.summary_line() if final else self.render()) + "\n"
+            )
+
+
+#: Population states in display order with their state-bar glyphs;
+#: states the presets don't emit today render as ``?``.
+FLEET_STATE_GLYPHS = (
+    ("run", "#"),
+    ("backup", "B"),
+    ("restore", "R"),
+    ("boot", "b"),
+    ("charge", "~"),
+    ("off", "o"),
+    ("done", "d"),
+    ("final", "."),
+)
+
+
+class FleetMonitor:
+    """Live fleet dashboard for ``repro fleet watch``.
+
+    Renders one status line per telemetry sample: a proportional
+    population state bar (``#`` running, ``~`` charging, ``o`` off,
+    ``.`` finalized, ...), stored-energy and progress percentiles, the
+    fleet outage fraction with a ``STORM`` flag, and finalized-device
+    progress.  Driven entirely by the ``fleet.begin`` /
+    ``fleet.sample`` / ``fleet.end`` bus stream — the dashboard is a
+    subscriber like any other, and costs nothing when not attached.
+
+    Rendering discipline matches :class:`SweepMonitor`: in-place
+    redraw on a TTY, one plain line-buffered line per sample when
+    piped (``interactive=False``), autodetected via ``isatty``.
+
+    Args:
+        stream: output stream (default stdout).
+        interactive: force in-place (True) or line-buffered (False)
+            rendering; ``None`` asks ``stream.isatty()``.
+        width: maximum rendered line width.
+        bar_cells: state-bar width in characters.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        interactive: Optional[bool] = None,
+        width: int = 100,
+        bar_cells: int = 20,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        if interactive is None:
+            isatty = getattr(self.stream, "isatty", None)
+            interactive = bool(isatty()) if callable(isatty) else False
+        self.interactive = interactive
+        self.width = max(40, width)
+        self.bar_cells = max(4, bar_cells)
+        self.devices = 0
+        self.dt_s = 0.0
+        self.ticks = 0
+        self.samples = 0
+        self.storm_samples = 0
+        self.finalized = 0
+        self.snapshot: Optional[Dict] = None
+        self._finished = False
+
+    # -- subscription -------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "FleetMonitor":
+        """Subscribe to the fleet lifecycle on ``bus``; returns self."""
+        bus.subscribe(
+            self.on_event,
+            names=(
+                ev.FLEET_BEGIN, ev.FLEET_SAMPLE, ev.FLEET_DEVICE,
+                ev.FLEET_END,
+            ),
+        )
+        return self
+
+    def on_event(self, event: Event) -> None:
+        data = event.data
+        if event.name == ev.FLEET_BEGIN:
+            self.devices = int(data.get("devices") or 0)
+            self.dt_s = float(data.get("dt_s") or 0.0)
+            self._draw()
+            return
+        if event.name == ev.FLEET_SAMPLE:
+            self.snapshot = data.get("snapshot") or {}
+            self.samples += 1
+            if (self.snapshot.get("outage") or {}).get("storm"):
+                self.storm_samples += 1
+            self._draw()
+            return
+        if event.name == ev.FLEET_DEVICE:
+            # Device finalizations arrive per device — up to fleet-size
+            # times — so they update state silently; the next sample
+            # (or the end event) redraws.
+            self.finalized += 1
+            return
+        if event.name == ev.FLEET_END:
+            self.ticks = int(data.get("ticks") or 0)
+            self._finished = True
+            self._draw(final=True)
+
+    # -- rendering ----------------------------------------------------------
+
+    def state_bar(self) -> str:
+        """Proportional population bar over the last sample's states."""
+        states = (self.snapshot or {}).get("states") or {}
+        total = sum(states.values())
+        if not total:
+            return "?" * self.bar_cells
+        known = {name for name, _g in FLEET_STATE_GLYPHS}
+        ordered = [
+            (name, glyph)
+            for name, glyph in FLEET_STATE_GLYPHS
+            if states.get(name)
+        ] + [
+            (name, "?") for name in sorted(states)
+            if name not in known and states.get(name)
+        ]
+        bar = []
+        used = 0
+        for index, (name, glyph) in enumerate(ordered):
+            if index == len(ordered) - 1:
+                cells = self.bar_cells - used
+            else:
+                # At least one cell per populated state, so rare states
+                # stay visible in wide fleets.
+                cells = max(1, round(states[name] / total * self.bar_cells))
+                cells = min(cells, self.bar_cells - used - (len(ordered) - index - 1))
+            bar.append(glyph * cells)
+            used += cells
+        return "".join(bar)[: self.bar_cells]
+
+    def render(self) -> str:
+        """The current status line (no terminal control codes)."""
+        snap = self.snapshot
+        if not snap:
+            return f"fleet {self.devices} device(s) starting"
+        states = snap.get("states") or {}
+        parts = [
+            f"fleet {snap.get('t_s', 0.0):.3f}s",
+            f"[{self.state_bar()}]",
+            " ".join(
+                f"{name}:{states[name]}"
+                for name, _g in FLEET_STATE_GLYPHS if states.get(name)
+            ),
+        ]
+        energy = snap.get("energy_j") or {}
+        if "p50" in energy:
+            parts.append(f"E p50 {energy['p50']:.3g}J")
+        progress = snap.get("progress") or {}
+        if progress:
+            parts.append(
+                f"fp {progress.get('forward_progress', 0)}"
+                f" ({progress.get('run_rate', 0.0):.3g} run-s/s)"
+            )
+        outage = snap.get("outage") or {}
+        fraction = float(outage.get("fraction") or 0.0)
+        storm = " STORM" if outage.get("storm") else ""
+        parts.append(f"outage {fraction:.0%}{storm}")
+        devices = snap.get("devices") or {}
+        parts.append(
+            f"{devices.get('final', self.finalized)}"
+            f"/{devices.get('total', self.devices)} done"
+        )
+        return " | ".join(p for p in parts if p)
+
+    def summary_line(self) -> str:
+        """The post-run one-liner."""
+        snap = self.snapshot or {}
+        progress = snap.get("progress") or {}
+        counters = snap.get("counters") or {}
+        pieces = [
+            f"fleet   : {self.devices} device(s), "
+            f"{self.ticks} tick(s), {self.samples} sample(s)"
+        ]
+        if progress:
+            pieces.append(
+                f"fp {progress.get('forward_progress', 0)}"
+            )
+        if counters:
+            pieces.append(
+                f"backups {counters.get('backups', 0)} "
+                f"restores {counters.get('restores', 0)}"
+            )
+        if self.samples:
+            pieces.append(
+                f"storm samples {self.storm_samples}/{self.samples}"
+            )
+        return "; ".join(pieces)
+
+    def _draw(self, final: bool = False) -> None:
+        if self.interactive:
+            # In-place redraw must fit one terminal row; piped lines
+            # keep the full record.
+            self.stream.write("\r\x1b[2K" + self.render()[: self.width])
+            if final:
+                self.stream.write("\n" + self.summary_line() + "\n")
+            self.stream.flush()
+        else:
             self.stream.write(
                 (self.summary_line() if final else self.render()) + "\n"
             )

@@ -526,3 +526,82 @@ class TestCompiledWorkloadRouting:
         result = kernel.run()[0]
         assert kernel.ticks_batched > 0
         assert_fleet_identical(result, config)
+
+
+class TestFleetTelemetryEquivalence:
+    """Telemetry is read-only: per-device results stay bit-identical
+    with it enabled, and its final snapshot is exactly the fold of the
+    per-device exact-engine results — across every preset, source, and
+    offset."""
+
+    @staticmethod
+    def all_configs():
+        configs = []
+        for platform in sorted(PLATFORM_BUILDERS):
+            for source_kw in FLEET_SOURCES:
+                for offset in (0.0, 0.25):
+                    configs.append(fleet_config(
+                        platform, source_kw, trace_offset_s=offset
+                    ))
+        return configs
+
+    def test_results_bit_identical_and_aggregates_fold(self):
+        from repro.fleet import FleetKernel, FleetTelemetry, replay_device
+
+        configs = self.all_configs()
+        telemetry = FleetTelemetry()
+        observed = FleetKernel(
+            list(configs), telemetry=telemetry
+        ).run()
+        plain = FleetKernel(list(configs)).run()
+
+        exact = []
+        for config, with_tel, without in zip(configs, observed, plain):
+            # Telemetry on == telemetry off == single exact engine.
+            assert with_tel.to_dict() == without.to_dict()
+            single, _ = replay_device(config)
+            assert with_tel.to_dict() == single.to_dict()
+            exact.append(single)
+
+        snap = telemetry.last
+        assert snap["final"] is True
+        assert snap["states"] == {"final": len(configs)}
+        assert snap["devices"] == {
+            "total": len(configs), "live": 0, "passive": 0,
+            "final": len(configs),
+        }
+        # Population aggregates are the fold of the exact engine.
+        assert snap["progress"]["forward_progress"] == sum(
+            r.forward_progress for r in exact
+        )
+        assert snap["counters"]["backups"] == sum(r.backups for r in exact)
+        assert snap["counters"]["restores"] == sum(
+            r.restores for r in exact
+        )
+        assert snap["progress"]["run_s_total"] == pytest.approx(
+            sum(r.state_time_s.get("run", 0.0) for r in exact)
+        )
+
+    def test_mid_run_state_counts_partition_the_fleet(self):
+        """Every snapshot's state counts sum to the device total."""
+        from repro.fleet import FleetKernel, FleetTelemetry
+        from repro.obs.events import EventBus
+
+        bus = EventBus()
+        snapshots = []
+        bus.subscribe(
+            lambda event: snapshots.append(event.data["snapshot"]),
+            names=(ev.FLEET_SAMPLE,),
+        )
+        configs = [
+            fleet_config("nvp", {"source": "rf"},
+                         trace_offset_s=0.1 * i)
+            for i in range(4)
+        ]
+        FleetKernel(configs, bus=bus, telemetry=FleetTelemetry()).run()
+        assert len(snapshots) >= 2
+        for snap in snapshots:
+            assert sum(snap["states"].values()) == len(configs)
+            devices = snap["devices"]
+            assert devices["final"] == snap["states"].get("final", 0)
+            assert devices["live"] + devices["final"] == len(configs)

@@ -1,0 +1,263 @@
+"""Streaming population statistics: P² sketches, histograms, co-outage."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.fleetstats import (
+    DIGEST_QUANTILES,
+    FixedBinHistogram,
+    P2Quantile,
+    QuantileDigest,
+    co_outage_matrix,
+    find_storms,
+    windowed_outages,
+)
+
+
+class TestP2Quantile:
+    def test_rejects_degenerate_quantiles(self):
+        for q in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                P2Quantile(q)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value)
+
+    def test_exact_below_five_observations(self):
+        sketch = P2Quantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            sketch.observe(x)
+        assert sketch.value == 2.0
+        sketch.observe(4.0)
+        assert sketch.value == 2.5  # interpolated median of 4
+
+    @pytest.mark.parametrize("q", [0.05, 0.5, 0.95])
+    def test_tracks_numpy_percentile(self, q):
+        rng = np.random.default_rng(7)
+        values = rng.normal(10.0, 3.0, size=5000)
+        sketch = P2Quantile(q)
+        for x in values:
+            sketch.observe(x)
+        exact = float(np.percentile(values, q * 100))
+        spread = float(values.max() - values.min())
+        assert abs(sketch.value - exact) < 0.05 * spread
+        assert sketch.count == values.size
+
+    def test_skewed_stream(self):
+        rng = np.random.default_rng(11)
+        values = rng.exponential(2.0, size=8000)
+        sketch = P2Quantile(0.95)
+        for x in values:
+            sketch.observe(x)
+        exact = float(np.percentile(values, 95))
+        assert abs(sketch.value - exact) / exact < 0.15
+
+    def test_constant_stream(self):
+        sketch = P2Quantile(0.5)
+        for _ in range(100):
+            sketch.observe(5.0)
+        assert sketch.value == 5.0
+
+    def test_deterministic(self):
+        a, b = P2Quantile(0.5), P2Quantile(0.5)
+        values = np.sin(np.arange(300, dtype=np.float64))
+        for x in values:
+            a.observe(x)
+            b.observe(x)
+        assert a.value == b.value
+
+
+class TestQuantileDigest:
+    def test_empty_summary_is_count_only(self):
+        assert QuantileDigest().summary() == {"count": 0}
+
+    def test_exact_aggregates(self):
+        digest = QuantileDigest()
+        values = [4.0, 1.0, 3.0, 2.0]
+        for x in values:
+            digest.observe(x)
+        summary = digest.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == 2.5
+        assert set(summary) == {
+            "count", "min", "max", "mean", "p05", "p50", "p95",
+        }
+
+    def test_default_quantiles_match_report_percentiles(self):
+        assert DIGEST_QUANTILES == (0.05, 0.50, 0.95)
+        digest = QuantileDigest()
+        for x in (5, 1, 4, 2, 3):
+            digest.observe(float(x))
+        assert digest.quantile(0.5) == 3.0
+
+
+class TestFixedBinHistogram:
+    def test_edge_validation(self):
+        with pytest.raises(ValueError):
+            FixedBinHistogram([1.0])
+        with pytest.raises(ValueError):
+            FixedBinHistogram([1.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            FixedBinHistogram.log_bins(0.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            FixedBinHistogram.linear_bins(2.0, 1.0, 4)
+
+    def test_counts_land_in_the_right_bins(self):
+        hist = FixedBinHistogram([0.0, 1.0, 2.0, 3.0])
+        hist.observe_many(np.array([-1.0, 0.5, 0.7, 1.5, 2.5, 9.0]))
+        assert hist.underflow == 1
+        assert hist.overflow == 1
+        assert hist.counts.tolist() == [2, 1, 1]
+        assert hist.count == 6
+        # Bins are [lo, hi): the left edge counts, the top edge
+        # overflows.
+        solo = FixedBinHistogram([0.0, 1.0])
+        solo.observe(0.0)
+        solo.observe(1.0)
+        assert solo.counts.tolist() == [1]
+        assert solo.underflow == 0
+        assert solo.overflow == 1
+
+    def test_quantiles_are_conservative_upper_edges(self):
+        hist = FixedBinHistogram([0.0, 1.0, 2.0, 4.0])
+        hist.observe_many(np.array([0.5, 0.6, 1.5, 3.0]))
+        assert hist.quantile(0.25) == 1.0
+        # Conservative: the upper edge of the bin holding the rank.
+        assert hist.quantile(1.0) == 4.0
+        # Conservative w.r.t. the ceil(q*n)-th order statistic.
+        ordered = np.sort(np.array([0.5, 0.6, 1.5, 3.0]))
+        for q in (0.1, 0.5, 0.9):
+            rank = max(int(np.ceil(q * ordered.size)) - 1, 0)
+            assert hist.quantile(q) >= ordered[rank]
+
+    def test_under_and_overflow_quantiles_are_exact_extremes(self):
+        hist = FixedBinHistogram([1.0, 2.0])
+        hist.observe_many(np.array([0.25, 0.5, 5.0, 7.0]))
+        assert hist.quantile(0.1) == 0.25
+        assert hist.quantile(0.99) == 7.0
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(FixedBinHistogram([0.0, 1.0]).quantile(0.5))
+
+    def test_observe_many_matches_scalar_observe(self):
+        rng = np.random.default_rng(3)
+        values = rng.exponential(1e-6, size=500)
+        bulk = FixedBinHistogram.log_bins(1e-9, 1e-3, 40)
+        single = FixedBinHistogram.log_bins(1e-9, 1e-3, 40)
+        bulk.observe_many(values)
+        for x in values:
+            single.observe(x)
+        assert bulk.counts.tolist() == single.counts.tolist()
+        assert bulk.underflow == single.underflow
+        assert bulk.overflow == single.overflow
+        b, s = bulk.summary(), single.summary()
+        # Summation order differs (one vector sum vs 500 additions),
+        # so the mean may differ in the last ulp.
+        assert b.pop("mean") == pytest.approx(s.pop("mean"))
+        assert b == s
+
+    def test_summary_shape(self):
+        hist = FixedBinHistogram.linear_bins(0.0, 10.0, 5)
+        hist.observe_many(np.arange(1.0, 10.0))
+        summary = hist.summary()
+        assert summary["count"] == 9
+        assert summary["min"] == 1.0
+        assert summary["max"] == 9.0
+        assert summary["mean"] == 5.0
+
+
+class TestWindowedOutages:
+    def test_windows_and_padding(self):
+        # One device, 5 ticks, window 2 -> 3 windows, last padded.
+        mask = np.array([True, False, False, False, True])
+        windows = windowed_outages(mask, np.array([0]), np.array([5]), 2)
+        assert windows.shape == (1, 3)
+        assert windows[0].tolist() == [True, False, True]
+
+    def test_shorter_device_pads_as_powered(self):
+        mask = np.array([True, True, True, True, False, True])
+        # Device 1 owns only 2 ticks starting at 4; the padded tail
+        # counts as powered (False).
+        windows = windowed_outages(
+            mask, np.array([0, 4]), np.array([4, 2]), 2
+        )
+        assert windows.shape == (2, 2)
+        assert windows[0].tolist() == [True, True]
+        assert windows[1].tolist() == [True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            windowed_outages(np.zeros(4, bool), np.array([0]),
+                             np.array([4]), 0)
+        with pytest.raises(ValueError):
+            windowed_outages(np.zeros(4, bool), np.array([0, 1]),
+                             np.array([4]), 1)
+
+
+class TestCoOutageMatrix:
+    def test_symmetric_with_unit_diagonal(self):
+        rng = np.random.default_rng(5)
+        windows = rng.random((6, 40)) < 0.3
+        matrix = co_outage_matrix(windows)
+        assert matrix.shape == (6, 6)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.all(matrix >= 0.0) and np.all(matrix <= 1.0)
+
+    def test_identical_devices_are_fully_correlated(self):
+        row = np.array([True, False, True, False])
+        matrix = co_outage_matrix(np.stack([row, row]))
+        assert matrix[0, 1] == 1.0
+
+    def test_disjoint_devices_are_uncorrelated(self):
+        a = np.array([True, True, False, False])
+        b = np.array([False, False, True, True])
+        matrix = co_outage_matrix(np.stack([a, b]))
+        assert matrix[0, 1] == 0.0
+
+    def test_outage_free_devices_count_as_correlated(self):
+        quiet = np.zeros(4, dtype=bool)
+        noisy = np.array([True, False, False, False])
+        matrix = co_outage_matrix(np.stack([quiet, quiet, noisy]))
+        assert matrix[0, 0] == 1.0  # empty ∪ empty
+        assert matrix[0, 1] == 1.0
+        assert matrix[0, 2] == 0.0  # empty vs non-empty
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_jaccard_value(self):
+        a = np.array([True, True, False])
+        b = np.array([True, False, True])
+        matrix = co_outage_matrix(np.stack([a, b]))
+        assert matrix[0, 1] == pytest.approx(1.0 / 3.0)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            co_outage_matrix(np.zeros(4, dtype=bool))
+
+
+class TestFindStorms:
+    def test_no_storms(self):
+        assert find_storms(np.array([0.0, 0.2, 0.4]), 1.0) == []
+
+    def test_single_storm_with_bounds(self):
+        fractions = np.array([0.1, 0.6, 0.8, 0.3, 0.9])
+        storms = find_storms(fractions, window_s=2.0, threshold=0.5)
+        assert len(storms) == 2
+        first, second = storms
+        assert first["start_s"] == 2.0
+        assert first["end_s"] == 6.0
+        assert first["duration_s"] == 4.0
+        assert first["peak_fraction"] == 0.8
+        assert first["windows"] == 2
+        # A storm running to the end of the timeline is closed out.
+        assert second["start_s"] == 8.0
+        assert second["end_s"] == 10.0
+        assert second["peak_fraction"] == 0.9
+
+    def test_threshold_is_inclusive(self):
+        storms = find_storms(np.array([0.5]), 1.0, threshold=0.5)
+        assert len(storms) == 1

@@ -175,3 +175,151 @@ class TestManifest:
 
     def test_git_revision_outside_repo(self, tmp_path):
         assert git_revision(cwd=str(tmp_path)) == "unknown"
+
+
+class TestPrometheusText:
+    def make_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter(
+            "sim.backups", labels=("platform", "state"),
+            help="completed backups",
+        ).labels(state="run", platform="nvp").inc(3)
+        registry.gauge("energy.level").set(0.5)
+        hist = registry.histogram(
+            "outage.len", buckets=(0.001, 0.01, float("inf"))
+        )
+        hist.observe(0.002)
+        hist.observe(0.5)
+        return registry
+
+    def test_exposition_contents(self):
+        from repro.obs.export import prometheus_text
+
+        text = prometheus_text(self.make_registry())
+        assert "# TYPE sim_backups counter" in text
+        # Label names render sorted regardless of call order.
+        assert 'sim_backups{platform="nvp",state="run"} 3' in text
+        assert "energy_level 0.5" in text
+        assert 'outage_len_bucket{le="0.001"} 0' in text
+        assert 'outage_len_bucket{le="0.01"} 1' in text
+        assert 'outage_len_bucket{le="+Inf"} 2' in text
+        assert "outage_len_count 2" in text
+        assert text.endswith("\n")
+
+    def test_exposition_is_byte_stable(self):
+        """Golden-file property: same contents, same bytes — even when
+        labels and metrics are registered in a different order."""
+        from repro.obs.export import prometheus_text
+        from repro.obs.metrics import MetricsRegistry
+
+        other = MetricsRegistry()
+        hist = other.histogram(
+            "outage.len", buckets=(0.001, 0.01, float("inf"))
+        )
+        hist.observe(0.5)
+        hist.observe(0.002)
+        other.gauge("energy.level").set(0.5)
+        other.counter(
+            "sim.backups", labels=("platform", "state"),
+            help="completed backups",
+        ).labels(platform="nvp", state="run").inc(3)
+        assert prometheus_text(other) == prometheus_text(
+            self.make_registry()
+        )
+
+    def test_prefix_and_name_mangling(self):
+        from repro.obs.export import prometheus_text
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.gauge("fleet.watch.rate").set(1.0)
+        text = prometheus_text(registry, prefix="repro.")
+        assert "repro_fleet_watch_rate 1" in text
+
+    def test_value_rendering(self):
+        from repro.obs.export import _prom_value
+
+        assert _prom_value(3.0) == "3"
+        assert _prom_value(0.25) == "0.25"
+        assert _prom_value(float("inf")) == "+Inf"
+        assert _prom_value(float("-inf")) == "-Inf"
+        assert _prom_value(float("nan")) == "NaN"
+
+    def test_write_prometheus(self, tmp_path):
+        from repro.obs.export import prometheus_text, write_prometheus
+
+        registry = self.make_registry()
+        path = tmp_path / "metrics.prom"
+        n = write_prometheus(registry, str(path))
+        assert path.read_text() == prometheus_text(registry)
+        assert n == len(path.read_bytes())
+
+
+class TestSnapshots:
+    SNAP = {
+        "tick": 100,
+        "t_s": 0.01,
+        "devices": {"total": 4, "final": 1},
+        "outage": {"fraction": 0.5, "storm": True},
+        "label": "ignored-string",
+        "series": [1, 2, 3],
+    }
+
+    def test_flatten_is_sorted_and_numeric_only(self):
+        from repro.obs.export import flatten_snapshot
+
+        pairs = flatten_snapshot(self.SNAP)
+        assert pairs == sorted(pairs)
+        names = [name for name, _v in pairs]
+        assert "devices_total" in names
+        assert "outage_fraction" in names
+        assert "label" not in names and "series" not in names
+        flat = dict(pairs)
+        assert flat["outage_storm"] == 1.0  # bools become 0/1
+
+    def test_snapshot_prometheus_gauges(self):
+        from repro.obs.export import snapshot_prometheus
+
+        text = snapshot_prometheus(self.SNAP)
+        assert "fleet_devices_total 4" in text
+        assert "fleet_outage_storm 1" in text
+        assert snapshot_prometheus(self.SNAP) == text  # stable
+
+    def test_writer_roundtrip_with_prom_sibling(self, tmp_path):
+        from repro.obs.export import (
+            SnapshotWriter,
+            read_snapshots,
+            snapshot_prometheus,
+        )
+
+        path = tmp_path / "tel.jsonl"
+        prom = tmp_path / "tel.jsonl.prom"
+        with SnapshotWriter(str(path), prom_path=str(prom)) as writer:
+            writer.append({"tick": 1, "x": 1.0})
+            writer.append({"tick": 2, "x": 2.0})
+            assert writer.count == 2
+        snaps = read_snapshots(str(path))
+        assert [s["tick"] for s in snaps] == [1, 2]
+        # The .prom sibling always holds the latest snapshot only.
+        assert prom.read_text() == snapshot_prometheus(
+            {"tick": 2, "x": 2.0}
+        )
+        assert not (tmp_path / "tel.jsonl.prom.tmp").exists()
+
+    def test_reader_skips_torn_lines(self, tmp_path):
+        from repro.obs.export import read_snapshots
+
+        path = tmp_path / "tel.jsonl"
+        path.write_text('{"tick": 1}\n\n{"tick": 2}\n{"tick": 3, "x":\n')
+        assert [s["tick"] for s in read_snapshots(str(path))] == [1, 2]
+
+    def test_writer_appends_across_instances(self, tmp_path):
+        from repro.obs.export import SnapshotWriter, read_snapshots
+
+        path = tmp_path / "tel.jsonl"
+        for tick in (1, 2):
+            with SnapshotWriter(str(path)) as writer:
+                writer.append({"tick": tick})
+        assert [s["tick"] for s in read_snapshots(str(path))] == [1, 2]

@@ -305,7 +305,9 @@ class TestSimulatorMetrics:
         result, _, _ = run_instrumented(0.5, metrics=registry)
         snapshot = registry.snapshot()
         ops = snapshot["sim_operations"]
-        assert ops["platform=nvp,op=backups|value"] == result.backups
+        # Series keys render labels in sorted-name order (byte-stable
+        # exposition), not declaration order.
+        assert ops["op=backups,platform=nvp|value"] == result.backups
         state = snapshot["sim_state_seconds"]
         run_key = "platform=nvp,state=run|value"
         assert state[run_key] == pytest.approx(result.state_time_s["run"])
@@ -333,7 +335,7 @@ class TestProfilerMetrics:
         with pytest.raises(KeyError):
             profile.entry("nonexistent")
         snapshot = registry.snapshot()
-        key = "program=crc,label=bitloop|value"
+        key = "label=bitloop,program=crc|value"  # sorted label names
         assert snapshot["profile_instructions"][key] == entry.instructions
         assert "profile_class_instructions" in snapshot
 

@@ -244,3 +244,34 @@ class TestRegistry:
         registry = MetricsRegistry()
         registry.counter("ticks").inc(5)
         assert registry.snapshot()["ticks"]["value"] == 5
+
+
+class TestDeterministicOrdering:
+    """Label ordering is sorted, not insertion-ordered — the property
+    the byte-stable Prometheus/JSONL exposition rests on."""
+
+    def test_series_keys_sort_label_names(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops", labels=("b", "a"))
+        counter.labels(b="2", a="1").inc()
+        (key,) = registry.get("ops").series().keys()
+        assert key == (("a", "1"), ("b", "2"))
+
+    def test_label_order_does_not_fork_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops", labels=("a", "b"))
+        counter.labels(a="1", b="2").inc()
+        counter.labels(b="2", a="1").inc()
+        series = registry.get("ops").series()
+        assert len(series) == 1
+        (child,) = series.values()
+        assert child.value == 2
+
+    def test_metrics_iteration_is_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.gauge("alpha")
+        registry.counter("mid")
+        assert [m.name for m in registry.metrics()] == [
+            "alpha", "mid", "zeta",
+        ]

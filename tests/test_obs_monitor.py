@@ -157,3 +157,131 @@ class TestBusIntegration:
         assert monitor.done == monitor.total == 2
         assert monitor.ok == 2
         assert "2 ok" in stream.getvalue()
+
+
+def make_snapshot(t_s=0.1, states=None, final_devices=0, total=4,
+                  storm=False, final=False):
+    snap = {
+        "schema": 1,
+        "tick": int(t_s * 1000),
+        "t_s": t_s,
+        "dt_s": 1e-4,
+        "devices": {"total": total, "live": total - final_devices,
+                    "passive": 0, "final": final_devices},
+        "states": dict(states or {"off": total}),
+        "energy_j": {"count": total, "p05": 1e-8, "p50": 2e-8,
+                     "p95": 4e-8},
+        "progress": {"forward_progress": 1234, "run_s_total": 0.01,
+                     "run_rate": 0.1},
+        "counters": {"backups": 3, "restores": 2, "ticks_batched": 0},
+        "outage": {"fraction": 0.75 if storm else 0.0,
+                   "threshold_w": 33e-6, "storm": storm},
+    }
+    if final:
+        snap["final"] = True
+    return snap
+
+
+class TestFleetMonitor:
+    def drive(self, monitor, samples=3, total=4):
+        from repro.obs import events as ev
+
+        monitor.on_event(Event(
+            ev.FLEET_BEGIN, 0.0, 0, {"devices": total, "dt_s": 1e-4}
+        ))
+        for i in range(samples):
+            monitor.on_event(Event(
+                ev.FLEET_SAMPLE, 0.1 * (i + 1), 0,
+                {"snapshot": make_snapshot(
+                    t_s=0.1 * (i + 1), storm=(i == 1), total=total
+                )},
+            ))
+        for _ in range(total):
+            monitor.on_event(Event(ev.FLEET_DEVICE, 0.4, 0, {}))
+        monitor.on_event(Event(
+            ev.FLEET_END, 0.4, 0, {"devices": total, "ticks": 4000}
+        ))
+
+    def test_non_tty_is_line_buffered_plain(self):
+        from repro.obs.summary import FleetMonitor
+
+        stream = io.StringIO()
+        monitor = FleetMonitor(stream=stream)
+        assert monitor.interactive is False  # StringIO is not a tty
+        self.drive(monitor)
+        out = stream.getvalue()
+        assert "\x1b" not in out and "\r" not in out
+        lines = out.splitlines()
+        # begin + 3 samples + final summary; device events are silent.
+        assert len(lines) == 5
+        assert lines[-1].startswith("fleet   :")
+        assert "4000 tick(s)" in lines[-1]
+        assert "storm samples 1/3" in lines[-1]
+
+    def test_interactive_redraws_in_place(self):
+        from repro.obs.summary import FleetMonitor
+
+        stream = io.StringIO()
+        monitor = FleetMonitor(stream=stream, interactive=True, width=80)
+        self.drive(monitor)
+        out = stream.getvalue()
+        assert out.count("\r\x1b[2K") == 5
+        assert out.endswith("\n")
+        for chunk in out.split("\r\x1b[2K")[1:]:
+            assert len(chunk.splitlines()[0]) <= 80
+
+    def test_render_contents(self):
+        from repro.obs.summary import FleetMonitor
+
+        monitor = FleetMonitor(stream=io.StringIO())
+        self.drive(monitor)
+        monitor.snapshot = make_snapshot(
+            states={"run": 2, "off": 1, "final": 1},
+            final_devices=1, storm=True,
+        )
+        line = monitor.render()
+        assert "run:2" in line and "off:1" in line and "final:1" in line
+        assert "STORM" in line
+        assert "1/4 done" in line
+        assert "E p50 2e-08J" in line
+
+    def test_state_bar_is_proportional_and_fixed_width(self):
+        from repro.obs.summary import FleetMonitor
+
+        monitor = FleetMonitor(stream=io.StringIO(), bar_cells=20)
+        monitor.snapshot = make_snapshot(
+            states={"run": 10, "off": 10}, total=20
+        )
+        bar = monitor.state_bar()
+        assert len(bar) == 20
+        assert bar.count("#") == 10 and bar.count("o") == 10
+        # Rare states keep at least one cell.
+        monitor.snapshot = make_snapshot(
+            states={"run": 1, "off": 99}, total=100
+        )
+        bar = monitor.state_bar()
+        assert len(bar) == 20
+        assert bar.count("#") >= 1
+
+    def test_before_any_sample(self):
+        from repro.obs import events as ev
+        from repro.obs.summary import FleetMonitor
+
+        stream = io.StringIO()
+        monitor = FleetMonitor(stream=stream)
+        monitor.on_event(Event(
+            ev.FLEET_BEGIN, 0.0, 0, {"devices": 7, "dt_s": 1e-4}
+        ))
+        assert "7 device(s) starting" in stream.getvalue()
+
+    def test_attach_subscribes_to_fleet_events_only(self):
+        from repro.obs import events as ev
+        from repro.obs.summary import FleetMonitor
+
+        bus = EventBus()
+        monitor = FleetMonitor(stream=io.StringIO()).attach(bus)
+        assert bus.wants(ev.FLEET_SAMPLE)
+        assert bus.wants(ev.FLEET_BEGIN)
+        assert not bus.wants(ev.SIM_BEGIN)
+        bus.emit(ev.FLEET_BEGIN, devices=2, dt_s=1e-4)
+        assert monitor.devices == 2
